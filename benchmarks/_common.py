@@ -1,0 +1,32 @@
+"""Helpers shared by the bench modules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.pram.ledger import CostLedger
+from repro.pram.models import CRCW_COMMON, CREW
+from repro.pram.scheduling import BrentPram
+
+
+def crcw_machine(n: int) -> BrentPram:
+    """CRCW machine at the Table budget (8n physical; see EXPERIMENTS.md)."""
+    return BrentPram(CRCW_COMMON, 1 << 44, 8 * n, ledger=CostLedger())
+
+
+def crew_machine(n: int) -> BrentPram:
+    """CREW machine at the Table budget n / lg lg n."""
+    phys = max(1, int(n / math.log2(max(2.0, math.log2(max(2, n))))))
+    return BrentPram(CREW, 1 << 44, phys, ledger=CostLedger())
+
+
+def fmt_rows(title: str, header: str, rows) -> str:
+    lines = [title, "-" * len(title), header]
+    lines += rows
+    return "\n".join(lines)
+
+
+def lg(n: float) -> float:
+    return math.log2(max(2.0, n))

@@ -1,0 +1,86 @@
+"""Ablation AB2 — grouped-minimum strategy inside the searches.
+
+The CRCW bounds hinge on sub-logarithmic grouped minima: the
+doubly-logarithmic Valiant scheme vs the binary (CREW-legal) segmented
+scan vs the constant-round all-pairs (when the processor budget is
+quadratic in the width).  Measures rounds of each primitive directly
+and their effect on the full row-minima search.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+from repro.pram.primitives import grouped_min
+
+WIDTHS = (64, 1024, 16384)
+
+
+def _groups(w, groups=8):
+    rng = np.random.default_rng(w)
+    values = rng.normal(size=w * groups)
+    offsets = np.arange(0, w * groups + 1, w, dtype=np.int64)
+    return values, offsets
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for w in WIDTHS:
+        values, offsets = _groups(w)
+        entry = {"w": w}
+        for strat, model in (
+            ("binary", CREW),
+            ("doubly_log", CRCW_COMMON),
+            ("allpairs", CRCW_COMMON),
+        ):
+            pram = Pram(model, 1 << 44, ledger=CostLedger())
+            v, i = grouped_min(pram, values, offsets, strategy=strat)
+            brute = values.reshape(8, w).min(axis=1)
+            assert np.allclose(v, brute)
+            entry[strat] = pram.ledger.rounds
+        rows.append(entry)
+    lines = [
+        f"width={e['w']:>6}  binary={e['binary']:>3} rounds  "
+        f"doubly_log={e['doubly_log']:>3}  allpairs={e['allpairs']:>2} "
+        f"(allpairs procs ~ width²)"
+        for e in rows
+    ]
+    report(
+        "Ablation AB2 — grouped-minimum primitive\n"
+        "binary = lg w rounds; doubly-log = O(lg lg w); all-pairs = O(1) "
+        "with quadratic processors\n" + "\n".join(lines)
+    )
+    return rows
+
+
+def test_binary_is_logarithmic(measured):
+    r = {e["w"]: e["binary"] for e in measured}
+    assert r[16384] >= 2 * r[64] - 2  # lg growth: 14 vs 6
+
+
+def test_doubly_log_nearly_flat(measured):
+    r = {e["w"]: e["doubly_log"] for e in measured}
+    assert r[16384] <= r[64] + 8
+
+
+def test_allpairs_constant(measured):
+    r = {e["w"]: e["allpairs"] for e in measured}
+    assert max(r.values()) == min(r.values()) == 3
+
+
+def test_ordering_at_scale(measured):
+    big = measured[-1]
+    assert big["allpairs"] < big["doubly_log"] < big["binary"]
+
+
+@pytest.mark.benchmark(group="ablation-fastmax")
+def test_bench_doubly_log(benchmark, measured):
+    values, offsets = _groups(4096)
+
+    def run():
+        pram = Pram(CRCW_COMMON, 1 << 44, ledger=CostLedger())
+        grouped_min(pram, values, offsets, strategy="doubly_log")
+
+    benchmark(run)

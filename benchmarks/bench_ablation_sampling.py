@@ -1,0 +1,67 @@
+"""Ablation AB1 — √n-sampling recursion vs binary halving.
+
+DESIGN.md calls out the choice of sampling factor in the Monge
+row-minima recursion.  The paper's √-recursion gives the
+``T(n) = 2T(√n) + O(g)`` round recurrence; plain halving pays a
+grouped minimum on every one of its lg n levels.  We measure both on
+identical instances across machine models.
+"""
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine, crew_machine, lg
+from conftest import report
+from repro.core import monge_row_minima_pram
+from repro.monge.generators import random_monge
+
+SIZES = (64, 256, 1024)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in SIZES:
+        a = random_monge(n, n, np.random.default_rng(n))
+        ref = a.data.argmin(axis=1)
+        entry = {"n": n}
+        for strat in ("sqrt", "halving"):
+            m = crcw_machine(n)
+            _, c = monge_row_minima_pram(m, a, strategy=strat)
+            assert np.array_equal(c, ref)
+            entry[f"crcw_{strat}"] = m.ledger.rounds
+            m = crew_machine(n)
+            _, c = monge_row_minima_pram(m, a, strategy=strat)
+            assert np.array_equal(c, ref)
+            entry[f"crew_{strat}"] = m.ledger.rounds
+        rows.append(entry)
+    lines = [
+        f"n={e['n']:>5}  CRCW sqrt={e['crcw_sqrt']:>5} halving={e['crcw_halving']:>5}   "
+        f"CREW sqrt={e['crew_sqrt']:>5} halving={e['crew_halving']:>5}"
+        for e in rows
+    ]
+    report(
+        "Ablation AB1 — sampling factor in the Monge recursion\n"
+        "sqrt = paper's T(n)=2T(√n)+O(g) scheme; halving = lg n levels\n"
+        + "\n".join(lines)
+    )
+    return rows
+
+
+def test_both_strategies_scale_polylog(measured):
+    for key in ("crcw_sqrt", "crcw_halving", "crew_sqrt", "crew_halving"):
+        r = {e["n"]: e[key] for e in measured}
+        assert r[1024] <= 5 * r[64], key
+
+
+def test_sqrt_wins_on_crew_at_scale(measured):
+    """The geometric level-cost decay pays off where grouped minima are
+    logarithmic (CREW); at our sizes it should not lose badly anywhere."""
+    last = measured[-1]
+    assert last["crew_sqrt"] <= 2.0 * last["crew_halving"]
+
+
+@pytest.mark.benchmark(group="ablation-sampling")
+def test_bench_sqrt(benchmark, measured):
+    a = random_monge(512, 512, np.random.default_rng(0))
+    benchmark(lambda: monge_row_minima_pram(crcw_machine(512), a, strategy="sqrt"))

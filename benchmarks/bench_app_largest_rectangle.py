@@ -1,0 +1,63 @@
+"""§1.3 app 2 — largest two-corner rectangle ([Mel89] circuit leakage).
+
+Paper: optimal Θ(lg n) time, n processors, CRCW.  We check exactness
+against the O(n²) pair scan, the staircase reduction's near-linear
+work, and logarithmic round growth.
+"""
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine, lg
+from conftest import report
+from repro.apps.largest_rectangle import (
+    largest_rectangle_brute,
+    largest_two_corner_rectangle,
+)
+
+SIZES = (256, 1024, 4096)
+
+
+def _pts(n):
+    return np.random.default_rng(n).normal(size=(n, 2))
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in SIZES:
+        pts = _pts(n)
+        mach = crcw_machine(4 * n)
+        area, i, j = largest_two_corner_rectangle(pts, pram=mach)
+        if n <= 1024:
+            ba, _, _ = largest_rectangle_brute(pts)
+            assert np.isclose(area, ba)
+        rows.append((n, area, mach.ledger.rounds))
+    lines = [
+        f"n={n:>5}  area={a:8.3f}  rounds={r:>5}  rounds/lg n={r/lg(n):6.2f}"
+        for n, a, r in rows
+    ]
+    report(
+        "App 2 — largest two-corner rectangle ([Mel89])\n"
+        "paper: Θ(lg n) time, n processors, CRCW (optimal)\n" + "\n".join(lines)
+    )
+    return rows
+
+
+def test_round_growth_logarithmic(measured):
+    r = {n: rounds for n, _, rounds in measured}
+    # lg 4096 / lg 256 = 1.5
+    assert r[4096] <= 3 * r[256]
+
+
+def test_matches_brute_on_grid():
+    pts = np.random.default_rng(5).integers(0, 30, size=(300, 2)).astype(float)
+    assert np.isclose(
+        largest_two_corner_rectangle(pts)[0], largest_rectangle_brute(pts)[0]
+    )
+
+
+@pytest.mark.benchmark(group="app-largest-rectangle")
+def test_bench_two_corner(benchmark, measured):
+    pts = _pts(2048)
+    benchmark(lambda: largest_two_corner_rectangle(pts))

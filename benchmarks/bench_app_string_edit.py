@@ -1,0 +1,85 @@
+"""§1.3 app 4 — string editing via grid-DAG tube products.
+
+Paper: O(lg n lg m) time on an nm-processor hypercube (etc.), improving
+Ranka–Sahni's SIMD-hypercube bounds.  We compare the DIST-combining
+parallel algorithm against Wagner–Fischer, measure rounds, and compare
+the growth against a re-implemented Ranka–Sahni cost model
+(O(sqrt(n lg n / p') + lg² n)-shaped wavefront; closed-source original).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.apps.string_edit import (
+    EditCosts,
+    edit_distance_dag_parallel,
+    edit_distance_wagner_fischer,
+)
+from repro.pram.ledger import CostLedger
+from repro.pram.models import CRCW_COMMON
+from repro.pram.scheduling import BrentPram
+
+SIZES = (16, 32, 64)
+
+
+def _strings(n):
+    rng = np.random.default_rng(n)
+    x = "".join(rng.choice(list("acgt"), size=n))
+    y = "".join(rng.choice(list("acgt"), size=n))
+    return x, y
+
+
+def ranka_sahni_rounds(n: int, p: int) -> float:
+    """Cost model of [RS88]'s first algorithm: O(sqrt(n lg n / (p/n²)) + lg² n)
+    with p = n²·p' processors; at p' = 1 this is sqrt(n lg n) + lg² n."""
+    return math.sqrt(n * math.log2(max(2, n))) + math.log2(max(2, n)) ** 2
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in SIZES:
+        x, y = _strings(n)
+        ref = edit_distance_wagner_fischer(x, y)[0]
+        mach = BrentPram(CRCW_COMMON, 1 << 46, 8 * n * n, ledger=CostLedger())
+        got = edit_distance_dag_parallel(x, y, pram=mach)
+        assert np.isclose(ref, got)
+        rows.append((n, ref, mach.ledger.rounds, ranka_sahni_rounds(n, n * n)))
+    lines = [
+        f"n={n:>4}  distance={d:5.0f}  DIST rounds={r:>6} "
+        f"(/lg²n = {r/math.log2(n)**2:6.2f})   Ranka-Sahni model ~{rs:7.1f}"
+        for n, d, r, rs in rows
+    ]
+    report(
+        "App 4 — string editing (grid-DAG tube products vs [WF74], [RS88])\n"
+        "paper: O(lg n lg m) on an nm-processor hypercube\n" + "\n".join(lines)
+    )
+    return rows
+
+
+def test_matches_wagner_fischer(measured):
+    pass  # asserted in fixture
+
+
+def test_polylog_beats_ranka_sahni_shape(measured):
+    """Crossover shape: our polylog rounds grow slower than the
+    sqrt-shaped [RS88] model as n grows."""
+    ours = {n: r for n, _, r, _ in measured}
+    rs = {n: m for n, _, _, m in measured}
+    ratio_ours = ours[64] / ours[16]
+    ratio_rs = rs[64] / rs[16]
+    assert ratio_ours < ratio_rs * 2.0  # polylog vs sqrt growth class
+
+
+def test_round_growth_polylog(measured):
+    r = {n: rounds for n, _, rounds, _ in measured}
+    assert r[64] <= 4 * r[16]
+
+
+@pytest.mark.benchmark(group="app-string-edit")
+def test_bench_dist_combining(benchmark, measured):
+    x, y = _strings(48)
+    benchmark(lambda: edit_distance_dag_parallel(x, y))

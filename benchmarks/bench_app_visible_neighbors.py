@@ -1,0 +1,63 @@
+"""§1.3 app 3 — visible/invisible neighbor queries on convex polygons.
+
+Paper: nearest-visible easily in Θ(lg(m+n)) CREW; nearest-invisible in
+O(lg(m+n)) CRCW with m+n processors via staircase-Monge searching.
+Our queries use the exact unimodal-endpoint substitution (DESIGN.md);
+we check exactness and the lg-class round growth.
+"""
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine, lg
+from conftest import report
+from repro.apps.geometry import separated_convex_polygons
+from repro.apps.visible_neighbors import (
+    QUERIES,
+    neighbor_queries_brute,
+    visible_neighbor_queries,
+)
+
+SIZES = (16, 32, 64)
+
+
+def _polys(n):
+    rng = np.random.default_rng(n)
+    return separated_convex_polygons(n, n, rng, gap=0.8)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in SIZES:
+        P, Q = _polys(n)
+        mach = crcw_machine(8 * n)
+        got = visible_neighbor_queries(P, Q, pram=mach)
+        ref = neighbor_queries_brute(P, Q)
+        for name in QUERIES:
+            rv = np.nan_to_num(ref[name][0], posinf=1e9, neginf=-1e9)
+            gv = np.nan_to_num(got[name][0], posinf=1e9, neginf=-1e9)
+            assert np.allclose(rv, gv, atol=1e-9), name
+        rows.append((n, mach.ledger.rounds))
+    lines = [
+        f"m=n={n:>4}  all four queries exact;  rounds={r:>5}  "
+        f"rounds/lg(m+n)={r/lg(2*n):6.2f}"
+        for n, r in rows
+    ]
+    report(
+        "App 3 — nearest/farthest (in)visible neighbors of convex polygons\n"
+        "paper: O(lg(m+n)) CRCW, m+n processors (invisible via staircase)\n"
+        + "\n".join(lines)
+    )
+    return rows
+
+
+def test_round_growth_polylog(measured):
+    r = dict(measured)
+    assert r[64] <= 4 * r[16]
+
+
+@pytest.mark.benchmark(group="app-visible-neighbors")
+def test_bench_queries(benchmark, measured):
+    P, Q = _polys(32)
+    benchmark(lambda: visible_neighbor_queries(P, Q))

@@ -1,0 +1,74 @@
+"""Figure 1.1 / §1.2 example — all-farthest neighbors across convex chains.
+
+The motivating workload: split a convex polygon into chains P and Q;
+the distance array is inverse-Monge; row maxima give every vertex of P
+its farthest vertex of Q.  Sequential SMAWK is Θ(m+n) evaluations;
+the parallel search runs in the Table 1.1 round classes.
+"""
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine
+from conftest import report
+from repro.apps.farthest_neighbors import (
+    farthest_between_chains,
+    farthest_between_chains_pram,
+)
+from repro.monge.generators import chain_distance_array, convex_position_points
+
+SIZES = (128, 512, 2048)
+
+
+def _chains(n):
+    pts = convex_position_points(2 * n, np.random.default_rng(n))
+    return pts[:n], pts[n:]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in SIZES:
+        P, Q = _chains(n)
+        a = chain_distance_array(P, Q)
+        a.eval_count = 0
+        v, c = farthest_between_chains(P, Q)
+        seq_evals = a.eval_count  # fresh array inside; recount below
+        a2 = chain_distance_array(P, Q)
+        from repro.monge.smawk import row_maxima
+
+        row_maxima(a2)
+        seq_evals = a2.eval_count
+
+        m = crcw_machine(2 * n)
+        pv, pc = farthest_between_chains_pram(m, P, Q)
+        dense = a2.materialize()
+        assert np.array_equal(pc, dense.argmax(axis=1))
+        rows.append((n, seq_evals, m.ledger.rounds))
+    lines = [
+        f"n={n:>5}  SMAWK evals={e:>7} ({e/(2*n):.2f}·(m+n))   "
+        f"CRCW rounds={r:>5}"
+        for n, e, r in rows
+    ]
+    report(
+        "Figure 1.1 — farthest vertex of Q for every vertex of P\n"
+        "paper: Θ(m+n) sequential [AKM+87]; Table 1.1 rounds parallel\n"
+        + "\n".join(lines)
+    )
+    return rows
+
+
+def test_sequential_linear_evals(measured):
+    for n, evals, _ in measured:
+        assert evals <= 10 * 2 * n
+
+
+def test_parallel_round_growth(measured):
+    r = {n: rounds for n, _, rounds in measured}
+    assert r[2048] <= 4 * r[128]
+
+
+@pytest.mark.benchmark(group="fig1.1")
+def test_bench_chain_smawk(benchmark, measured):
+    P, Q = _chains(1024)
+    benchmark(lambda: farthest_between_chains(P, Q))

@@ -1,0 +1,59 @@
+"""Lemma 2.1 / Corollary 2.4 — rectangular m×n instances.
+
+The paper's rectangular bounds: O(lg m + lg n) time with m/lg m + n
+processors.  We sweep skewed aspect ratios both ways and check the
+round count depends on lg(m)+lg(n), not on min/max alone.
+"""
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine, lg
+from conftest import report
+from repro.core import monge_row_minima_pram, staircase_row_minima_pram
+from repro.monge.generators import random_monge, random_staircase_monge
+
+SHAPES = [(4096, 16), (16, 4096), (1024, 64), (64, 1024), (512, 512)]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for m, n in SHAPES:
+        a = random_monge(m, n, np.random.default_rng(m * 7 + n))
+        mach = crcw_machine(max(m, n))
+        _, c = monge_row_minima_pram(mach, a)
+        assert np.array_equal(c, a.data.argmin(axis=1))
+        r_monge = mach.ledger.rounds
+
+        s = random_staircase_monge(m, n, np.random.default_rng(m + n))
+        mach2 = crcw_machine(max(m, n))
+        staircase_row_minima_pram(mach2, s)
+        rows.append((m, n, r_monge, mach2.ledger.rounds))
+    lines = [
+        f"m={m:>5} n={n:>5}  monge rounds={rm:>5} (/lg mn={rm/(lg(m)+lg(n)):6.2f})  "
+        f"staircase rounds={rs:>5}"
+        for m, n, rm, rs in rows
+    ]
+    report(
+        "Lemma 2.1 / Corollary 2.4 — rectangular m×n searching\n"
+        "paper: O(lg m + lg n) time, (m/lg m)+n processors\n" + "\n".join(lines)
+    )
+    return rows
+
+
+def test_rounds_track_lg_m_plus_lg_n(measured):
+    ratios = [rm / (lg(m) + lg(n)) for m, n, rm, _ in measured]
+    assert max(ratios) / min(ratios) <= 4.0
+
+
+def test_transpose_symmetry(measured):
+    by_shape = {(m, n): rm for m, n, rm, _ in measured}
+    assert by_shape[(4096, 16)] <= 3 * by_shape[(16, 4096)]
+    assert by_shape[(16, 4096)] <= 3 * by_shape[(4096, 16)]
+
+
+@pytest.mark.benchmark(group="lemma2.1")
+def test_bench_rectangular(benchmark, measured):
+    a = random_monge(2048, 32, np.random.default_rng(0))
+    benchmark(lambda: monge_row_minima_pram(crcw_machine(2048), a))

@@ -1,0 +1,111 @@
+"""Table 1.1 — row maxima of an n×n Monge array, three machine models.
+
+Regenerates the table's rows with measured rounds/processors and checks
+the claimed growth shapes: CRCW ~ lg n, CREW ~ lg n lg lg n, hypercube
+slowest but within its polylog class; CRCW < CREW < network ordering.
+"""
+
+import numpy as np
+import pytest
+
+from _common import crcw_machine, crew_machine, lg
+from conftest import report
+from repro.analysis.complexity import fit_ratios, flatness
+from repro.core import monge_row_maxima_network, monge_row_maxima_pram
+from repro.monge.generators import random_monge
+
+SIZES = (64, 256, 1024)
+
+
+def _instance(n):
+    return random_monge(n, n, np.random.default_rng(n))
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = {"CRCW": [], "CREW": [], "hypercube": [], "ccc": [], "shuffle-exchange": []}
+    for n in SIZES:
+        a = _instance(n)
+        ref = a.data.argmax(axis=1)
+
+        m = crcw_machine(n)
+        _, c = monge_row_maxima_pram(m, a)
+        assert np.array_equal(c, ref)
+        rows["CRCW"].append((n, m.ledger.rounds, m.ledger.peak_processors))
+
+        m = crew_machine(n)
+        _, c = monge_row_maxima_pram(m, a)
+        assert np.array_equal(c, ref)
+        rows["CREW"].append((n, m.ledger.rounds, m.ledger.peak_processors))
+
+        for topo in ("hypercube", "ccc", "shuffle-exchange"):
+            if topo != "hypercube" and n > 256:
+                continue  # constant-factor emulations; smaller sweep
+            _, c, led = monge_row_maxima_network(a, topo)
+            assert np.array_equal(c, ref)
+            rows[topo].append((n, led.rounds, led.peak_processors))
+
+    lines = []
+    for model, claim in (
+        ("CRCW", "lg n"),
+        ("CREW", "lg n lg lg n"),
+        ("hypercube", "lg n lg lg n"),
+        ("ccc", "lg n lg lg n"),
+        ("shuffle-exchange", "lg n lg lg n"),
+    ):
+        for n, r, p in rows[model]:
+            _, ratios = fit_ratios([n], [r], claim)
+            lines.append(
+                f"{model:<17} n={n:>5}  rounds={r:>7}  peak_procs={p:>8}  "
+                f"rounds/({claim}) = {ratios[0]:7.2f}"
+            )
+    report(
+        "Table 1.1 — row maxima, n×n Monge array\n"
+        "paper: CRCW O(lg n)/n procs; CREW O(lg n lg lg n)/(n/lg lg n); "
+        "hypercube O(lg n lg lg n)\n" + "\n".join(lines)
+    )
+    return rows
+
+
+def test_crcw_shape(measured):
+    ns = [n for n, _, _ in measured["CRCW"]]
+    rs = [r for _, r, _ in measured["CRCW"]]
+    _, ratios = fit_ratios(ns, rs, "lg n")
+    assert flatness(ratios) <= 2.5
+
+
+def test_crew_shape(measured):
+    ns = [n for n, _, _ in measured["CREW"]]
+    rs = [r for _, r, _ in measured["CREW"]]
+    _, ratios = fit_ratios(ns, rs, "lg n lg lg n")
+    assert flatness(ratios) <= 2.5
+
+
+def test_model_ordering(measured):
+    """Who wins: CRCW <= CREW <= hypercube at every common size."""
+    crcw = dict((n, r) for n, r, _ in measured["CRCW"])
+    crew = dict((n, r) for n, r, _ in measured["CREW"])
+    hc = dict((n, r) for n, r, _ in measured["hypercube"])
+    for n in SIZES:
+        assert crcw[n] < crew[n] < hc[n]
+
+
+def test_emulation_constant_slowdown(measured):
+    hc = dict((n, r) for n, r, _ in measured["hypercube"])
+    for topo in ("ccc", "shuffle-exchange"):
+        for n, r, _ in measured[topo]:
+            assert r > hc[n]
+            assert r < 4 * hc[n]
+
+
+def test_crew_processor_budget(measured):
+    import math
+
+    for n, _, p in measured["CREW"]:
+        assert p <= max(1, int(n / math.log2(math.log2(n))))
+
+
+@pytest.mark.benchmark(group="table1.1")
+def test_bench_crcw_rowmax(benchmark, measured):
+    a = _instance(512)
+    benchmark(lambda: monge_row_maxima_pram(crcw_machine(512), a))

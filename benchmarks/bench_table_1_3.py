@@ -1,0 +1,116 @@
+"""Table 1.3 — tube maxima of an n×n×n Monge-composite array.
+
+CRCW ~ Θ(lg lg n) class ([Ata89] sampling), CREW ~ Θ(lg n) (halving),
+hypercube Θ(lg n)-claimed (our direct simulation measures lg²-shaped;
+see EXPERIMENTS.md).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from _common import lg
+from conftest import report
+from repro.analysis.complexity import fit_ratios, flatness
+from repro.core import tube_maxima_network, tube_maxima_pram
+from repro.monge.generators import random_composite
+from repro.pram.ledger import CostLedger
+from repro.pram.models import CRCW_COMMON, CREW
+from repro.pram.scheduling import BrentPram
+
+SIZES = (16, 64, 256)
+
+
+def _instance(n):
+    return random_composite(n, n, n, np.random.default_rng(n))
+
+
+def _ref(c):
+    d = c.D.materialize()
+    e = c.E.materialize()
+    cube = d[:, :, None] + e[None, :, :]
+    return cube.argmax(axis=1)
+
+
+def _crcw(n):
+    return BrentPram(CRCW_COMMON, 1 << 46, 8 * n * n, ledger=CostLedger())
+
+
+def _crew(n):
+    phys = max(1, int(n * n / lg(n)))
+    return BrentPram(CREW, 1 << 46, phys, ledger=CostLedger())
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = {"CRCW": [], "CREW": [], "hypercube": []}
+    for n in SIZES:
+        c = _instance(n)
+        ref = _ref(c)
+
+        m = _crcw(n)
+        _, j = tube_maxima_pram(m, c, scheme="crcw")
+        assert np.array_equal(j, ref)
+        rows["CRCW"].append((n, m.ledger.rounds, m.ledger.peak_processors))
+
+        m = _crew(n)
+        _, j = tube_maxima_pram(m, c, scheme="crew")
+        assert np.array_equal(j, ref)
+        rows["CREW"].append((n, m.ledger.rounds, m.ledger.peak_processors))
+
+        if n <= 64:
+            _, j, led = tube_maxima_network(c, "hypercube")
+            assert np.array_equal(j, ref)
+            rows["hypercube"].append((n, led.rounds, led.peak_processors))
+
+    lines = []
+    for model, claim in (
+        ("CRCW", "lg lg n"),
+        ("CREW", "lg n"),
+        ("hypercube", "lg n"),
+    ):
+        for n, r, p in rows[model]:
+            _, ratios = fit_ratios([n], [r], claim)
+            lines.append(
+                f"{model:<10} n={n:>4}  rounds={r:>7}  peak_procs={p:>10}  "
+                f"rounds/({claim}) = {ratios[0]:8.2f}"
+            )
+    report(
+        "Table 1.3 — tube maxima, n×n×n Monge-composite array\n"
+        "paper: CRCW Θ(lg lg n)/(n²/lg lg n); CREW Θ(lg n)/(n²/lg n); "
+        "hypercube Θ(lg n)/n²\n" + "\n".join(lines)
+    )
+    return rows
+
+
+def test_crcw_doubly_log_class(measured):
+    """CRCW rounds grow far slower than lg n (the lg lg n class)."""
+    rs = dict((n, r) for n, r, _ in measured["CRCW"])
+    # lg ratio across 16 -> 256 is 2.0; doubly-log-class growth stays well under
+    assert rs[256] <= 2.2 * rs[16]
+
+
+def test_crew_log_shape(measured):
+    ns = [n for n, _, _ in measured["CREW"]]
+    rs = [r for _, r, _ in measured["CREW"]]
+    _, ratios = fit_ratios(ns, rs, "lg n")
+    assert flatness(ratios) <= 3.0
+
+
+def test_crcw_beats_crew(measured):
+    crcw = dict((n, r) for n, r, _ in measured["CRCW"])
+    crew = dict((n, r) for n, r, _ in measured["CREW"])
+    for n in SIZES[1:]:
+        assert crcw[n] < crew[n]
+
+
+def test_crew_processor_budget(measured):
+    for n, _, p in measured["CREW"]:
+        assert p <= max(1, int(n * n / lg(n)))
+
+
+@pytest.mark.benchmark(group="table1.3")
+def test_bench_crcw_tube(benchmark, measured):
+    c = _instance(64)
+    benchmark(lambda: tube_maxima_pram(_crcw(64), c, scheme="crcw"))

@@ -1,0 +1,30 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each bench measures *simulated parallel rounds* (the quantity the
+paper's tables bound) across problem sizes, checks the growth shape,
+and wraps one representative run in pytest-benchmark for wall-clock
+tracking.  Measured tables are accumulated here and printed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` emits the
+paper-versus-measured rows alongside the timing table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_REPORTS: List[str] = []
+
+
+def report(text: str) -> None:
+    """Queue a measured table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduction measurements")
+    for block in _REPORTS:
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

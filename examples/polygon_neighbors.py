@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Figure 1.1 and §1.3 app 3: neighbor searching on convex polygons.
+
+Splits a convex polygon into two chains and finds every vertex's
+farthest partner (the paper's motivating example), then runs the four
+visible/invisible neighbor queries on two disjoint polygons.
+
+Run:  python examples/polygon_neighbors.py
+"""
+
+import numpy as np
+
+from repro.apps.farthest_neighbors import (
+    all_farthest_neighbors,
+    farthest_between_chains,
+    farthest_between_chains_pram,
+)
+from repro.apps.geometry import separated_convex_polygons
+from repro.apps.visible_neighbors import QUERIES, visible_neighbor_queries
+from repro.monge.generators import convex_position_points
+from repro.pram import CRCW_COMMON, CostLedger, Pram
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # -- Figure 1.1: farthest vertex of Q for each vertex of P ---------- #
+    pts = convex_position_points(1000, rng)
+    P, Q = pts[:400], pts[400:]
+    vals, idx = farthest_between_chains(P, Q)
+    print(f"Fig 1.1: chains of {len(P)} and {len(Q)} vertices")
+    print(f"  farthest pair overall: d = {vals.max():.4f} "
+          f"(P[{int(vals.argmax())}] -> Q[{int(idx[vals.argmax()])}])")
+
+    machine = Pram(CRCW_COMMON, 1 << 22, ledger=CostLedger())
+    farthest_between_chains_pram(machine, P, Q)
+    print(f"  parallel search: {machine.ledger.rounds} CRCW rounds")
+
+    # -- all-farthest-neighbors of the whole polygon --------------------- #
+    bv, bi = all_farthest_neighbors(pts)
+    print(f"  polygon diameter (max farthest distance): {bv.max():.4f}")
+
+    # -- app 3: the four visibility queries ------------------------------ #
+    P2, Q2 = separated_convex_polygons(18, 22, rng, gap=0.7)
+    machine = Pram(CRCW_COMMON, 1 << 22, ledger=CostLedger())
+    res = visible_neighbor_queries(P2, Q2, pram=machine)
+    print(f"\napp 3: polygons with {len(P2)} and {len(Q2)} vertices "
+          f"({machine.ledger.rounds} accounted rounds)")
+    for name in QUERIES:
+        v, i = res[name]
+        shown = [
+            f"{vv:.3f}->Q[{ii}]" if ii >= 0 else "none"
+            for vv, ii in zip(v[:4], i[:4])
+        ]
+        print(f"  {name:<18}: " + "  ".join(shown) + "  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Parallel Searching in Generalized Monge Arrays with Applications.
+
+A production-grade reproduction of Aggarwal, Kravets, Park, and Sen
+(SPAA 1990).  The package provides:
+
+- :mod:`repro.pram` — cost-accounted CRCW/CREW PRAM simulators;
+- :mod:`repro.networks` — hypercube, cube-connected cycles, and
+  shuffle-exchange simulators with genuine per-edge data movement;
+- :mod:`repro.monge` — Monge / staircase-Monge / Monge-composite array
+  abstractions, generators, verifiers, and the sequential SMAWK
+  baselines;
+- :mod:`repro.core` — the paper's parallel searching algorithms
+  (Tables 1.1–1.3, Theorems 2.3 and 3.2–3.4) plus the banded/windowed
+  generalizations the applications need;
+- :mod:`repro.apps` — the four §1.3 applications and the Figure 1.1
+  example, each with a brute-force reference;
+- :mod:`repro.analysis` — growth-law fitting and live regeneration of
+  the paper's tables.
+
+Quickstart::
+
+    import numpy as np
+    from repro import monge, core, pram
+
+    rng = np.random.default_rng(0)
+    a = monge.generators.random_monge(512, 512, rng)   # provably Monge
+    v, cols = monge.row_minima(a)                      # SMAWK, O(m+n)
+
+    machine = pram.Pram(pram.CRCW_COMMON, 1 << 20, ledger=pram.CostLedger())
+    pv, pcols = core.monge_row_minima_pram(machine, a)
+    assert (pcols == cols).all()
+    print(machine.ledger.rounds, "simulated CRCW rounds")
+"""
+
+from repro import analysis, apps, core, monge, networks, pram
+from repro.monge import generators
+
+__all__ = ["pram", "networks", "monge", "core", "apps", "analysis", "generators"]
+
+__version__ = "1.0.0"

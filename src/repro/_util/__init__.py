@@ -1,0 +1,25 @@
+"""Small internal utilities shared across the library."""
+
+from repro._util.bits import (
+    ceil_div,
+    ceil_log2,
+    ceil_sqrt,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro._util.validation import (
+    as_float_matrix,
+    check_axis_lengths,
+    require,
+)
+
+__all__ = [
+    "ceil_div",
+    "ceil_log2",
+    "ceil_sqrt",
+    "is_power_of_two",
+    "next_power_of_two",
+    "as_float_matrix",
+    "check_axis_lengths",
+    "require",
+]

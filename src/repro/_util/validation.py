@@ -1,0 +1,42 @@
+"""Input validation helpers.
+
+All public entry points of the library validate their inputs eagerly and
+raise ``ValueError``/``TypeError`` with actionable messages; the helpers
+here keep those checks terse at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["require", "as_float_matrix", "check_axis_lengths"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def as_float_matrix(a: Any, name: str = "array") -> np.ndarray:
+    """Coerce ``a`` to a 2-D C-contiguous float64 matrix.
+
+    ``inf`` entries are allowed (staircase arrays use them); NaNs are
+    rejected because every comparison-based search would silently
+    misbehave on them.
+    """
+    arr = np.ascontiguousarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size and np.isnan(arr).any():
+        raise ValueError(f"{name} contains NaN entries")
+    return arr
+
+
+def check_axis_lengths(*pairs: Sequence) -> None:
+    """Check ``(actual, expected, label)`` triples, raising on mismatch."""
+    for actual, expected, label in pairs:
+        if actual != expected:
+            raise ValueError(f"{label}: expected {expected}, got {actual}")

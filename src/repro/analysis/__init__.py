@@ -1,0 +1,20 @@
+"""Measurement analysis: growth-law fitting and table regeneration."""
+
+from repro.analysis.complexity import GROWTHS, best_fit, fit_ratios, flatness
+from repro.analysis.tables import (
+    table_1_1_rows,
+    table_1_2_rows,
+    table_1_3_rows,
+    render_table,
+)
+
+__all__ = [
+    "GROWTHS",
+    "fit_ratios",
+    "flatness",
+    "best_fit",
+    "table_1_1_rows",
+    "table_1_2_rows",
+    "table_1_3_rows",
+    "render_table",
+]

@@ -1,0 +1,77 @@
+"""Fitting measured round counts to the paper's growth laws.
+
+The tables assert asymptotic shapes, so the reproduction criterion is:
+*measured rounds divided by the claimed growth function is flat across
+problem sizes*.  :func:`fit_ratios` computes those normalized ratios,
+:func:`flatness` summarizes their spread, and :func:`best_fit` picks
+the candidate law with the flattest normalized curve — the quantity
+EXPERIMENTS.md reports per table row.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+__all__ = ["GROWTHS", "fit_ratios", "flatness", "best_fit"]
+
+
+def _lg(n: float) -> float:
+    return math.log2(max(2.0, n))
+
+
+GROWTHS: Dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "lg n": lambda n: _lg(n),
+    "lg lg n": lambda n: _lg(_lg(n)),
+    "(lg lg n)^2": lambda n: _lg(_lg(n)) ** 2,
+    "lg n lg lg n": lambda n: _lg(n) * _lg(_lg(n)),
+    "lg^2 n": lambda n: _lg(n) ** 2,
+    "sqrt n": lambda n: math.sqrt(n),
+    "n": lambda n: float(n),
+}
+
+
+def fit_ratios(
+    ns: Sequence[int], rounds: Sequence[float], growth: str
+) -> Tuple[float, list]:
+    """Normalized ratios ``rounds / growth(n)`` and their mean."""
+    g = GROWTHS.get(growth)
+    if g is None:
+        raise ValueError(f"unknown growth {growth!r}; choose from {sorted(GROWTHS)}")
+    if len(ns) != len(rounds) or not ns:
+        raise ValueError("ns and rounds must be equal-length and nonempty")
+    ratios = [r / g(n) for n, r in zip(ns, rounds)]
+    return sum(ratios) / len(ratios), ratios
+
+
+def flatness(ratios: Iterable[float]) -> float:
+    """Spread metric: ``max/min`` of the normalized ratios (1.0 = flat).
+
+    A measured curve matches a growth law when its flatness stays small
+    (we use ≤ 2.5 as the default acceptance in the benches) while
+    steeper/shallower laws blow up.
+    """
+    rs = [r for r in ratios]
+    lo, hi = min(rs), max(rs)
+    if lo <= 0:
+        return math.inf
+    return hi / lo
+
+
+def best_fit(
+    ns: Sequence[int], rounds: Sequence[float], candidates: Sequence[str] | None = None
+) -> Tuple[str, float]:
+    """The candidate law whose normalized curve is flattest.
+
+    Returns ``(law, flatness)``.
+    """
+    cands = list(candidates) if candidates else list(GROWTHS)
+    best = None
+    for name in cands:
+        _, ratios = fit_ratios(ns, rounds, name)
+        f = flatness(ratios)
+        if best is None or f < best[1]:
+            best = (name, f)
+    assert best is not None
+    return best

@@ -1,0 +1,66 @@
+"""The paper's applications (§1.3).
+
+1. :mod:`repro.apps.empty_rectangle` — largest-area empty rectangle
+   ([AS87]; the staircase-Monge searching application);
+2. :mod:`repro.apps.largest_rectangle` — largest-area two-corner
+   rectangle ([Mel89]'s circuit-leakage motivation);
+3. :mod:`repro.apps.visible_neighbors` — nearest/farthest
+   visible/invisible neighbors of two convex polygons;
+4. :mod:`repro.apps.string_edit` — string editing via grid-DAG DIST
+   matrices and Monge-composite tube searching ([WF74] baseline);
+plus :mod:`repro.apps.farthest_neighbors` — the §1.2 / Figure 1.1
+motivating example (all-farthest neighbors across convex chains).
+
+Every application ships a brute-force reference implementation used by
+its tests and benches.
+"""
+
+from repro.apps.farthest_neighbors import (
+    all_farthest_neighbors,
+    farthest_between_chains,
+    farthest_between_chains_pram,
+)
+from repro.apps.largest_rectangle import (
+    largest_rectangle_brute,
+    largest_two_corner_rectangle,
+)
+from repro.apps.empty_rectangle import (
+    largest_empty_corner_rectangle,
+    largest_empty_corner_rectangle_brute,
+    largest_empty_rectangle,
+    largest_empty_rectangle_brute,
+)
+from repro.apps.visible_neighbors import (
+    neighbor_queries_brute,
+    visible_neighbor_queries,
+)
+from repro.apps.lot_size import (
+    least_weight_subsequence,
+    least_weight_subsequence_brute,
+    wagner_whitin,
+)
+from repro.apps.string_edit import (
+    edit_distance_dag_parallel,
+    edit_distance_wagner_fischer,
+    EditCosts,
+)
+
+__all__ = [
+    "all_farthest_neighbors",
+    "farthest_between_chains",
+    "farthest_between_chains_pram",
+    "largest_two_corner_rectangle",
+    "largest_rectangle_brute",
+    "largest_empty_corner_rectangle",
+    "largest_empty_corner_rectangle_brute",
+    "largest_empty_rectangle",
+    "largest_empty_rectangle_brute",
+    "visible_neighbor_queries",
+    "neighbor_queries_brute",
+    "edit_distance_wagner_fischer",
+    "edit_distance_dag_parallel",
+    "EditCosts",
+    "least_weight_subsequence",
+    "least_weight_subsequence_brute",
+    "wagner_whitin",
+]

@@ -1,0 +1,430 @@
+"""Largest-area empty rectangle (§1.3 app 1; [AS87], [AK88], [KK88]).
+
+Given ``n`` points inside an axis-parallel box, find the largest-area
+axis-parallel rectangle inside the box whose **open interior** contains
+no point.
+
+Three solvers:
+
+- :func:`largest_empty_rectangle_brute` — exact reference:
+  every maximal rectangle's x-sides come from point coordinates or box
+  edges, and its y-extent is a maximal gap of the strip's points;
+- :func:`largest_empty_corner_rectangle` — the classic staircase-Monge
+  warm-up ([AK88]): rectangles anchored at the box's SW corner; the
+  width×height array masked by the Pareto staircase of blocking points
+  is staircase-inverse-Monge, searched by Theorem 2.3's machinery;
+- :func:`largest_empty_rectangle` — exact divide and conquer:
+  rectangles split by a vertical median ``X``; crossing rectangles
+  split by a horizontal median ``Y``; rectangles containing the center
+  ``(X, Y)`` reduce to **four staircase-inverse-Monge searches** over
+  (left support × right support) arrays built from the four blocker
+  envelopes ``TL, BL / TR, BR``:
+
+  * pure cases (top and bottom bound by the same side) have separable
+    heights and one-sided binding windows with nonincreasing
+    boundaries — textbook staircase instances;
+  * mixed cases (e.g. top-left/bottom-right) additionally carry a
+    suffix condition whose start is nonincreasing; grouping rows by
+    that start yields a batch of staircase instances solved in one
+    level-synchronous call (:func:`staircase_row_minima_batch`).
+
+  Within its binding region every case array equals the true area, so
+  the four staircase maxima combine exactly.
+
+All case-array Monge orientations are asserted in the test-suite on
+random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.staircase_pram import staircase_row_minima_batch
+from repro.monge.arrays import ImplicitArray
+from repro.pram.ledger import CostLedger
+from repro.pram.machine import Pram
+from repro.pram.models import CRCW_COMMON
+
+__all__ = [
+    "largest_empty_rectangle",
+    "largest_empty_rectangle_brute",
+    "largest_empty_corner_rectangle",
+    "largest_empty_corner_rectangle_brute",
+]
+
+Box = Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
+
+
+def _check_box(box: Box) -> Box:
+    xmin, ymin, xmax, ymax = map(float, box)
+    if not (xmax > xmin and ymax > ymin):
+        raise ValueError(f"degenerate box {box}")
+    return xmin, ymin, xmax, ymax
+
+
+def _scratch_pram() -> Pram:
+    return Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
+
+
+# --------------------------------------------------------------------- #
+# brute-force references
+# --------------------------------------------------------------------- #
+def largest_empty_rectangle_brute(points, box: Box) -> Tuple[float, Box]:
+    """Exact O(n³ lg n) reference.  Returns ``(area, rectangle)``."""
+    xmin, ymin, xmax, ymax = _check_box(box)
+    p = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    xs = np.unique(np.concatenate([p[:, 0], [xmin, xmax]]))
+    best = (0.0, (xmin, ymin, xmin, ymin))
+    for a in range(xs.size):
+        for b in range(a + 1, xs.size):
+            xl, xr = xs[a], xs[b]
+            if xr <= xl:
+                continue
+            inside = p[(p[:, 0] > xl) & (p[:, 0] < xr)]
+            ys = np.sort(np.concatenate([[ymin], inside[:, 1], [ymax]]))
+            gaps = np.diff(ys)
+            g = int(np.argmax(gaps))
+            area = (xr - xl) * gaps[g]
+            if area > best[0]:
+                best = (float(area), (float(xl), float(ys[g]), float(xr), float(ys[g + 1])))
+    return best
+
+
+def largest_empty_corner_rectangle_brute(points, box: Box) -> Tuple[float, float, float]:
+    """Exact reference for SW-corner rectangles: ``(area, width, height)``."""
+    xmin, ymin, xmax, ymax = _check_box(box)
+    p = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    xs = np.concatenate([p[:, 0], [xmax]])
+    ys = np.concatenate([p[:, 1], [ymax]])
+    best = (0.0, 0.0, 0.0)
+    for x in xs:
+        for y in ys:
+            if x <= xmin or y <= ymin:
+                continue
+            blocked = ((p[:, 0] < x) & (p[:, 1] < y)).any()
+            if not blocked:
+                area = (x - xmin) * (y - ymin)
+                if area > best[0]:
+                    best = (float(area), float(x - xmin), float(y - ymin))
+    return best
+
+
+# --------------------------------------------------------------------- #
+# staircase search plumbing
+# --------------------------------------------------------------------- #
+def _staircase_case_max(
+    pram: Optional[Pram],
+    value_fn,
+    nrows: int,
+    ncols: int,
+    boundary: np.ndarray,
+    start: Optional[np.ndarray] = None,
+) -> Tuple[float, int, int]:
+    """Max of ``value_fn(i, j)`` over ``start[i] <= j < boundary[i]``.
+
+    ``boundary`` (and ``start`` if given) must be nonincreasing — the
+    staircase-inverse-Monge row-maxima problem, solved as row minima of
+    the negation via Theorem 2.3.  ``start`` groups rows into batch
+    instances sharing a column offset.  Returns ``(best, i, j)`` with
+    ``best = -inf`` when the region is empty.
+    """
+    if nrows == 0 or ncols == 0:
+        return (-np.inf, -1, -1)
+    boundary = np.minimum.accumulate(np.clip(boundary, 0, ncols))
+    if start is None:
+        start = np.zeros(nrows, dtype=np.int64)
+    else:
+        start = np.minimum.accumulate(np.clip(start, 0, ncols))
+    machine = pram if pram is not None else _scratch_pram()
+
+    neg = ImplicitArray(lambda rr, cc: -value_fn(rr, cc), (nrows, ncols))
+    # batch: one staircase instance per run of equal `start`
+    change = np.nonzero(np.diff(start))[0] + 1
+    starts_at = np.concatenate([[0], change, [nrows]])
+    rs = starts_at[:-1].astype(np.int64)
+    rcount = np.diff(starts_at).astype(np.int64)
+    cs = start[rs]
+    ccount = np.maximum(0, ncols - cs)
+    keep = (rcount > 0) & (ccount > 0)
+    if not keep.any():
+        return (-np.inf, -1, -1)
+    vals, cols = staircase_row_minima_batch(
+        machine, neg, boundary, rs[keep], rcount[keep], cs[keep], ccount[keep]
+    )
+    # map flat batch rows back to global rows
+    owner_rows = np.concatenate(
+        [np.arange(r, r + c) for r, c in zip(rs[keep], rcount[keep])]
+    )
+    finite = cols >= 0
+    if not finite.any():
+        return (-np.inf, -1, -1)
+    areas = -vals[finite]
+    k = int(np.argmax(areas))
+    return (float(areas[k]), int(owner_rows[finite][k]), int(cols[finite][k]))
+
+
+# --------------------------------------------------------------------- #
+# the corner-rectangle staircase application
+# --------------------------------------------------------------------- #
+def largest_empty_corner_rectangle(
+    points, box: Box, pram: Optional[Pram] = None
+) -> Tuple[float, float, float]:
+    """Largest empty rectangle anchored at the box's SW corner.
+
+    Candidate widths/heights come from point coordinates and the box;
+    feasibility is the region under the Pareto staircase of blockers;
+    the (width × height) array restricted there is staircase-inverse-
+    Monge, searched by the Theorem 2.3 solver.  Returns
+    ``(area, width, height)``.
+    """
+    xmin, ymin, xmax, ymax = _check_box(box)
+    p = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    X = np.unique(np.concatenate([p[:, 0], [xmax]]))  # candidate right edges, asc
+    X = X[X > xmin]
+    Yc = np.unique(np.concatenate([p[:, 1], [ymax]]))
+    Yc = Yc[Yc > ymin]
+    Y = Yc[::-1].copy()  # candidate top edges, descending
+
+    # g(Xi) = lowest blocker y among points strictly left of Xi
+    g = np.full(X.size, np.inf)
+    for i, x in enumerate(X):
+        sel = p[:, 0] < x
+        if sel.any():
+            g[i] = p[sel, 1].min()
+    # feasible tops: y <= g(Xi); Y is descending, feasible j form a
+    # suffix — flip columns so it becomes a prefix with nonincreasing
+    # boundary (g is nonincreasing in i).
+    Yflip = Y[::-1].copy()  # ascending
+    # prefix length in flipped order: number of Y values <= g[i]
+    boundary = np.searchsorted(Yflip, g, side="right").astype(np.int64)
+
+    def area(rr, cc):
+        return (X[rr] - xmin) * (Yflip[cc] - ymin)
+
+    best, i, j = _staircase_case_max(pram, area, X.size, Yflip.size, boundary)
+    if best <= 0 or i < 0:
+        return (0.0, 0.0, 0.0)
+    return (best, float(X[i] - xmin), float(Yflip[j] - ymin))
+
+
+# --------------------------------------------------------------------- #
+# the full divide-and-conquer solver
+# --------------------------------------------------------------------- #
+def largest_empty_rectangle(
+    points, box: Box, pram: Optional[Pram] = None
+) -> Tuple[float, Box]:
+    """Exact largest empty rectangle via D&C + staircase searching.
+
+    Returns ``(area, (xl, yb, xr, yt))``.  Pass a machine to account the
+    staircase searches' parallel rounds.
+    """
+    xmin, ymin, xmax, ymax = _check_box(box)
+    p = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    if p.size and (
+        (p[:, 0] < xmin).any()
+        or (p[:, 0] > xmax).any()
+        or (p[:, 1] < ymin).any()
+        or (p[:, 1] > ymax).any()
+    ):
+        raise ValueError("points must lie inside the box")
+    return _ler(p, (xmin, ymin, xmax, ymax), pram)
+
+
+def _branch_pair(pram, tasks):
+    """Run independent D&C branches with parallel-composition accounting
+    (rounds = max over branches)."""
+    from repro.core.accounting import charge_parallel, fresh_clone
+
+    results = []
+    ledgers = []
+    for task in tasks:
+        if pram is None:
+            results.append(task(None))
+        else:
+            sub = fresh_clone(pram)
+            results.append(task(sub))
+            ledgers.append(sub.ledger)
+    if pram is not None:
+        charge_parallel(pram, ledgers)
+    return results
+
+
+def _ler(p: np.ndarray, box: Box, pram) -> Tuple[float, Box]:
+    xmin, ymin, xmax, ymax = box
+    if p.shape[0] == 0:
+        return ((xmax - xmin) * (ymax - ymin), box)
+    X = float(np.median(p[:, 0]))
+    left = p[p[:, 0] < X]
+    right = p[p[:, 0] > X]
+    tasks = [lambda m: _crossing(p, box, X, m)]
+    if X > xmin:
+        tasks.append(lambda m: _ler(left, (xmin, ymin, X, ymax), m))
+    if X < xmax:
+        tasks.append(lambda m: _ler(right, (X, ymin, xmax, ymax), m))
+    results = _branch_pair(pram, tasks)
+    return max(results, key=lambda t: t[0])
+
+
+def _crossing(p: np.ndarray, box: Box, X: float, pram) -> Tuple[float, Box]:
+    """Largest empty rectangle with ``xl < X < xr`` inside ``box``."""
+    xmin, ymin, xmax, ymax = box
+    if xmin >= X or X >= xmax:
+        return (0.0, box)
+    if p.shape[0] == 0:
+        return ((xmax - xmin) * (ymax - ymin), box)
+    Y = float(np.median(p[:, 1]))
+    above = p[p[:, 1] > Y]
+    below = p[p[:, 1] < Y]
+    tasks = [lambda m: _center_case(p, box, X, Y, m)]
+    if above.shape[0] < p.shape[0] and Y < ymax:
+        tasks.append(lambda m: _crossing(above, (xmin, Y, xmax, ymax), X, m))
+    if below.shape[0] < p.shape[0] and Y > ymin:
+        tasks.append(lambda m: _crossing(below, (xmin, ymin, xmax, Y), X, m))
+    results = _branch_pair(pram, tasks)
+    return max(results, key=lambda t: t[0])
+
+
+def _envelopes(pts: np.ndarray, Y: float, top: float, bot: float, barrier_t, barrier_b):
+    """Sweep envelopes: after passing ``k`` points, the lowest blocker
+    above ``Y`` and highest below (``y == Y`` points update both)."""
+    k = pts.shape[0]
+    T = np.empty(k + 1)
+    B = np.empty(k + 1)
+    t, b = barrier_t, barrier_b
+    T[0], B[0] = t, b
+    for i in range(k):
+        y = pts[i, 1]
+        if y >= Y:
+            t = min(t, y)
+        if y <= Y:
+            b = max(b, y)
+        T[i + 1], B[i + 1] = t, b
+    return np.minimum(T, top), np.maximum(B, bot)
+
+
+def _center_case(p: np.ndarray, box: Box, X: float, Y: float, pram) -> Tuple[float, Box]:
+    """Largest empty rectangle whose open interior contains ``(X, Y)``."""
+    xmin, ymin, xmax, ymax = box
+    # barriers: points exactly at x == X clamp the envelopes everywhere
+    at_x = p[p[:, 0] == X]
+    bt = ymax
+    bb = ymin
+    for y in at_x[:, 1]:
+        if y >= Y:
+            bt = min(bt, y)
+        if y <= Y:
+            bb = max(bb, y)
+
+    lpts = p[p[:, 0] < X]
+    rpts = p[p[:, 0] > X]
+    # left supports swept nearest-to-X first, then REVERSED to xl-asc
+    lorder = np.argsort(-lpts[:, 0], kind="stable")
+    lpts = lpts[lorder]
+    TLs, BLs = _envelopes(lpts, Y, ymax, ymin, bt, bb)
+    # row i (xl asc): i = 0 is the box edge (all left points passed)
+    xl = np.concatenate([[xmin], lpts[::-1, 0]])
+    TL = TLs[::-1].copy()
+    BL = BLs[::-1].copy()
+
+    rorder = np.argsort(rpts[:, 0], kind="stable")
+    rpts = rpts[rorder]
+    TRs, BRs = _envelopes(rpts, Y, ymax, ymin, bt, bb)
+    # col j (xr asc): j = nr is the box edge
+    xr = np.concatenate([rpts[:, 0], [xmax]])
+    TR = np.concatenate([TRs[:-1], [TRs[-1]]])
+    BR = np.concatenate([BRs[:-1], [BRs[-1]]])
+
+    nl, nr = xl.size, xr.size
+    best = (-np.inf, None)
+
+    def consider(area, rect):
+        nonlocal best
+        if area > best[0]:
+            best = (area, rect)
+
+    # ---- pure case LL: top and bottom both from the left --------------- #
+    h = TL - BL
+    ok = h > 0
+    if ok.any():
+        r0 = int(np.argmax(ok))  # h nondecreasing: valid rows are a suffix
+        e1 = np.searchsorted(-TR, -TL[r0:], side="right")  # TR_j >= TL_i
+        e2 = np.searchsorted(BR, BL[r0:], side="right")    # BR_j <= BL_i
+        e = np.minimum(e1, e2).astype(np.int64)
+        a, i, j = _staircase_case_max(
+            pram,
+            lambda rr, cc, r0=r0: (xr[cc] - xl[r0 + rr]) * (TL[r0 + rr] - BL[r0 + rr]),
+            nl - r0,
+            nr,
+            e,
+        )
+        if i >= 0:
+            gi = r0 + i
+            consider(a, (xl[gi], BL[gi], xr[j], TL[gi]))
+
+    # ---- pure case RR: top and bottom both from the right -------------- #
+    # transpose: rows = right supports in xr DESC, cols = left in xl DESC
+    hR = TR - BR
+    rows = np.argsort(-xr, kind="stable")  # xr desc
+    hRo = hR[rows]
+    okR = hRo > 0
+    if okR.any():
+        r0 = int(np.argmax(okR))
+        TLd = TL[::-1]  # cols xl desc
+        BLd = BL[::-1]
+        xld = xl[::-1]
+        sel = rows[r0:]
+        e1 = np.searchsorted(-TLd, -TR[sel], side="right")  # TL_i >= TR_j
+        e2 = np.searchsorted(BLd, BR[sel], side="right")    # BL_i <= BR_j
+        e = np.minimum(e1, e2).astype(np.int64)
+        a, jj, ii = _staircase_case_max(
+            pram,
+            lambda rr, cc, sel=sel: (xr[sel[rr]] - xld[cc]) * (TR[sel[rr]] - BR[sel[rr]]),
+            sel.size,
+            nl,
+            e,
+        )
+        if jj >= 0:
+            gj = sel[jj]
+            consider(a, (xld[ii], BR[gj], xr[gj], TR[gj]))
+
+    # ---- mixed case LR: top from left, bottom from right --------------- #
+    # valid: TL_i <= TR_j (prefix e) and BR_j >= BL_i (suffix start s)
+    e = np.searchsorted(-TR, -TL, side="right").astype(np.int64)
+    s = np.searchsorted(BR, BL, side="left").astype(np.int64)
+    a, i, j = _staircase_case_max(
+        pram,
+        lambda rr, cc: (xr[cc] - xl[rr]) * (TL[rr] - BR[cc]),
+        nl,
+        nr,
+        e,
+        start=s,
+    )
+    if i >= 0 and TL[i] - BR[j] > 0:
+        consider(a, (xl[i], BR[j], xr[j], TL[i]))
+
+    # ---- mixed case RL: top from right, bottom from left --------------- #
+    # transpose: rows = right supports xr desc, cols = left supports xl desc
+    rows = np.argsort(-xr, kind="stable")
+    TLd, BLd, xld = TL[::-1], BL[::-1], xl[::-1]
+    eT = np.searchsorted(-TLd, -TR[rows], side="right").astype(np.int64)  # TL_i >= TR_j
+    # valid when TR_j <= TL_i (cols prefix eT, nonincreasing) and
+    # BL_i >= BR_j (BLd nondecreasing along cols: suffix start sL)
+    sL = np.searchsorted(BLd, BR[rows], side="left").astype(np.int64)
+    a, jj, ii = _staircase_case_max(
+        pram,
+        lambda rr, cc, rows=rows: (xr[rows[rr]] - xld[cc]) * (TR[rows[rr]] - BLd[cc]),
+        rows.size,
+        nl,
+        eT,
+        start=sL,
+    )
+    if jj >= 0 and TR[rows[jj]] - BLd[ii] > 0:
+        gj = rows[jj]
+        consider(a, (xld[ii], BLd[ii], xr[gj], TR[gj]))
+
+    if best[1] is None or best[0] <= 0:
+        return (0.0, box)
+    xlb, yb, xrb, yt = best[1]
+    return (float(best[0]), (float(xlb), float(yb), float(xrb), float(yt)))

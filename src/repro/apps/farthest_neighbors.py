@@ -1,0 +1,117 @@
+"""All-farthest neighbors across convex chains — the §1.2 example.
+
+Splitting a convex polygon into counterclockwise chains ``P`` and ``Q``
+(Figure 1.1) makes the distance array ``a[i,j] = d(p_i, q_j)``
+inverse-Monge by the quadrangle inequality, so
+
+- :func:`farthest_between_chains` finds, for every vertex of ``P``, the
+  farthest vertex of ``Q`` in ``Θ(m+n)`` sequential time [AKM+87];
+- :func:`farthest_between_chains_pram` does it in parallel via
+  Table 1.1's machinery on any machine (PRAM or network);
+- :func:`all_farthest_neighbors` solves the full all-farthest-neighbors
+  problem of a convex polygon by recursive chain splitting
+  (``O(n lg n)`` sequential; [AKM+87]'s linear-time refinement embeds
+  the polygon in a single wrapped totally monotone array — our
+  recursion keeps the code aligned with the Fig. 1.1 presentation).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.rowmin_pram import inverse_monge_row_maxima_pram
+from repro.monge.generators import chain_distance_array
+from repro.monge.smawk import row_maxima
+from repro.pram.machine import Pram
+
+__all__ = [
+    "farthest_between_chains",
+    "farthest_between_chains_pram",
+    "all_farthest_neighbors",
+    "all_farthest_neighbors_brute",
+]
+
+
+def _check_chains(P, Q):
+    P = np.asarray(P, dtype=np.float64)
+    Q = np.asarray(Q, dtype=np.float64)
+    if P.ndim != 2 or P.shape[1] != 2 or Q.ndim != 2 or Q.shape[1] != 2:
+        raise ValueError("chains must be (k, 2) coordinate arrays")
+    if P.shape[0] == 0 or Q.shape[0] == 0:
+        raise ValueError("chains must be nonempty")
+    return P, Q
+
+
+def farthest_between_chains(P, Q) -> Tuple[np.ndarray, np.ndarray]:
+    """For each vertex of chain ``P``: (distance, index) of the farthest
+    vertex of chain ``Q``.  ``Θ(m+n)`` via SMAWK (Fig. 1.1)."""
+    P, Q = _check_chains(P, Q)
+    a = chain_distance_array(P, Q)
+    return row_maxima(a)
+
+
+def farthest_between_chains_pram(pram: Pram, P, Q) -> Tuple[np.ndarray, np.ndarray]:
+    """Parallel variant of :func:`farthest_between_chains`."""
+    P, Q = _check_chains(P, Q)
+    a = chain_distance_array(P, Q)
+    return inverse_monge_row_maxima_pram(pram, a)
+
+
+def all_farthest_neighbors_brute(polygon) -> Tuple[np.ndarray, np.ndarray]:
+    """O(n²) reference: farthest other vertex for every vertex."""
+    p = np.asarray(polygon, dtype=np.float64)
+    n = p.shape[0]
+    d = np.hypot(p[:, 0][:, None] - p[:, 0][None, :], p[:, 1][:, None] - p[:, 1][None, :])
+    np.fill_diagonal(d, -np.inf)
+    idx = d.argmax(axis=1)
+    return d[np.arange(n), idx], idx.astype(np.int64)
+
+
+def all_farthest_neighbors(polygon) -> Tuple[np.ndarray, np.ndarray]:
+    """Farthest other vertex for every vertex of a convex polygon.
+
+    Recursive chain splitting: the cross-chain searches are Monge
+    (Fig. 1.1); within-chain pairs are handled by recursing on each
+    half.  ``O(n lg n)`` distance evaluations.
+    """
+    p = np.asarray(polygon, dtype=np.float64)
+    n = p.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 vertices")
+    best_d = np.full(n, -np.inf)
+    best_i = np.full(n, -1, dtype=np.int64)
+
+    def merge(rows: np.ndarray, dists: np.ndarray, idx: np.ndarray) -> None:
+        better = dists > best_d[rows]
+        best_d[rows[better]] = dists[better]
+        best_i[rows[better]] = idx[better]
+
+    def solve(indices: np.ndarray) -> None:
+        k = indices.size
+        if k < 2:
+            return
+        if k <= 3:
+            sub = p[indices]
+            d = np.hypot(
+                sub[:, 0][:, None] - sub[:, 0][None, :],
+                sub[:, 1][:, None] - sub[:, 1][None, :],
+            )
+            np.fill_diagonal(d, -np.inf)
+            j = d.argmax(axis=1)
+            merge(indices, d[np.arange(k), j], indices[j])
+            return
+        half = k // 2
+        A, B = indices[:half], indices[half:]
+        # cross searches — both chains are contiguous arcs of a convex
+        # polygon, so the distance arrays are inverse-Monge
+        dv, dc = row_maxima(chain_distance_array(p[A], p[B]))
+        merge(A, dv, B[dc])
+        dv, dc = row_maxima(chain_distance_array(p[B], p[A]))
+        merge(B, dv, A[dc])
+        solve(A)
+        solve(B)
+
+    solve(np.arange(n, dtype=np.int64))
+    return best_d, best_i

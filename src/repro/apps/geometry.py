@@ -1,0 +1,167 @@
+"""Planar geometry helpers shared by the §1.3 applications.
+
+Convex polygons are ``(k, 2)`` float arrays in counterclockwise order.
+All predicates are exact up to floating point; generators keep inputs
+away from degeneracies (collinear triples) so tests are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "cross",
+    "is_ccw_convex",
+    "ensure_ccw",
+    "polygon_contains_strictly",
+    "segment_crosses_polygon_interior",
+    "visible_arc",
+    "pareto_staircase",
+    "random_convex_polygon",
+    "separated_convex_polygons",
+]
+
+
+def cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """2-D cross product ``(a - o) × (b - o)`` (broadcasting)."""
+    oa = a - o
+    ob = b - o
+    return oa[..., 0] * ob[..., 1] - oa[..., 1] * ob[..., 0]
+
+
+def is_ccw_convex(poly: np.ndarray) -> bool:
+    """True iff ``poly`` is strictly convex in counterclockwise order."""
+    p = np.asarray(poly, dtype=np.float64)
+    if p.ndim != 2 or p.shape[1] != 2 or p.shape[0] < 3:
+        return False
+    nxt = np.roll(p, -1, axis=0)
+    nxt2 = np.roll(p, -2, axis=0)
+    return bool((cross(p, nxt, nxt2) > 0).all())
+
+
+def ensure_ccw(poly: np.ndarray) -> np.ndarray:
+    """Return ``poly`` oriented counterclockwise (signed-area test)."""
+    p = np.asarray(poly, dtype=np.float64)
+    x, y = p[:, 0], p[:, 1]
+    area2 = np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+    return p if area2 > 0 else p[::-1].copy()
+
+
+def polygon_contains_strictly(poly: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Strict interior test for convex ccw ``poly`` (vectorized)."""
+    p = np.asarray(poly, dtype=np.float64)
+    q = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+    nxt = np.roll(p, -1, axis=0)
+    # point strictly inside iff strictly left of every directed edge
+    c = cross(p[None, :, :], nxt[None, :, :], q[:, None, :])
+    return (c > 0).all(axis=1)
+
+
+def _segments_properly_intersect(p1, p2, q1, q2) -> bool:
+    """Proper (interior) intersection of segments p1p2 and q1q2."""
+    d1 = cross(q1, q2, p1)
+    d2 = cross(q1, q2, p2)
+    d3 = cross(p1, p2, q1)
+    d4 = cross(p1, p2, q2)
+    # proper = strict straddling on both segments (touching is not proper)
+    return bool((d1 * d2 < 0) and (d3 * d4 < 0))
+
+
+def segment_crosses_polygon_interior(a: np.ndarray, b: np.ndarray, poly: np.ndarray) -> bool:
+    """Does the open segment ``ab`` intersect the open interior of ``poly``?
+
+    Exact for strictly convex polygons: the segment meets the interior
+    iff its midpoint-sampled clip is inside or it properly crosses two
+    edges.  We test: any endpoint strictly inside, the midpoint strictly
+    inside, or a proper crossing with some edge pair.
+    """
+    poly = np.asarray(poly, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    pts = np.vstack([a, b, (a + b) / 2.0])
+    if polygon_contains_strictly(poly, pts).any():
+        return True
+    nxt = np.roll(poly, -1, axis=0)
+    crossings = [
+        _segments_properly_intersect(a, b, poly[i], nxt[i]) for i in range(len(poly))
+    ]
+    if sum(crossings) >= 2:
+        return True
+    if sum(crossings) == 1:
+        # one proper crossing with a convex polygon boundary implies the
+        # other end pierces near a vertex; check interior via quarter pts
+        t = np.linspace(0.1, 0.9, 9)[:, None]
+        samples = np.asarray(a)[None, :] * (1 - t) + np.asarray(b)[None, :] * t
+        return bool(polygon_contains_strictly(poly, samples).any())
+    return False
+
+
+def visible_arc(x: np.ndarray, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``Q``'s vertices visible from vertex ``x`` of ``P``.
+
+    ``v`` is visible iff segment ``xv`` meets neither polygon's open
+    interior (§1.3 app 3's notion).  O(|Q|·(|P|+|Q|)) reference
+    predicate — the Monge-based solvers are tested against it.
+    """
+    Q = np.asarray(Q, dtype=np.float64)
+    out = np.zeros(Q.shape[0], dtype=bool)
+    for j in range(Q.shape[0]):
+        v = Q[j]
+        out[j] = not (
+            segment_crosses_polygon_interior(x, v, Q)
+            or segment_crosses_polygon_interior(x, v, P)
+        )
+    return out
+
+
+def pareto_staircase(points: np.ndarray, x_sign: int, y_sign: int) -> np.ndarray:
+    """Indices of Pareto-optimal points for objective
+    (minimize ``x_sign·x``, minimize ``y_sign·y``), sorted by x.
+
+    E.g. ``x_sign=+1, y_sign=-1`` selects the NW staircase (small x,
+    large y).  Ties are kept (weak domination removes only strictly
+    worse points in one coordinate and no better in the other).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    kx = x_sign * pts[:, 0]
+    ky = y_sign * pts[:, 1]
+    order = np.lexsort((ky, kx))  # by kx, then ky
+    keep = []
+    best_ky = np.inf
+    for idx in order:
+        if ky[idx] < best_ky:
+            keep.append(idx)
+            best_ky = ky[idx]
+    keep = np.array(keep, dtype=np.int64)
+    # sort selected by actual x ascending for downstream band building
+    return keep[np.argsort(pts[keep, 0], kind="stable")]
+
+
+def random_convex_polygon(
+    n: int, rng: np.random.Generator, center=(0.0, 0.0), radius: float = 1.0
+) -> np.ndarray:
+    """A strictly convex ccw polygon with ``n`` vertices."""
+    if n < 3:
+        raise ValueError("need at least 3 vertices")
+    angles = np.sort(rng.uniform(0, 2 * np.pi, size=n))
+    while np.min(np.diff(np.concatenate([angles, [angles[0] + 2 * np.pi]]))) < 1e-6:
+        angles = np.sort(rng.uniform(0, 2 * np.pi, size=n))  # pragma: no cover
+    r = radius * (0.8 + 0.2 * rng.random())
+    pts = np.column_stack(
+        [center[0] + r * np.cos(angles), center[1] + r * np.sin(angles)]
+    )
+    return pts
+
+
+def separated_convex_polygons(
+    m: int, n: int, rng: np.random.Generator, gap: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two disjoint strictly convex polygons separated by a vertical gap."""
+    P = random_convex_polygon(m, rng, center=(-1.5 - gap / 2, 0.0))
+    Q = random_convex_polygon(n, rng, center=(1.5 + gap / 2, 0.0))
+    return P, Q

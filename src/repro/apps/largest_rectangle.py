@@ -1,0 +1,140 @@
+"""Largest-area two-corner rectangle (§1.3 app 2, [Mel89]).
+
+Given ``n`` points, maximize ``|x_i - x_j| · |y_i - y_j|`` over pairs —
+Melville's proxy for the most damaging leakage path between circuit
+nodes.  The paper reports an optimal ``Θ(lg n)``-time, ``n``-processor
+CRCW algorithm via staircase searching.
+
+Reduction implemented here (tested against brute force):
+
+- only *staircase-maximal* corners matter: an upper-left corner
+  dominated toward (smaller x, larger y) can be replaced by its
+  dominator without shrinking the rectangle;
+- case NW→SE: rows = the NW Pareto staircase, columns = the SE
+  staircase (both sorted by x; along each staircase y increases);
+  the area array ``(x_j - x_i)(y_i - y_j)`` is inverse-Monge there
+  (the bilinear cross-difference ``(x_j-x_l)(y_i-y_k) +
+  (x_i-x_k)(y_j-y_l)`` is a sum of products of same-signed factors),
+  and the feasibility constraints ``x_j ≥ x_i``, ``y_j ≤ y_i`` carve a
+  *monotone band* — precisely the staircase instances of §2, searched
+  with :mod:`repro.core.banded`;
+- case SW→NE is symmetric.
+
+The staircases themselves are computed with a sort + prefix-max scan
+(``O(lg² n)`` bitonic rounds in our network-faithful accounting; the
+paper's ``Θ(lg n)`` assumes an AKS/Cole-class sort).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.geometry import pareto_staircase
+from repro.core.banded import banded_row_maxima, banded_row_maxima_pram
+from repro.monge.arrays import ImplicitArray
+from repro.pram.machine import Pram
+
+__all__ = ["largest_two_corner_rectangle", "largest_rectangle_brute"]
+
+
+def largest_rectangle_brute(points) -> Tuple[float, int, int]:
+    """O(n²) reference: ``(area, i, j)`` with ``i < j``."""
+    p = np.asarray(points, dtype=np.float64)
+    n = p.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    dx = np.abs(p[:, 0][:, None] - p[:, 0][None, :])
+    dy = np.abs(p[:, 1][:, None] - p[:, 1][None, :])
+    area = dx * dy
+    iu = np.triu_indices(n, k=1)
+    k = int(np.argmax(area[iu]))
+    return float(area[iu][k]), int(iu[0][k]), int(iu[1][k])
+
+
+def largest_two_corner_rectangle(
+    points, pram: Optional[Pram] = None
+) -> Tuple[float, int, int]:
+    """Largest axis-parallel rectangle with two input points as opposite
+    corners: ``(area, i, j)``.
+
+    Sequential by default; pass a machine (PRAM or NetworkMachine) to
+    run the two banded searches in parallel and account rounds.
+    """
+    p = np.asarray(points, dtype=np.float64)
+    n = p.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 points")
+
+    best = (-np.inf, -1, -1)
+
+    # ---- case NW (upper-left) → SE (lower-right) ----------------------- #
+    nw = pareto_staircase(p, x_sign=+1, y_sign=-1)  # minimize x, maximize y
+    se = pareto_staircase(p, x_sign=-1, y_sign=+1)  # maximize x, minimize y
+    best = max(best, _case_nw_se(p, nw, se, pram), key=lambda t: t[0])
+
+    # ---- case SW (lower-left) → NE (upper-right) ----------------------- #
+    sw = pareto_staircase(p, x_sign=+1, y_sign=+1)
+    ne = pareto_staircase(p, x_sign=-1, y_sign=-1)
+    best = max(best, _case_sw_ne(p, sw, ne, pram), key=lambda t: t[0])
+
+    if best[1] < 0:
+        # all pairs degenerate (collinear axis-aligned input): area 0
+        return 0.0, 0, 1 if n > 1 else 0
+    i, j = best[1], best[2]
+    if i > j:
+        i, j = j, i
+    return max(best[0], 0.0), i, j
+
+
+def _case_nw_se(p, rows_idx, cols_idx, pram):
+    """Rows: NW staircase (x inc, y inc along it); cols: SE staircase."""
+    if rows_idx.size == 0 or cols_idx.size == 0:
+        return (-np.inf, -1, -1)
+    rx, ry = p[rows_idx, 0], p[rows_idx, 1]
+    cx, cy = p[cols_idx, 0], p[cols_idx, 1]
+
+    def area(rr, cc):
+        return (cx[cc] - rx[rr]) * (ry[rr] - cy[cc])
+
+    arr = ImplicitArray(area, (rows_idx.size, cols_idx.size))
+    lo = np.searchsorted(cx, rx, side="left").astype(np.int64)   # x_j >= x_i
+    hi = np.searchsorted(cy, ry, side="right").astype(np.int64)  # y_j <= y_i
+    hi = np.maximum(hi, lo)
+    vals, cols = (
+        banded_row_maxima(arr, lo, hi)
+        if pram is None
+        else banded_row_maxima_pram(pram, arr, lo, hi)
+    )
+    if not np.isfinite(vals).any() or vals.max() == -np.inf:
+        return (-np.inf, -1, -1)
+    r = int(np.argmax(vals))
+    return (float(vals[r]), int(rows_idx[r]), int(cols_idx[cols[r]]))
+
+
+def _case_sw_ne(p, rows_idx, cols_idx, pram):
+    """Rows: SW staircase (x inc, y dec); cols: NE staircase (x inc, y dec)."""
+    if rows_idx.size == 0 or cols_idx.size == 0:
+        return (-np.inf, -1, -1)
+    rx, ry = p[rows_idx, 0], p[rows_idx, 1]
+    cx, cy = p[cols_idx, 0], p[cols_idx, 1]
+
+    def area(rr, cc):
+        return (cx[cc] - rx[rr]) * (cy[cc] - ry[rr])
+
+    arr = ImplicitArray(area, (rows_idx.size, cols_idx.size))
+    lo = np.searchsorted(cx, rx, side="left").astype(np.int64)  # x_j >= x_i
+    # y_j >= y_i with cy nonincreasing: feasible j form a PREFIX in cy
+    # order; hi = first j with cy[j] < ry[i]
+    hi = np.searchsorted(-cy, -ry, side="right").astype(np.int64)
+    hi = np.maximum(hi, lo)
+    vals, cols = (
+        banded_row_maxima(arr, lo, hi)
+        if pram is None
+        else banded_row_maxima_pram(pram, arr, lo, hi)
+    )
+    if not np.isfinite(vals).any() or vals.max() == -np.inf:
+        return (-np.inf, -1, -1)
+    r = int(np.argmax(vals))
+    return (float(vals[r]), int(rows_idx[r]), int(cols_idx[cols[r]]))

@@ -1,0 +1,164 @@
+"""Economic lot-sizing via Monge dynamic programming ([AP90], §1.1).
+
+The paper's introduction cites Aggarwal–Park's use of Monge arrays for
+the economic lot-size model: schedule production of known demands
+``d_1..d_n`` choosing in which periods to set up a production run, so
+that total setup plus holding cost is minimal (Wagner–Whitin).  The
+classic DP
+
+    ``E[j] = min_{0 <= i < j} ( E[i] + w(i, j) )``
+
+has ``w(i, j)`` = cost of one run in period ``i+1`` covering demands
+``d_{i+1}..d_j``; with per-period nonnegative holding costs ``w`` is
+**Monge** (``w(i,j) + w(i',j') <= w(i,j') + w(i',j)`` for
+``i<i', j<j'``) — holding a marginal unit longer never gets cheaper.
+
+Solvers:
+
+- :func:`least_weight_subsequence_brute` — the O(n²) DP, any weights;
+- :func:`least_weight_subsequence` — O(n lg n) for Monge (concave-
+  Hirschberg–Larmore sense) weights: every column's champion row forms
+  nondecreasing intervals; a stack of (champion, takeover-point) pairs
+  maintained with binary searches (the sequential analogue of the
+  staircase searching of §2, and the structure [LS89] uses for RNA
+  folding);
+- :func:`wagner_whitin` — the lot-size wrapper building the Monge
+  weight function from demands/costs and recovering the run schedule.
+
+Correctness is hypothesis-tested against the brute DP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "least_weight_subsequence",
+    "least_weight_subsequence_brute",
+    "wagner_whitin",
+    "lot_size_weight",
+]
+
+
+def least_weight_subsequence_brute(
+    n: int, w: Callable[[int, int], float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """O(n²) reference: ``E[j]`` and predecessor links for ``j in [0, n]``."""
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    E = np.full(n + 1, np.inf)
+    prev = np.full(n + 1, -1, dtype=np.int64)
+    E[0] = 0.0
+    for j in range(1, n + 1):
+        for i in range(j):
+            c = E[i] + w(i, j)
+            if c < E[j]:
+                E[j] = c
+                prev[j] = i
+    return E, prev
+
+
+def least_weight_subsequence(
+    n: int, w: Callable[[int, int], float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """O(n lg n) LWS for Monge weights (leftmost-champion ties).
+
+    Maintains the stack of future champions: entries ``(row i, from)``
+    meaning "for targets ``j >= from`` (until the next entry), ``i`` is
+    the best predecessor found so far".  Monge-ness makes takeover
+    points monotone, so each new row binary-searches its insertion.
+    """
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    E = np.full(n + 1, np.inf)
+    prev = np.full(n + 1, -1, dtype=np.int64)
+    E[0] = 0.0
+    if n == 0:
+        return E, prev
+    # stack of (row, from_index); invariant: from strictly increasing
+    stack: List[Tuple[int, int]] = [(0, 1)]
+    ptr = 0  # index into stack of the entry covering the current j
+
+    def better(a: int, b: int, j: int) -> bool:
+        """Is row ``a`` a strictly better predecessor than ``b`` for ``j``?"""
+        return E[a] + w(a, j) < E[b] + w(b, j)
+
+    for j in range(1, n + 1):
+        while ptr + 1 < len(stack) and stack[ptr + 1][1] <= j:
+            ptr += 1
+        i = stack[ptr][0]
+        E[j] = E[i] + w(i, j)
+        prev[j] = i
+        if j == n:
+            break
+        # insert row j as a future champion: pop dominated tops (their
+        # reigns start after j, so popping never disturbs `ptr`)
+        while stack[-1][1] > j and better(j, stack[-1][0], stack[-1][1]):
+            stack.pop()
+        # binary search j's takeover point against the surviving top —
+        # by Monge-ness, once j beats a row it stays better
+        top_row, top_from = stack[-1]
+        lo, hi = max(top_from, j + 1), n + 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if better(j, top_row, mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo <= n:
+            stack.append((j, lo))
+    return E, prev
+
+
+def _traceback(prev: np.ndarray) -> List[int]:
+    path = []
+    j = prev.size - 1
+    while j > 0:
+        path.append(int(prev[j]))
+        j = int(prev[j])
+    return path[::-1]
+
+
+def lot_size_weight(
+    demands: Sequence[float],
+    setup_cost: float,
+    holding_cost: float,
+) -> Callable[[int, int], float]:
+    """Monge weight for Wagner–Whitin: a run in period ``i+1`` covering
+    demands ``i+1..j`` pays the setup plus holding of each unit for the
+    periods it waits."""
+    d = np.asarray(demands, dtype=np.float64)
+    if (d < 0).any():
+        raise ValueError("demands must be nonnegative")
+    if setup_cost < 0 or holding_cost < 0:
+        raise ValueError("costs must be nonnegative")
+    # pref[k] = sum d[:k]; wait[k] = sum_t (t * d[t]) for t < k
+    pref = np.concatenate([[0.0], np.cumsum(d)])
+    idx = np.arange(d.size)
+    wait = np.concatenate([[0.0], np.cumsum(idx * d)])
+
+    def w(i: int, j: int) -> float:
+        # units d[i..j-1] produced at period i, held until their period
+        hold = (wait[j] - wait[i]) - i * (pref[j] - pref[i])
+        return setup_cost + holding_cost * hold
+
+    return w
+
+
+def wagner_whitin(
+    demands: Sequence[float], setup_cost: float, holding_cost: float
+) -> Tuple[float, List[int]]:
+    """Optimal lot-sizing: ``(total_cost, production_periods)``.
+
+    ``production_periods`` are 0-based periods in which a run starts.
+    Periods with zero demand never force a run.
+    """
+    d = list(demands)
+    n = len(d)
+    if n == 0:
+        return 0.0, []
+    w = lot_size_weight(d, setup_cost, holding_cost)
+    E, prev = least_weight_subsequence(n, w)
+    return float(E[n]), _traceback(prev)

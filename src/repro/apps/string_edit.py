@@ -1,0 +1,268 @@
+"""String editing via grid-DAGs and Monge-composite searching (§1.3 app 4).
+
+Transform ``x`` into ``y`` with minimum total cost using deletions
+(``D(x_i)``), insertions (``I(y_j)``), and substitutions
+(``S(x_i, y_j)``).  [WF74] solves it in ``O(st)`` — our baseline.
+
+The parallel algorithm is the grid-DAG reduction of [AP89a, AALM88]:
+
+- the edit graph's vertices are ``(i, j)``; a *strip* of rows
+  ``[a, b]`` has a DIST matrix ``DIST[p][q]`` = cheapest path from
+  ``(a, p)`` to ``(b, q)``;
+- DIST matrices are Monge once the infeasible corner (``q < p``) is
+  filled with the linear *ramp* ``BIG·(p - q)`` — the standard
+  device that preserves the Monge inequality exactly (all mixed
+  quadruples acquire a dominating ``BIG`` multiple);
+- splitting ``x`` in half, ``DIST = DIST_top ⊗ DIST_bottom`` where
+  ``⊗`` is the (min,+) product — the tube-minima problem of Table 1.3,
+  executed by :func:`repro.core.tube_pram.tube_minima_pram` (and on the
+  hypercube by a :class:`~repro.core.network_machine.NetworkMachine`);
+- a one-row strip's DIST has the closed form
+  ``prefI(q) - prefI(p) + min(D(x_r), min_{p < c <= q}(S(x_r,y_c) - I(y_c)))``
+  (pay the inserts, plus the cheapest place to consume ``x_r``),
+  computed with a sparse-table range minimum.
+
+``lg s`` combining levels, each a tube product of ``(t+1)``-square
+Monge factors → measured rounds ``O(lg s · lg t)``, the shape of the
+paper's ``O(lg m lg n)`` hypercube bound (their ``nm``-processor
+claim).  The recursion returns the full DIST of ``x`` × ``y``; the edit
+distance is its ``[0, t]`` entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tube_pram import tube_minima_pram
+from repro.monge.arrays import ExplicitArray
+from repro.pram.ledger import CostLedger
+from repro.pram.machine import Pram
+from repro.pram.models import CRCW_COMMON
+
+__all__ = [
+    "EditCosts",
+    "edit_distance_wagner_fischer",
+    "edit_distance_dag_parallel",
+    "strip_dist_matrix",
+    "longest_common_subsequence",
+]
+
+
+@dataclass
+class EditCosts:
+    """Cost model: unit costs by default; callables may vary per symbol.
+
+    ``substitute(a, b)`` should be 0 when ``a == b`` for the classic
+    edit distance, but any nonnegative cost function is allowed.
+    """
+
+    delete: Callable[[str], float] = field(default=lambda a: 1.0)
+    insert: Callable[[str], float] = field(default=lambda b: 1.0)
+    substitute: Callable[[str, str], float] = field(
+        default=lambda a, b: 0.0 if a == b else 1.0
+    )
+
+    def validate(self, x: str, y: str) -> None:
+        for a in set(x):
+            if self.delete(a) < 0:
+                raise ValueError("negative deletion cost")
+        for b in set(y):
+            if self.insert(b) < 0:
+                raise ValueError("negative insertion cost")
+        for a in set(x):
+            for b in set(y):
+                if self.substitute(a, b) < 0:
+                    raise ValueError("negative substitution cost")
+
+
+def edit_distance_wagner_fischer(
+    x: str, y: str, costs: Optional[EditCosts] = None
+) -> Tuple[float, list]:
+    """[WF74]: ``O(st)`` dynamic program.  Returns ``(cost, script)``
+    where ``script`` is a minimal edit script of
+    ``("delete", i) / ("insert", j) / ("substitute", i, j)`` operations
+    (matches with zero substitution cost are omitted)."""
+    costs = costs or EditCosts()
+    costs.validate(x, y)
+    s, t = len(x), len(y)
+    dp = np.zeros((s + 1, t + 1))
+    for i in range(1, s + 1):
+        dp[i, 0] = dp[i - 1, 0] + costs.delete(x[i - 1])
+    for j in range(1, t + 1):
+        dp[0, j] = dp[0, j - 1] + costs.insert(y[j - 1])
+    for i in range(1, s + 1):
+        for j in range(1, t + 1):
+            dp[i, j] = min(
+                dp[i - 1, j] + costs.delete(x[i - 1]),
+                dp[i, j - 1] + costs.insert(y[j - 1]),
+                dp[i - 1, j - 1] + costs.substitute(x[i - 1], y[j - 1]),
+            )
+    # traceback
+    script = []
+    i, j = s, t
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and np.isclose(
+            dp[i, j], dp[i - 1, j - 1] + costs.substitute(x[i - 1], y[j - 1])
+        ):
+            if costs.substitute(x[i - 1], y[j - 1]) > 0:
+                script.append(("substitute", i - 1, j - 1))
+            i, j = i - 1, j - 1
+        elif i > 0 and np.isclose(dp[i, j], dp[i - 1, j] + costs.delete(x[i - 1])):
+            script.append(("delete", i - 1))
+            i -= 1
+        else:
+            script.append(("insert", j - 1))
+            j -= 1
+    script.reverse()
+    return float(dp[s, t]), script
+
+
+# --------------------------------------------------------------------- #
+# grid-DAG DIST machinery
+# --------------------------------------------------------------------- #
+#: DIST entries are snapped to multiples of this exact power of two, so
+#: mathematically-equal path sums compare exactly equal and the tube
+#: search's leftmost-witness monotonicity is immune to 1e-16 float noise
+#: (sums of grid values stay on the grid through every combining level).
+_GRID = 2.0**-30
+
+
+def _snap(a: np.ndarray) -> np.ndarray:
+    return np.round(a / _GRID) * _GRID
+
+
+def _big_for(x: str, y: str, costs: EditCosts) -> float:
+    total = 1.0
+    total += sum(costs.delete(a) for a in x)
+    total += sum(costs.insert(b) for b in y)
+    total += sum(max(costs.substitute(a, b) for b in y) if y else 0.0 for a in x)
+    return float(total + 1.0)
+
+
+def strip_dist_matrix(row_char: str, y: str, costs: EditCosts, big: float) -> np.ndarray:
+    """DIST of the one-row strip consuming ``row_char`` against ``y``.
+
+    ``DIST[p][q]`` (``0 <= p, q <= t``) = cheapest path entering at top
+    column ``p`` and leaving at bottom column ``q``; infeasible
+    ``q < p`` entries carry the Monge-preserving ramp ``big·(p-q)``.
+    """
+    t = len(y)
+    ins = np.array([costs.insert(b) for b in y], dtype=np.float64)
+    pref = np.concatenate([[0.0], np.cumsum(ins)])  # pref[q] = cost of y[:q]
+    sub = np.array([costs.substitute(row_char, b) for b in y], dtype=np.float64)
+    dele = costs.delete(row_char)
+    # gain[c] = cost of consuming row_char by substituting at column c+1
+    # instead of inserting y[c+1]
+    gain = sub - ins  # length t
+    # best[p][q] = min(dele, min_{p <= c < q} gain[c]); use running minima
+    # via a prefix-minimum sparse structure (vectorized suffix scan)
+    out = np.empty((t + 1, t + 1))
+    # ramp for q < p
+    pp, qq = np.meshgrid(np.arange(t + 1), np.arange(t + 1), indexing="ij")
+    out[:] = big * (pp - qq)
+    # feasible part
+    best = np.full((t + 1, t + 1), np.inf)
+    # min over window of `gain`: incremental per diagonal is O(t^2); use
+    # cummin per row (windows are suffixes of [p, q))
+    for p in range(t + 1):
+        if p < t:
+            run = np.minimum.accumulate(gain[p:])
+            best[p, p + 1 :] = run
+        best[p, p:] = np.minimum(best[p, p:], dele)
+    feas = qq >= pp
+    out[feas] = (pref[qq] - pref[pp] + best)[feas]
+    return _snap(out)
+
+
+def _min_plus(pram: Pram, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """(min,+) product of two ramped Monge DIST matrices via tube minima."""
+    vals, _ = tube_minima_pram(pram, (ExplicitArray(A), ExplicitArray(B)))
+    return vals
+
+
+def _fresh_clone(machine: Pram) -> Pram:
+    """A same-configuration machine with an independent ledger, used to
+    measure one sibling's rounds so concurrent siblings can be charged
+    as the level maximum."""
+    from repro.core.accounting import fresh_clone
+
+    return fresh_clone(machine)
+
+
+def edit_distance_dag_parallel(
+    x: str,
+    y: str,
+    costs: Optional[EditCosts] = None,
+    pram: Optional[Pram] = None,
+    return_dist: bool = False,
+):
+    """Edit distance via hierarchical DIST combination (parallel).
+
+    Splits ``x`` recursively; each level combines sibling strips with a
+    tube-minima product on the supplied machine (PRAM by default; pass
+    a :class:`~repro.core.network_machine.NetworkMachine` for the
+    hypercube variant).  Returns the distance, or the full DIST matrix
+    when ``return_dist`` is set.
+    """
+    costs = costs or EditCosts()
+    costs.validate(x, y)
+    machine = pram if pram is not None else Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
+    t = len(y)
+    if len(x) == 0:
+        pref = np.concatenate([[0.0], np.cumsum([costs.insert(b) for b in y])])
+        big = _big_for(x, y, costs)
+        pp, qq = np.meshgrid(np.arange(t + 1), np.arange(t + 1), indexing="ij")
+        dist = _snap(np.where(qq >= pp, pref[qq] - pref[pp], big * (pp - qq)))
+    else:
+        big = _big_for(x, y, costs)
+        strips = [strip_dist_matrix(ch, y, costs, big) for ch in x]
+        # balanced binary combining tree; sibling products at one level
+        # run concurrently, so the level's round cost is the MAX over
+        # siblings (work still sums) — realized with per-sibling ledgers
+        while len(strips) > 1:
+            nxt = []
+            level_rounds = 0
+            level_work = 0
+            level_peak = 0
+            for k in range(0, len(strips) - 1, 2):
+                sub = _fresh_clone(machine)
+                nxt.append(_min_plus(sub, strips[k], strips[k + 1]))
+                level_rounds = max(level_rounds, sub.ledger.rounds)
+                level_work += sub.ledger.work
+                level_peak += sub.ledger.peak_processors
+            if len(strips) % 2:
+                nxt.append(strips[-1])
+            machine.ledger.charge(
+                rounds=max(1, level_rounds),
+                processors=max(1, level_peak),
+                work=level_work,
+            )
+            strips = nxt
+        dist = strips[0]
+    value = float(dist[0, t])
+    if return_dist:
+        return value, dist
+    return value
+
+
+def longest_common_subsequence(
+    x: str, y: str, pram: Optional[Pram] = None
+) -> int:
+    """LCS length via the standard edit-distance reduction.
+
+    With unit insert/delete and substitution cost 2 (i.e. substitution
+    never beats delete+insert), the minimal edit cost ``d`` satisfies
+    ``|LCS| = (|x| + |y| - d) / 2``.  Runs on the parallel grid-DAG
+    machinery, so it inherits the Table 1.3 round classes.
+    """
+    costs = EditCosts(
+        delete=lambda a: 1.0,
+        insert=lambda b: 1.0,
+        substitute=lambda a, b: 0.0 if a == b else 2.0,
+    )
+    d = edit_distance_dag_parallel(x, y, costs, pram=pram)
+    lcs2 = len(x) + len(y) - d
+    return int(round(lcs2 / 2.0))

@@ -1,0 +1,68 @@
+"""The paper's parallel array-searching algorithms.
+
+PRAM algorithms (§2):
+
+- :mod:`repro.core.rowmin_pram` — row minima/maxima of (inverse-)Monge
+  arrays: the ``T(n) = 2·T(√n) + O(·)`` sampling recursion behind
+  Table 1.1 and Lemma 2.1 / Corollary 2.4;
+- :mod:`repro.core.staircase_pram` — Theorem 2.3: row minima of
+  staircase-Monge arrays (Table 1.2), via the sampled-rows array
+  ``A^t``, its Monge-block decomposition (Fig. 2.1), and the
+  feasible-region partition with ANSV bracketing (Fig. 2.2);
+- :mod:`repro.core.tube_pram` — tube (product) maxima/minima of
+  Monge-composite arrays (Table 1.3): the CREW ``Θ(lg n)`` halving
+  scheme of [AP89a, AALM88] and the CRCW ``Θ(lg lg n)`` doubly-
+  logarithmic scheme of [Ata89].
+
+Hypercube / network algorithms (§3) live in
+:mod:`repro.core.rowmin_network`, :mod:`repro.core.staircase_network`,
+and :mod:`repro.core.tube_network`.
+"""
+
+from repro.core.rowmin_pram import (
+    monge_row_maxima_pram,
+    monge_row_minima_pram,
+    inverse_monge_row_maxima_pram,
+)
+from repro.core.staircase_pram import (
+    staircase_row_maxima_pram,
+    staircase_row_minima_pram,
+)
+from repro.core.tube_pram import tube_maxima_pram, tube_minima_pram
+from repro.core.banded import (
+    banded_row_maxima,
+    banded_row_maxima_pram,
+    banded_row_minima,
+    banded_row_minima_pram,
+)
+from repro.core.windowed import windowed_monge_row_minima
+from repro.core.network_machine import NetworkMachine
+from repro.core.rowmin_network import (
+    inverse_monge_row_maxima_network,
+    monge_row_maxima_network,
+    monge_row_minima_network,
+)
+from repro.core.staircase_network import staircase_row_minima_network
+from repro.core.tube_network import tube_maxima_network, tube_minima_network
+
+__all__ = [
+    "monge_row_minima_pram",
+    "monge_row_maxima_pram",
+    "inverse_monge_row_maxima_pram",
+    "staircase_row_minima_pram",
+    "staircase_row_maxima_pram",
+    "tube_minima_pram",
+    "tube_maxima_pram",
+    "banded_row_minima",
+    "banded_row_maxima",
+    "banded_row_minima_pram",
+    "banded_row_maxima_pram",
+    "windowed_monge_row_minima",
+    "NetworkMachine",
+    "monge_row_minima_network",
+    "monge_row_maxima_network",
+    "inverse_monge_row_maxima_network",
+    "staircase_row_minima_network",
+    "tube_minima_network",
+    "tube_maxima_network",
+]

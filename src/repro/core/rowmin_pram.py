@@ -1,0 +1,365 @@
+"""Parallel row minima of Monge arrays on the PRAM (Table 1.1).
+
+Two strategies are provided; both are exact (validated against SMAWK /
+brute force) and differ only in measured round structure:
+
+``sqrt`` (default) — the paper-style sampling recursion
+    Sample every ``√m``-th row.  Phase (b): the sampled ``u×n`` array is
+    cut into ``u`` column chunks, each solved *recursively*; a grouped
+    minimum over the chunk winners gives the sampled rows' minima.
+    Phase (c): by monotonicity of leftmost-minima positions, the
+    remaining rows of the block below sampled row ``r_i`` have their
+    minima inside columns ``[c(r_i), c(r_{i+1})]`` — these blocks are
+    solved by a second recursive call.  The sequential phase structure
+    gives the round recurrence ``T(n) = 2·T(√n) + O(g)`` where ``g`` is
+    the grouped-minimum cost: with the CRCW doubly-log primitive
+    ``g = O(lg lg n)`` and ``T(n) = O(lg n)`` — Table 1.1's CRCW row —
+    while with the CREW binary primitive ``g = O(lg n_k)`` per level and
+    ``T(n) = O(lg n lg lg n)`` — Table 1.1's CREW row (run on a
+    :class:`~repro.pram.scheduling.BrentPram` with ``n/lg lg n``
+    physical processors to realize the stated processor bound).
+
+``halving`` — the simpler ablation baseline
+    Solve rows of stride ``2s`` first, then rows of stride ``s``
+    localized between their neighbors' minima: ``lg m`` levels, each
+    paying one grouped minimum over ``O(n + m/s)`` candidates.
+
+Processor allocation is charged ``O(1)`` rounds per level: every
+subproblem's processor-block offset telescopes from already-computed
+minima positions (for phase (c), ``offset_k = k·s + c(r_{k-1}) - c(r_{-1})
++ k``) or is uniform (phase (b) chunks), so a parent hands each child
+its block without a prefix scan.  This allocation argument is what the
+paper's Lemma 2.2 needs ANSV for in the *staircase* case; in the plain
+Monge case the telescoping identity suffices.
+
+Subproblems are represented as (row arithmetic progression × contiguous
+column range) — both phases produce only this shape — which lets a
+whole frontier of sibling subproblems execute their rounds together as
+vectorized batches (siblings share rounds; only the two sequential
+recursive calls per level add depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro._util.bits import ceil_sqrt
+from repro.monge.arrays import SearchArray, as_search_array
+from repro.pram.machine import Pram
+from repro.pram.primitives import grouped_min
+
+__all__ = [
+    "monge_row_minima_pram",
+    "monge_row_maxima_pram",
+    "inverse_monge_row_maxima_pram",
+]
+
+_SMALL_ROWS = 4  # direct-solve threshold on the row dimension
+
+
+@dataclass
+class _Batch:
+    """A frontier of subproblems (struct-of-arrays).
+
+    Subproblem ``i`` covers rows ``rs[i] + t·rstride[i]`` for
+    ``t < rcount[i]`` and columns ``[cs[i], cs[i] + ccount[i])`` of the
+    original array.
+    """
+
+    rs: np.ndarray
+    rstride: np.ndarray
+    rcount: np.ndarray
+    cs: np.ndarray
+    ccount: np.ndarray
+
+    def __len__(self) -> int:
+        return self.rs.size
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.rcount.sum())
+
+    def row_offsets(self) -> np.ndarray:
+        out = np.zeros(len(self) + 1, dtype=np.int64)
+        np.cumsum(self.rcount, out=out[1:])
+        return out
+
+    def select(self, mask: np.ndarray) -> "_Batch":
+        return _Batch(self.rs[mask], self.rstride[mask], self.rcount[mask],
+                      self.cs[mask], self.ccount[mask])
+
+
+def _ragged(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(local_index, owner, offsets) for concatenated ranges of ``counts``."""
+    counts = np.asarray(counts, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    owner = np.repeat(np.arange(counts.size), counts)
+    local = np.arange(total) - offsets[:-1][owner]
+    return local, owner, offsets
+
+
+def monge_row_minima_pram(
+    pram: Pram, array, strategy: str = "sqrt"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Leftmost row minima of a Monge array, parallel.
+
+    Returns ``(values, columns)``.  ``strategy`` is ``"sqrt"`` (the
+    paper's recursion) or ``"halving"`` (ablation baseline).  Grouped
+    minima pick the CRCW doubly-log primitive automatically when the
+    machine is CRCW, else the CREW binary scan.
+    """
+    a = as_search_array(array)
+    m, n = a.shape
+    if n == 0:
+        raise ValueError("cannot take row minima of a zero-column array")
+    if m == 0:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    if strategy == "sqrt":
+        batch = _Batch(
+            rs=np.array([0], dtype=np.int64),
+            rstride=np.array([1], dtype=np.int64),
+            rcount=np.array([m], dtype=np.int64),
+            cs=np.array([0], dtype=np.int64),
+            ccount=np.array([n], dtype=np.int64),
+        )
+        vals, cols = _solve_batch(pram, a, batch)
+        return vals, cols
+    if strategy == "halving":
+        return _solve_halving(pram, a)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt"):
+    """Leftmost row maxima of a **Monge** array (Table 1.1 semantics).
+
+    Row-flipping a Monge array yields an inverse-Monge array; negating
+    that restores Monge.  Leftmost minima of the transform, read in
+    reverse row order, are the leftmost maxima of the original.
+    """
+    a = as_search_array(array)
+    m, _ = a.shape
+
+    class _Flip(SearchArray):
+        def __init__(self, base):
+            super().__init__(base.shape)
+            self.base = base
+
+        def _eval(self, rows, cols):
+            return -self.base.eval(m - 1 - rows, cols)
+
+    vals, cols = monge_row_minima_pram(pram, _Flip(a), strategy=strategy)
+    return -vals[::-1], cols[::-1].copy()
+
+
+def inverse_monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt"):
+    """Leftmost row maxima of an **inverse-Monge** array (Fig. 1.1 use).
+
+    The negation is Monge and leftmost minima coincide positionally.
+    """
+    a = as_search_array(array)
+    vals, cols = monge_row_minima_pram(pram, a.negate(), strategy=strategy)
+    return -vals, cols
+
+
+# --------------------------------------------------------------------- #
+# sqrt strategy
+# --------------------------------------------------------------------- #
+def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
+    """Solve every subproblem in ``batch``; results flat in batch-row order."""
+    B = len(batch)
+    total_rows = batch.total_rows
+    vals = np.full(total_rows, np.inf)
+    cols = np.full(total_rows, -1, dtype=np.int64)
+    if B == 0:
+        return vals, cols
+    row_off = batch.row_offsets()
+
+    small = batch.rcount <= _SMALL_ROWS
+    big = ~small
+
+    # ---- direct solve for small-row subproblems (batched) ------------- #
+    if small.any():
+        sb = batch.select(small)
+        sb_rowoff = sb.row_offsets()
+        # one candidate group per (subproblem, row); width = ccount
+        widths = np.repeat(sb.ccount, sb.rcount)
+        local_col, owner_rowgrp, offsets = _ragged(widths)
+        # owner_rowgrp indexes (subproblem, row) pairs flattened
+        lr, owner_prob, _ = _ragged(sb.rcount)  # local row per group
+        g_rows = sb.rs[owner_prob] + lr * sb.rstride[owner_prob]
+        rows_flat = np.repeat(g_rows, widths)
+        cols_flat = sb.cs[owner_prob][owner_rowgrp] + local_col
+        # allocation is uniform-per-subproblem: O(1) rounds
+        pram.charge(rounds=1, processors=max(1, widths.size))
+        values_flat = arr.eval(rows_flat, cols_flat)
+        pram.charge_eval(values_flat.size)
+        gv, gi = grouped_min(pram, values_flat, offsets)
+        got_cols = np.where(gi >= 0, cols_flat[np.maximum(gi, 0)], -1)
+        # scatter back into the global output layout
+        dest = _dest_positions(row_off, small, sb.rcount)
+        vals[dest] = gv
+        cols[dest] = got_cols
+        pram.charge(rounds=1, processors=max(1, gv.size))
+
+    if not big.any():
+        return vals, cols
+
+    bb = batch.select(big)
+    nb = len(bb)
+    # ---- phase (b): sampled rows ------------------------------------- #
+    s = np.array([ceil_sqrt(int(r)) for r in bb.rcount], dtype=np.int64)
+    u = bb.rcount // s                      # number of sampled rows, >= 1
+    v = -(-bb.ccount // u)                  # chunk width = ceil(ccount/u)
+    nchunk = -(-bb.ccount // v)             # <= u chunks
+
+    # children: for each subproblem, nchunk chunks of sampled rows
+    ch_local, ch_owner, _ = _ragged(nchunk)
+    child_b = _Batch(
+        rs=bb.rs[ch_owner] + (s[ch_owner] - 1) * bb.rstride[ch_owner],
+        rstride=bb.rstride[ch_owner] * s[ch_owner],
+        rcount=u[ch_owner],
+        cs=bb.cs[ch_owner] + ch_local * v[ch_owner],
+        ccount=np.minimum(v[ch_owner], bb.ccount[ch_owner] - ch_local * v[ch_owner]),
+    )
+    pram.charge(rounds=2, processors=max(1, len(child_b)))  # O(1) spawn/allocation
+    vb, cb = _solve_batch(pram, arr, child_b)
+    child_rowoff = child_b.row_offsets()
+
+    # combine: per (subproblem, sampled row), min over its chunk winners
+    # candidates ordered (prob, row, chunk) — chunk order = column order,
+    # so grouped_min's first-position tie-break is the leftmost column.
+    cand_counts = np.repeat(nchunk, u)  # one group per sampled row
+    cand_local_chunk, cand_group, cand_offsets = _ragged(cand_counts)
+    # group index -> (prob, local sampled row)
+    g_localrow, g_prob, _ = _ragged(u)
+    # child index of (prob, chunk): child_start[prob] + chunk
+    child_start = np.zeros(nb + 1, dtype=np.int64)
+    np.cumsum(nchunk, out=child_start[1:])
+    cand_child = child_start[:-1][g_prob[cand_group]] + cand_local_chunk
+    cand_flat = child_rowoff[cand_child] + g_localrow[cand_group]
+    pram.charge(rounds=2, processors=max(1, cand_flat.size))  # gather winners
+    sv, si = grouped_min(pram, vb[cand_flat], cand_offsets)
+    sampled_cols = np.where(si >= 0, cb[cand_flat[np.maximum(si, 0)]], -1)
+    sampled_vals = sv
+
+    # write sampled-row results into output
+    big_rowoff_dest = row_off[:-1][big]
+    dest_sampled = (
+        np.repeat(big_rowoff_dest, u)
+        + (g_localrow + 1) * s[g_prob] - 1
+    )
+    vals[dest_sampled] = sampled_vals
+    cols[dest_sampled] = sampled_cols
+    pram.charge(rounds=1, processors=max(1, dest_sampled.size))
+
+    # ---- phase (c): interior blocks ----------------------------------- #
+    # Block k of a subproblem: local rows (k·s - s + 1 + s-1-boundary)…
+    # Using sampled local rows S_k = (k+1)s - 1 (k = 0..u-1):
+    #   block 0: rows [0, S_0-1], cols [cs, c_0]
+    #   block k: rows [S_{k-1}+1, S_k - 1], cols [c_{k-1}, c_k]
+    #   block u: rows [S_{u-1}+1, rcount-1], cols [c_{u-1}, cs+ccount-1]
+    blk_counts = u + 1
+    blk_local, blk_owner, _ = _ragged(blk_counts)
+    s_o = s[blk_owner]
+    u_o = u[blk_owner]
+    r0 = np.where(blk_local == 0, 0, blk_local * s_o)          # S_{k-1}+1 = k·s
+    r1 = np.where(blk_local == u_o, bb.rcount[blk_owner] - 1, (blk_local + 1) * s_o - 2)
+    rows_in_block = np.maximum(0, r1 - r0 + 1)
+
+    # column bounds from sampled minima (global col indices)
+    grp_start = np.zeros(nb + 1, dtype=np.int64)
+    np.cumsum(u, out=grp_start[1:])
+    # previous sampled minima (or cs), next sampled minima (or cs+ccount-1)
+    prev_idx = grp_start[:-1][blk_owner] + blk_local - 1
+    next_idx = grp_start[:-1][blk_owner] + blk_local
+    c_lo = np.where(
+        blk_local == 0, bb.cs[blk_owner], _safe_take(sampled_cols, prev_idx)
+    )
+    c_hi = np.where(
+        blk_local == u_o,
+        bb.cs[blk_owner] + bb.ccount[blk_owner] - 1,
+        _safe_take(sampled_cols, next_idx),
+    )
+    keep = rows_in_block > 0
+    child_c = _Batch(
+        rs=(bb.rs[blk_owner] + r0 * bb.rstride[blk_owner])[keep],
+        rstride=bb.rstride[blk_owner][keep],
+        rcount=rows_in_block[keep],
+        cs=c_lo[keep],
+        ccount=(c_hi - c_lo + 1)[keep],
+    )
+    pram.charge(rounds=2, processors=max(1, len(child_c)))  # telescoped allocation
+    vc, cc = _solve_batch(pram, arr, child_c)
+
+    # scatter interior results back: destination rows are contiguous runs
+    kept_owner = blk_owner[keep]
+    kept_r0 = r0[keep]
+    local_i, blk_of, _ = _ragged(rows_in_block[keep])
+    dest_interior = row_off[:-1][big][kept_owner[blk_of]] + kept_r0[blk_of] + local_i
+    vals[dest_interior] = vc
+    cols[dest_interior] = cc
+    pram.charge(rounds=1, processors=max(1, dest_interior.size))
+    return vals, cols
+
+
+def _safe_take(a: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """``a[idx]`` tolerating out-of-range entries that are masked later."""
+    clipped = np.clip(idx, 0, max(0, a.size - 1))
+    if a.size == 0:
+        return np.zeros(idx.shape, dtype=a.dtype if hasattr(a, "dtype") else np.int64)
+    return a[clipped]
+
+
+def _dest_positions(row_off, mask, rcounts) -> np.ndarray:
+    """Flat output positions of the rows of masked subproblems."""
+    starts = row_off[:-1][mask]
+    local, owner, _ = _ragged(rcounts)
+    return starts[owner] + local
+
+
+# --------------------------------------------------------------------- #
+# halving strategy (ablation)
+# --------------------------------------------------------------------- #
+def _solve_halving(pram: Pram, arr: SearchArray):
+    """Binary row-sampling: ``lg m`` levels, one grouped min per level.
+
+    Level with stride ``2s`` solved → rows at stride ``s`` localize
+    between their solved neighbors' minima; candidate totals telescope
+    to ``O(n + m/s)`` per level.
+    """
+    m, n = arr.shape
+    vals = np.full(m, np.inf)
+    cols = np.full(m, -1, dtype=np.int64)
+
+    solved = np.array([], dtype=np.int64)  # solved row indices, ascending
+    stride = 1
+    while stride * 2 < m:
+        stride *= 2
+    # rows at each level: stride s covers rows s-1, 2s-1, ... minus solved
+    while stride >= 1:
+        level_rows = np.arange(stride - 1, m, stride, dtype=np.int64)
+        new_rows = level_rows[~np.isin(level_rows, solved)]
+        if new_rows.size:
+            # bounds from neighbors among solved rows
+            pos = np.searchsorted(solved, new_rows)
+            lo = np.where(pos > 0, cols[_safe_take(solved, pos - 1)], 0)
+            hi = np.where(pos < solved.size, cols[_safe_take(solved, pos)], n - 1)
+            widths = hi - lo + 1
+            local, owner, offsets = _ragged(widths)
+            rows_flat = new_rows[owner]
+            cols_flat = lo[owner] + local
+            pram.charge(rounds=2, processors=max(1, widths.size))  # allocation
+            values_flat = arr.eval(rows_flat, cols_flat)
+            pram.charge_eval(values_flat.size)
+            gv, gi = grouped_min(pram, values_flat, offsets)
+            vals[new_rows] = gv
+            cols[new_rows] = np.where(gi >= 0, cols_flat[np.maximum(gi, 0)], -1)
+            pram.charge(rounds=1, processors=max(1, new_rows.size))
+            solved = np.sort(np.concatenate([solved, new_rows]))
+        stride //= 2
+    return vals, cols

@@ -1,0 +1,250 @@
+"""Parallel tube searching in Monge-composite arrays (Table 1.3).
+
+For ``c[i,j,k] = d[i,j] + e[j,k]`` with Monge factors, compute
+``f[i,k] = min_j c[i,j,k]`` (and the max variant) with witnesses.
+
+Monotonicity (both tested):  the leftmost witness ``j*(i,k)`` is
+nondecreasing in ``i`` for fixed ``k`` and nondecreasing in ``k`` for
+fixed ``i`` — the ``(i,j)`` slab and the ``(k,j)`` slab are both Monge.
+
+Two schemes:
+
+``crew`` — the halving scheme of [AP89a, AALM88]
+    Solve output rows of stride ``2s``, then rows of stride ``s``: cell
+    ``(i,k)`` searches ``j ∈ [j*(i-s,k), j*(i+s,k)]``.  Per level the
+    candidate total telescopes to ``O(r(q + p/s))``; ``lg p`` levels.
+    With the CREW binary grouped minimum each level costs the log of the
+    level's widest group — ``Θ(lg n)``-shaped rounds on an ``n²``-class
+    processor budget (Table 1.3 row 2; the paper reaches ``n²/lg n``
+    processors via Brent, which :class:`~repro.pram.scheduling.BrentPram`
+    reproduces).
+
+``crcw`` — the doubly-logarithmic scheme of [Ata89]
+    Sample every ``√p``-th output row and ``√r``-th output column;
+    recursively solve the sampled ``√p×√r`` grid; then interpolate in
+    two 1-D passes (all rows at sampled columns, then all columns), each
+    a constant number of doubly-log grouped minima.  Rounds follow
+    ``T(n) = T(√n) + O(lg lg n)`` — ``Θ(lg lg n)``-shaped on CRCW
+    (Table 1.3 row 1).
+
+Ties break to the smallest ``j`` (the paper's minimum-third-coordinate
+rule); the max variant is the flip/negate reduction documented in
+:func:`tube_maxima_pram`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro._util.bits import ceil_sqrt
+from repro.monge.arrays import MongeComposite, SearchArray
+from repro.pram.machine import Pram
+from repro.pram.primitives import grouped_min
+
+__all__ = ["tube_minima_pram", "tube_maxima_pram"]
+
+
+def _as_composite(c) -> MongeComposite:
+    if isinstance(c, MongeComposite):
+        return c
+    if isinstance(c, tuple) and len(c) == 2:
+        return MongeComposite(*c)
+    raise TypeError("expected a MongeComposite or a (D, E) pair")
+
+
+def tube_minima_pram(
+    pram: Pram, composite, scheme: str = "auto"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tube (product) minima with witnesses: ``(values, j_args)``,
+    both of shape ``(p, r)``.
+
+    ``scheme``: ``"crew"`` (halving), ``"crcw"`` (doubly-log sampling),
+    or ``"auto"`` (pick by machine model).
+    """
+    c = _as_composite(composite)
+    if scheme == "auto":
+        scheme = "crcw" if pram.model.is_crcw else "crew"
+    if scheme == "crew":
+        return _tube_min_halving(pram, c)
+    if scheme == "crcw":
+        pram.require_crcw("tube_minima_pram(scheme='crcw')")
+        return _tube_min_sampling(pram, c)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def tube_maxima_pram(
+    pram: Pram, composite, scheme: str = "auto"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tube maxima with smallest-``j`` witnesses.
+
+    Reduction: flipping ``D``'s rows and ``E``'s columns and negating
+    both factors yields Monge factors again; minima of the transformed
+    composite at ``(p-1-i, r-1-k)`` are the negated maxima at ``(i,k)``,
+    with identical ``j`` order (so leftmost ties are preserved).
+    """
+    c = _as_composite(composite)
+    p, q, r = c.shape
+    D, E = c.D, c.E
+
+    class _FlipD(SearchArray):
+        def __init__(self):
+            super().__init__((p, q))
+
+        def _eval(self, rows, cols):
+            return -D.eval(p - 1 - rows, cols)
+
+    class _FlipE(SearchArray):
+        def __init__(self):
+            super().__init__((q, r))
+
+        def _eval(self, rows, cols):
+            return -E.eval(rows, r - 1 - cols)
+
+    vals, args = tube_minima_pram(pram, MongeComposite(_FlipD(), _FlipE()))
+    return -vals[::-1, ::-1], args[::-1, ::-1].copy()
+
+
+# --------------------------------------------------------------------- #
+def _eval_candidates(pram: Pram, c: MongeComposite, ii, jj, kk) -> np.ndarray:
+    """One synchronous round: each processor combines its d and e entry."""
+    out = c.D.eval(ii, jj) + c.E.eval(jj, kk)
+    pram.charge_eval(out.size)
+    return out
+
+
+def _ragged(counts):
+    counts = np.asarray(counts, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    owner = np.repeat(np.arange(counts.size), counts)
+    local = np.arange(int(offsets[-1])) - offsets[:-1][owner]
+    return local, owner, offsets
+
+
+def _fill_rows(pram, c, rows, lo, hi, J, V):
+    """Grouped minima for output cells (rows × their [lo, hi] j-ranges).
+
+    ``rows``: (cell_i, cell_k) index arrays; ``lo``/``hi``: per-cell
+    witness bounds (inclusive).  Writes into ``J``/``V``.
+    """
+    cell_i, cell_k = rows
+    hi = np.maximum(hi, lo)  # defensive: eps-tied witnesses can cross
+    widths = hi - lo + 1
+    if widths.size == 0:
+        return
+    local, owner, offsets = _ragged(widths)
+    jj = lo[owner] + local
+    ii = cell_i[owner]
+    kk = cell_k[owner]
+    pram.charge(rounds=2, processors=max(1, widths.size))  # telescoped allocation
+    vals = _eval_candidates(pram, c, ii, jj, kk)
+    gv, gi = grouped_min(pram, vals, offsets)
+    J[cell_i, cell_k] = np.where(gi >= 0, jj[np.maximum(gi, 0)], -1)
+    V[cell_i, cell_k] = gv
+    pram.charge(rounds=1, processors=max(1, cell_i.size))
+
+
+def _tube_min_halving(pram: Pram, c: MongeComposite):
+    """[AP89a, AALM88]: halving over output rows, all columns at once."""
+    p, q, r = c.shape
+    J = np.full((p, r), -1, dtype=np.int64)
+    V = np.full((p, r), np.inf)
+    if p == 0 or r == 0:
+        return V, J
+    kk = np.arange(r, dtype=np.int64)
+
+    solved = np.array([], dtype=np.int64)
+    stride = 1
+    while stride * 2 < p:
+        stride *= 2
+    while stride >= 1:
+        level_rows = np.arange(stride - 1, p, stride, dtype=np.int64)
+        new_rows = level_rows[~np.isin(level_rows, solved)]
+        if new_rows.size:
+            pos = np.searchsorted(solved, new_rows)
+            if solved.size:
+                above = np.where(pos > 0, solved[np.maximum(pos - 1, 0)], -1)
+                below = np.where(
+                    pos < solved.size, solved[np.minimum(pos, solved.size - 1)], -1
+                )
+            else:
+                above = np.full(new_rows.size, -1, dtype=np.int64)
+                below = np.full(new_rows.size, -1, dtype=np.int64)
+            # per-(row, k) bounds from neighbors
+            cell_i = np.repeat(new_rows, r)
+            cell_k = np.tile(kk, new_rows.size)
+            lo = np.where(
+                np.repeat(above, r) >= 0, J[np.repeat(np.maximum(above, 0), r), cell_k], 0
+            )
+            hi = np.where(
+                np.repeat(below, r) >= 0,
+                J[np.repeat(np.maximum(below, 0), r), cell_k],
+                q - 1,
+            )
+            _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)
+            solved = np.sort(np.concatenate([solved, new_rows]))
+        stride //= 2
+    return V, J
+
+
+def _tube_min_sampling(pram: Pram, c: MongeComposite):
+    """[Ata89]: 2-D sampled recursion + two 1-D interpolation passes."""
+    p, q, r = c.shape
+    J = np.full((p, r), -1, dtype=np.int64)
+    V = np.full((p, r), np.inf)
+    if p == 0 or r == 0:
+        return V, J
+    _sampling_solve(pram, c, np.arange(p, dtype=np.int64), np.arange(r, dtype=np.int64), J, V)
+    return V, J
+
+
+def _sampling_solve(pram, c, rows, ks, J, V):
+    """Solve output cells ``rows × ks`` (index subsets), writing J/V."""
+    p, q, r = c.shape
+    nr, nk = rows.size, ks.size
+    if nr * nk <= 16:
+        cell_i = np.repeat(rows, nk)
+        cell_k = np.tile(ks, nr)
+        lo = np.zeros(cell_i.size, dtype=np.int64)
+        hi = np.full(cell_i.size, q - 1, dtype=np.int64)
+        _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)
+        return
+    sr = ceil_sqrt(nr)
+    sk = ceil_sqrt(nk)
+    samp_rows = rows[sr - 1 :: sr]
+    samp_ks = ks[sk - 1 :: sk]
+    if samp_rows.size == 0:
+        samp_rows = rows[-1:]
+    if samp_ks.size == 0:
+        samp_ks = ks[-1:]
+    _sampling_solve(pram, c, samp_rows, samp_ks, J, V)
+
+    # ---- pass A: every row at the sampled columns (monotone in i) ----- #
+    interp_rows = rows[~np.isin(rows, samp_rows)]
+    if interp_rows.size and samp_ks.size:
+        pos = np.searchsorted(samp_rows, interp_rows)
+        above = np.where(pos > 0, samp_rows[np.maximum(pos - 1, 0)], -1)
+        below = np.where(pos < samp_rows.size, samp_rows[np.minimum(pos, samp_rows.size - 1)], -1)
+        cell_i = np.repeat(interp_rows, samp_ks.size)
+        cell_k = np.tile(samp_ks, interp_rows.size)
+        a = np.repeat(above, samp_ks.size)
+        b = np.repeat(below, samp_ks.size)
+        lo = np.where(a >= 0, J[np.maximum(a, 0), cell_k], 0)
+        hi = np.where(b >= 0, J[np.maximum(b, 0), cell_k], q - 1)
+        _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)
+
+    # ---- pass B: every row, remaining columns (monotone in k) --------- #
+    interp_ks = ks[~np.isin(ks, samp_ks)]
+    if interp_ks.size:
+        pos = np.searchsorted(samp_ks, interp_ks)
+        left = np.where(pos > 0, samp_ks[np.maximum(pos - 1, 0)], -1)
+        right = np.where(pos < samp_ks.size, samp_ks[np.minimum(pos, samp_ks.size - 1)], -1)
+        cell_i = np.repeat(rows, interp_ks.size)
+        cell_k = np.tile(interp_ks, rows.size)
+        lf = np.tile(left, rows.size)
+        rt = np.tile(right, rows.size)
+        lo = np.where(lf >= 0, J[cell_i, np.maximum(lf, 0)], 0)
+        hi = np.where(rt >= 0, J[cell_i, np.maximum(rt, 0)], q - 1)
+        _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)

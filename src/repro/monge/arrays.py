@@ -1,0 +1,253 @@
+"""Array wrappers used by every searching algorithm.
+
+The paper's model (§1.2) assumes any entry ``a[i, j]`` is computable in
+``O(1)`` time from compact data — the array is never materialized.  We
+capture that with :class:`SearchArray`: an object exposing ``shape``
+and a *vectorized* batch evaluator ``eval(rows, cols)``.  Concrete
+flavors:
+
+:class:`ExplicitArray`
+    wraps a materialized NumPy matrix (mainly for tests/baselines);
+:class:`ImplicitArray`
+    wraps a vectorized callable ``f(rows, cols) -> values`` — e.g. the
+    Euclidean distances of Figure 1.1, evaluated from the two point
+    chains;
+:class:`StaircaseArray`
+    decorates another array with the staircase ``∞`` region via the
+    boundary vector ``f`` (``f[i]`` = first infinite column of row
+    ``i``; ``f`` must be nonincreasing per the staircase definition);
+:class:`MongeComposite`
+    the pair ``(D, E)`` defining ``c[i,j,k] = d[i,j] + e[j,k]``.
+
+Algorithms never materialize a full array; their work is measured in
+entry evaluations, which :class:`SearchArray` counts (``eval_count``)
+so tests can assert the sequential ``O(m+n)`` bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro._util.validation import as_float_matrix
+
+__all__ = [
+    "SearchArray",
+    "ExplicitArray",
+    "ImplicitArray",
+    "StaircaseArray",
+    "MongeComposite",
+    "as_search_array",
+]
+
+
+class SearchArray:
+    """Abstract 2-D array with vectorized entry evaluation.
+
+    Subclasses implement :meth:`_eval`.  ``eval`` validates indices,
+    broadcasts, and counts evaluations.
+    """
+
+    def __init__(self, shape: Tuple[int, int]) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        if m < 0 or n < 0:
+            raise ValueError(f"shape must be nonnegative, got {shape}")
+        self.shape: Tuple[int, int] = (m, n)
+        self.eval_count: int = 0
+
+    # -- required -------------------------------------------------------
+    def _eval(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public ---------------------------------------------------------
+    def eval(self, rows, cols) -> np.ndarray:
+        """Entries at broadcasting index arrays ``rows``, ``cols``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        rows, cols = np.broadcast_arrays(rows, cols)
+        if rows.size:
+            m, n = self.shape
+            if rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= n:
+                raise IndexError(
+                    f"index out of bounds for shape {self.shape}: "
+                    f"rows [{rows.min()}, {rows.max()}], cols [{cols.min()}, {cols.max()}]"
+                )
+        self.eval_count += rows.size
+        out = self._eval(rows, cols)
+        return np.asarray(out, dtype=np.float64)
+
+    def __getitem__(self, ij) -> float:
+        i, j = ij
+        return float(self.eval(np.array([i]), np.array([j]))[0])
+
+    def row(self, i: int) -> np.ndarray:
+        """Row ``i`` as a dense vector."""
+        n = self.shape[1]
+        return self.eval(np.full(n, i), np.arange(n))
+
+    def materialize(self) -> np.ndarray:
+        """Dense copy — for tests and brute-force baselines only."""
+        m, n = self.shape
+        return self.eval(np.arange(m)[:, None], np.arange(n)[None, :])
+
+    def transpose(self) -> "SearchArray":
+        return _Transposed(self)
+
+    def negate(self) -> "SearchArray":
+        return _Negated(self)
+
+    def flip_cols(self) -> "SearchArray":
+        return _ColFlipped(self)
+
+    def submatrix(self, rows: np.ndarray, cols: np.ndarray) -> "SearchArray":
+        """The (virtual) subarray indexed by ``rows`` × ``cols``."""
+        return _Submatrix(self, np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))
+
+
+class ExplicitArray(SearchArray):
+    """A materialized matrix."""
+
+    def __init__(self, data) -> None:
+        self.data = as_float_matrix(data, "ExplicitArray data")
+        super().__init__(self.data.shape)
+
+    def _eval(self, rows, cols):
+        return self.data[rows, cols]
+
+
+class ImplicitArray(SearchArray):
+    """Entries computed by a vectorized callable ``f(rows, cols)``."""
+
+    def __init__(self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray], shape) -> None:
+        super().__init__(shape)
+        self.fn = fn
+
+    def _eval(self, rows, cols):
+        return self.fn(rows, cols)
+
+
+class StaircaseArray(SearchArray):
+    """A base array with the staircase-``∞`` region applied.
+
+    ``boundary[i]`` is the first infinite column of row ``i`` (``n`` if
+    the whole row is finite).  The staircase definition (§1) requires
+    the infinite region to be closed to the right and downward, i.e.
+    ``boundary`` nonincreasing; violated inputs are rejected.
+    """
+
+    def __init__(self, base: SearchArray, boundary) -> None:
+        if not isinstance(base, SearchArray):
+            base = as_search_array(base)
+        m, n = base.shape
+        b = np.asarray(boundary, dtype=np.int64)
+        if b.shape != (m,):
+            raise ValueError(f"boundary must have length {m}, got shape {b.shape}")
+        if b.size and (b.min() < 0 or b.max() > n):
+            raise ValueError(f"boundary entries must lie in [0, {n}]")
+        if (np.diff(b) > 0).any():
+            raise ValueError(
+                "staircase boundary must be nonincreasing "
+                "(infinite entries propagate right and down)"
+            )
+        super().__init__((m, n))
+        self.base = base
+        self.boundary = b
+
+    def _eval(self, rows, cols):
+        finite = cols < self.boundary[rows]
+        out = np.full(rows.shape, np.inf)
+        if finite.any():
+            out[finite] = self.base.eval(rows[finite], cols[finite])
+        return out
+
+
+class MongeComposite:
+    """The 3-D array ``c[i,j,k] = d[i,j] + e[j,k]`` given by two arrays.
+
+    ``D`` is ``p×q`` and ``E`` is ``q×r``; the composite is ``p×q×r``.
+    Only the pair is stored (the paper's model: ``D`` and ``E`` live in
+    global memory; a processor combines one entry of each).
+    """
+
+    def __init__(self, D, E) -> None:
+        self.D = as_search_array(D)
+        self.E = as_search_array(E)
+        if self.D.shape[1] != self.E.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: D is {self.D.shape}, E is {self.E.shape}"
+            )
+        p, q = self.D.shape
+        r = self.E.shape[1]
+        self.shape = (p, q, r)
+
+    def eval(self, i, j, k) -> np.ndarray:
+        """``c[i,j,k]`` at broadcasting index arrays."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        i, j, k = np.broadcast_arrays(i, j, k)
+        return self.D.eval(i, j) + self.E.eval(j, k)
+
+    def slab(self, i: int, k) -> SearchArray:
+        """The (min/max over j) search row for output cell row ``i``:
+        the ``r×q`` array ``M[k,j] = d[i,j] + e[j,k]`` (Monge when D and
+        E are — the d-term is constant per column pair)."""
+        D, E = self.D, self.E
+        q = D.shape[1]
+        r = E.shape[1]
+
+        def fn(kk, jj):
+            return D.eval(np.full(kk.shape, i), jj) + E.eval(jj, kk)
+
+        return ImplicitArray(fn, (r, q))
+
+
+class _Transposed(SearchArray):
+    def __init__(self, base: SearchArray) -> None:
+        super().__init__((base.shape[1], base.shape[0]))
+        self.base = base
+
+    def _eval(self, rows, cols):
+        return self.base.eval(cols, rows)
+
+
+class _Negated(SearchArray):
+    def __init__(self, base: SearchArray) -> None:
+        super().__init__(base.shape)
+        self.base = base
+
+    def _eval(self, rows, cols):
+        return -self.base.eval(rows, cols)
+
+
+class _ColFlipped(SearchArray):
+    def __init__(self, base: SearchArray) -> None:
+        super().__init__(base.shape)
+        self.base = base
+
+    def _eval(self, rows, cols):
+        return self.base.eval(rows, self.shape[1] - 1 - cols)
+
+
+class _Submatrix(SearchArray):
+    def __init__(self, base: SearchArray, rows: np.ndarray, cols: np.ndarray) -> None:
+        m, n = base.shape
+        if rows.size and (rows.min() < 0 or rows.max() >= m):
+            raise IndexError("submatrix row indices out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n):
+            raise IndexError("submatrix column indices out of range")
+        super().__init__((rows.size, cols.size))
+        self.base = base
+        self.rows = rows
+        self.cols = cols
+
+    def _eval(self, rows, cols):
+        return self.base.eval(self.rows[rows], self.cols[cols])
+
+
+def as_search_array(x) -> SearchArray:
+    """Coerce matrices / SearchArrays to a :class:`SearchArray`."""
+    if isinstance(x, SearchArray):
+        return x
+    return ExplicitArray(x)

@@ -1,0 +1,196 @@
+"""Reproducible generators for every array class the paper searches.
+
+The workhorse is the *density construction*: if ``g`` is any matrix
+whose interior (``g[1:,1:]``) is nonpositive, then the 2-D prefix sum
+``a[i,j] = Σ_{p<=i, q<=j} g[p,q]`` has adjacent cross-difference exactly
+``g[i+1,j+1]``, hence is Monge; adding arbitrary row and column
+potentials preserves the property.  This spans all Monge arrays (the
+map ``g → a`` is a bijection), so sampling ``g`` uniformly samples a
+nondegenerate cross-section of the class.
+
+Geometric generators build the paper's own instances: points in convex
+position, split into the chains P and Q of Figure 1.1, whose pairwise
+distance array is inverse-Monge by the quadrangle inequality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.monge.arrays import ExplicitArray, ImplicitArray, MongeComposite, StaircaseArray
+
+__all__ = [
+    "random_monge",
+    "random_inverse_monge",
+    "random_staircase_boundary",
+    "random_staircase_monge",
+    "random_staircase_inverse_monge",
+    "random_composite",
+    "transportation_cost_array",
+    "convex_position_points",
+    "chain_distance_array",
+]
+
+
+def _require_rng(rng) -> np.random.Generator:
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "pass a numpy Generator (np.random.default_rng(seed)) for reproducibility"
+        )
+    return rng
+
+
+def random_monge(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    integer: bool = False,
+) -> ExplicitArray:
+    """A random ``m×n`` Monge array via the density construction.
+
+    ``integer=True`` quantizes entries (useful for exercising ties).
+    """
+    rng = _require_rng(rng)
+    if m < 1 or n < 1:
+        raise ValueError("m and n must be >= 1")
+    g = np.zeros((m, n))
+    if integer:
+        g[1:, 1:] = -rng.integers(0, 3, size=(m - 1, n - 1)).astype(float)
+        g[0, :] = rng.integers(-5, 6, size=n).astype(float)
+        g[1:, 0] = rng.integers(-5, 6, size=m - 1).astype(float)
+    else:
+        g[1:, 1:] = -rng.random(size=(m - 1, n - 1)) * scale
+        g[0, :] = rng.normal(scale=scale, size=n)
+        g[1:, 0] = rng.normal(scale=scale, size=m - 1)
+    a = g.cumsum(axis=0).cumsum(axis=1)
+    # row/column potentials keep the class fully general
+    if integer:
+        a += rng.integers(-5, 6, size=(m, 1)).astype(float)
+        a += rng.integers(-5, 6, size=(1, n)).astype(float)
+    else:
+        a += rng.normal(scale=scale, size=(m, 1))
+        a += rng.normal(scale=scale, size=(1, n))
+    return ExplicitArray(a)
+
+
+def random_inverse_monge(
+    m: int, n: int, rng: np.random.Generator, scale: float = 1.0, integer: bool = False
+) -> ExplicitArray:
+    """A random inverse-Monge array (negated :func:`random_monge`)."""
+    return ExplicitArray(-random_monge(m, n, rng, scale=scale, integer=integer).data)
+
+
+def random_staircase_boundary(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """A random nonincreasing boundary ``f`` with ``f[0] = n`` kept
+    likely-large so instances have substantial finite regions."""
+    rng = _require_rng(rng)
+    f = np.sort(rng.integers(0, n + 1, size=m))[::-1].copy()
+    # Ensure at least one nonempty row so searches are nontrivial.
+    if f[0] == 0:
+        f[0] = rng.integers(1, n + 1)
+    return f.astype(np.int64)
+
+
+def random_staircase_monge(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    boundary: np.ndarray | None = None,
+    integer: bool = False,
+) -> StaircaseArray:
+    """A random staircase-Monge array: Monge base + staircase ``∞`` mask."""
+    rng = _require_rng(rng)
+    base = random_monge(m, n, rng, integer=integer)
+    if boundary is None:
+        boundary = random_staircase_boundary(m, n, rng)
+    return StaircaseArray(base, boundary)
+
+
+def random_staircase_inverse_monge(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    boundary: np.ndarray | None = None,
+    integer: bool = False,
+) -> StaircaseArray:
+    """A random staircase-inverse-Monge array."""
+    rng = _require_rng(rng)
+    base = random_inverse_monge(m, n, rng, integer=integer)
+    if boundary is None:
+        boundary = random_staircase_boundary(m, n, rng)
+    return StaircaseArray(base, boundary)
+
+
+def random_composite(
+    p: int, q: int, r: int, rng: np.random.Generator, integer: bool = False
+) -> MongeComposite:
+    """A random Monge-composite array ``c[i,j,k] = d[i,j] + e[j,k]``."""
+    rng = _require_rng(rng)
+    return MongeComposite(
+        random_monge(p, q, rng, integer=integer), random_monge(q, r, rng, integer=integer)
+    )
+
+
+def transportation_cost_array(
+    sources: np.ndarray,
+    sinks: np.ndarray,
+    cost: Callable[[np.ndarray], np.ndarray] = np.abs,
+) -> ImplicitArray:
+    """Hoffman's transportation instance: ``a[i,j] = cost(x_i - y_j)``.
+
+    For sorted locations and convex ``cost`` the array is Monge — the
+    structure behind Monge's 1781 observation and [Hof61].
+    """
+    x = np.sort(np.asarray(sources, dtype=np.float64))
+    y = np.sort(np.asarray(sinks, dtype=np.float64))
+
+    def fn(rows, cols):
+        return cost(x[rows] - y[cols])
+
+    return ImplicitArray(fn, (x.size, y.size))
+
+
+def convex_position_points(
+    n: int, rng: np.random.Generator, radius: float = 1.0, jitter: bool = True
+) -> np.ndarray:
+    """``n`` points in convex position, counterclockwise order.
+
+    Sorted random angles on an ellipse; distinct angles guarantee strict
+    convexity.
+    """
+    rng = _require_rng(rng)
+    if n < 3:
+        raise ValueError("a convex polygon needs at least 3 vertices")
+    if jitter:
+        angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=n))
+        # enforce distinctness
+        while np.unique(angles).size < n:  # pragma: no cover - probability 0
+            angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=n))
+    else:
+        angles = np.arange(n) * (2.0 * np.pi / n)
+    rx = radius * (1.0 + (0.3 * rng.random() if jitter else 0.0))
+    ry = radius
+    return np.column_stack([rx * np.cos(angles), ry * np.sin(angles)])
+
+
+def chain_distance_array(P: np.ndarray, Q: np.ndarray) -> ImplicitArray:
+    """Figure 1.1's array: ``a[i,j] = d(p_i, q_j)`` for two convex
+    chains obtained by splitting one convex polygon.
+
+    ``P`` in counterclockwise order and ``Q`` in counterclockwise order
+    (continuing around the polygon) make the array inverse-Monge by the
+    quadrangle inequality.
+    """
+    P = np.asarray(P, dtype=np.float64)
+    Q = np.asarray(Q, dtype=np.float64)
+    if P.ndim != 2 or P.shape[1] != 2 or Q.ndim != 2 or Q.shape[1] != 2:
+        raise ValueError("P and Q must be (k, 2) coordinate arrays")
+
+    def fn(rows, cols):
+        diff = P[rows] - Q[cols]
+        return np.hypot(diff[..., 0], diff[..., 1])
+
+    return ImplicitArray(fn, (P.shape[0], Q.shape[0]))

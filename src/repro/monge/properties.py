@@ -1,0 +1,149 @@
+"""Exact verifiers for the array classes of §1.1.
+
+The local (adjacent 2×2) characterizations are used throughout:
+
+- ``A`` is Monge iff (1.1) holds for all *adjacent* quadruples
+  ``(i, i+1, j, j+1)`` — general quadruples follow by summing.
+- A staircase array's finite region is a Young diagram (finite prefixes
+  of nonincreasing length), so if all four corners of a general
+  quadruple are finite, every adjacent quadruple inside it is finite
+  too, and the same summation argument applies.  Hence the local check
+  is exact for staircase-Monge as well.
+
+All verifiers accept anything :func:`repro.monge.arrays.as_search_array`
+accepts and run in ``O(mn)`` — they exist for tests, generators, and
+input validation, not for inner loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monge.arrays import as_search_array
+
+__all__ = [
+    "is_monge",
+    "is_inverse_monge",
+    "is_staircase_monge",
+    "is_staircase_inverse_monge",
+    "is_totally_monotone_minima",
+    "staircase_boundary",
+    "monge_defect",
+]
+
+
+def _dense(a) -> np.ndarray:
+    arr = as_search_array(a)
+    return arr.materialize()
+
+
+def monge_defect(a) -> float:
+    """Max violation of (1.1) over adjacent quadruples (≤ 0 means Monge).
+
+    ``defect = max over i,j of a[i,j] + a[i+1,j+1] - a[i,j+1] - a[i+1,j]``.
+    Useful for diagnosing almost-Monge inputs.
+    """
+    d = _dense(a)
+    if d.shape[0] < 2 or d.shape[1] < 2:
+        return -np.inf
+    cross = d[:-1, :-1] + d[1:, 1:] - d[:-1, 1:] - d[1:, :-1]
+    return float(cross.max())
+
+
+def is_monge(a, tol: float = 1e-9) -> bool:
+    """True iff (1.1) holds: ``a[i,j] + a[k,l] <= a[i,l] + a[k,j]``."""
+    d = _dense(a)
+    if not np.isfinite(d).all():
+        return False
+    return monge_defect(d) <= tol
+
+
+def is_inverse_monge(a, tol: float = 1e-9) -> bool:
+    """True iff (1.2) holds (the reverse inequality)."""
+    d = _dense(a)
+    if not np.isfinite(d).all():
+        return False
+    return monge_defect(-d) <= tol
+
+
+def staircase_boundary(a) -> np.ndarray | None:
+    """Boundary vector ``f`` of a staircase-shaped ``∞`` region.
+
+    ``f[i]`` = first infinite column of row ``i`` (``n`` if none).
+    Returns ``None`` if the infinite entries are *not* staircase-shaped
+    (condition 2 of the definition): each row's finite part must be a
+    prefix and the prefix lengths must be nonincreasing.
+    """
+    d = _dense(a)
+    m, n = d.shape
+    inf_mask = np.isinf(d)
+    if (d == -np.inf).any():
+        return None
+    f = np.where(inf_mask.any(axis=1), inf_mask.argmax(axis=1), n).astype(np.int64)
+    # finite part must be a prefix: everything at/after f[i] is infinite
+    cols = np.arange(n)
+    expected = cols[None, :] >= f[:, None]
+    if not np.array_equal(inf_mask, expected):
+        return None
+    if (np.diff(f) > 0).any():
+        return None
+    return f
+
+
+def is_staircase_monge(a, tol: float = 1e-9) -> bool:
+    """True iff ``a`` is staircase-Monge (conditions 1–3 of §1.1).
+
+    Plain Monge arrays (no ``∞``) qualify, as the definition intends.
+    """
+    d = _dense(a)
+    if np.isnan(d).any() or (d == -np.inf).any():
+        return False
+    if staircase_boundary(d) is None:
+        return False
+    return _finite_local_defect(d) <= tol
+
+
+def is_staircase_inverse_monge(a, tol: float = 1e-9) -> bool:
+    """Staircase variant of (1.2); the ``∞`` shape rule is identical."""
+    d = _dense(a)
+    if np.isnan(d).any() or (d == -np.inf).any():
+        return False
+    if staircase_boundary(d) is None:
+        return False
+    return _finite_local_defect(-d) <= tol
+
+
+def _finite_local_defect(d: np.ndarray) -> float:
+    """Max (1.1) violation over adjacent quadruples with all entries finite."""
+    if d.shape[0] < 2 or d.shape[1] < 2:
+        return -np.inf
+    a, b, c, e = d[:-1, :-1], d[1:, 1:], d[:-1, 1:], d[1:, :-1]
+    ok = np.isfinite(a) & np.isfinite(b) & np.isfinite(c) & np.isfinite(e)
+    if not ok.any():
+        return -np.inf
+    z = np.zeros_like(a)
+    cross = (
+        np.where(ok, a, z) + np.where(ok, b, z) - np.where(ok, c, z) - np.where(ok, e, z)
+    )
+    cross = np.where(ok, cross, -np.inf)
+    return float(cross.max())
+
+
+def is_totally_monotone_minima(a, tol: float = 0.0) -> bool:
+    """Total monotonicity (for leftmost row minima): for every 2×2
+    submatrix, ``a[i,j] > a[i,l]`` implies ``a[k,j] > a[k,l]``.
+
+    This is the weaker property SMAWK actually needs; every Monge array
+    satisfies it.  Checked exhaustively over all (not just adjacent)
+    quadruples, because total monotonicity has no local characterization.
+    """
+    d = _dense(a)
+    m, n = d.shape
+    for j in range(n - 1):
+        for l in range(j + 1, n):
+            upper_beats = d[:, j] > d[:, l] + tol  # right column strictly better
+            # once the right column wins at some row, it must keep winning
+            won = np.maximum.accumulate(upper_beats)
+            if (won & ~upper_beats).any():
+                return False
+    return True

@@ -1,0 +1,22 @@
+"""The hypercube network: node ``x`` ↔ ``x ^ (1 << d)``.
+
+One exchange = one communication round.  See
+:mod:`repro.networks.topology` for the shared normal-algorithm driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.networks.topology import CubeLike
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(CubeLike):
+    """A ``2**dim``-node hypercube with genuine per-edge movement."""
+
+    def exchange(self, values: np.ndarray, d: int) -> np.ndarray:
+        values = self._check_register(values, d)
+        self.charge()
+        return values[self.ids ^ (1 << d)]

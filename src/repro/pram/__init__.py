@@ -1,0 +1,48 @@
+"""Synchronous PRAM simulator with genuine round accounting.
+
+The paper's claims are *step/processor* complexities on abstract PRAM
+models.  This package provides:
+
+- :class:`~repro.pram.ledger.CostLedger` — records every synchronous
+  round a primitive actually executes, the work performed, and the peak
+  number of processors requested;
+- :class:`~repro.pram.machine.Pram` — a machine handle binding a model
+  (EREW / CREW / CRCW variants) to a processor budget and a ledger;
+- vectorized primitives (scan, segmented scan, reduction, compaction,
+  merging, grouped minima) in :mod:`repro.pram.primitives`;
+- the doubly-logarithmic CRCW maximum of Valiant / Shiloach–Vishkin in
+  :mod:`repro.pram.fast_max`;
+- the All-Nearest-Smaller-Values routine of [BBG+89] in
+  :mod:`repro.pram.ansv`;
+- a per-instruction PRAM virtual machine (:mod:`repro.pram.vm`) used to
+  demonstrate and test the concurrency semantics themselves.
+
+Every primitive is implemented as a real loop of synchronous rounds
+(each round a vectorized NumPy map over processor indices), so the
+ledger's ``rounds`` is a measurement, not a formula.
+"""
+
+from repro.pram.ledger import CostLedger, PhaseStats
+from repro.pram.machine import Pram
+from repro.pram.models import (
+    CRCW_ARBITRARY,
+    CRCW_COMMON,
+    CRCW_PRIORITY,
+    CREW,
+    EREW,
+    PramModel,
+    WritePolicy,
+)
+
+__all__ = [
+    "CostLedger",
+    "PhaseStats",
+    "Pram",
+    "PramModel",
+    "WritePolicy",
+    "EREW",
+    "CREW",
+    "CRCW_COMMON",
+    "CRCW_ARBITRARY",
+    "CRCW_PRIORITY",
+]

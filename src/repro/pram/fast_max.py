@@ -1,0 +1,78 @@
+"""Doubly-logarithmic CRCW maximum/minimum (Valiant; Shiloach–Vishkin).
+
+Finding the maximum of ``n`` values with ``n`` CRCW processors in
+``O(lg lg n)`` rounds is the primitive behind Table 1.3's
+``Θ(lg lg n)`` tube-maxima bound and the constant-round candidate
+searches inside the row-minima recursions.
+
+The construction: split the ``n`` values into ``⌈√n⌉`` blocks of
+``⌈√n⌉``, solve each block recursively (in parallel), then compare all
+pairs of block winners in a constant number of rounds — ``(√n)² = n``
+comparisons, exactly the processor budget.  Depth ``O(lg lg n)``.
+
+These wrappers delegate to the batched implementation in
+:mod:`repro.pram.primitives` so the recursion is vectorized across any
+number of independent instances.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.pram.machine import Pram
+from repro.pram.primitives import _doubly_log_rowmin
+
+__all__ = ["fast_min", "fast_max", "fast_argmin", "fast_argmax", "priority_find_first"]
+
+
+def priority_find_first(pram: Pram, mask: np.ndarray) -> int:
+    """Index of the first True in ``mask`` in O(1) rounds on CRCW-priority.
+
+    The folklore constant-round "leftmost responder": every processor
+    whose flag is set writes its index to one cell; the priority rule
+    keeps the smallest.  Raises on non-priority machines (COMMON writers
+    would disagree).  Returns ``-1`` when no flag is set.
+    """
+    from repro.pram.models import CRCW_PRIORITY, ConcurrencyViolation
+
+    if pram.model is not CRCW_PRIORITY:
+        raise ConcurrencyViolation(
+            f"priority_find_first needs CRCW-priority, machine is {pram.model}"
+        )
+    mask = np.asarray(mask, dtype=bool)
+    pram.charge(rounds=2, processors=max(1, mask.size))
+    hits = np.nonzero(mask)[0]
+    return int(hits[0]) if hits.size else -1
+
+
+def fast_argmin(pram: Pram, values: np.ndarray) -> Tuple[float, int]:
+    """Leftmost minimum of ``values`` in ``O(lg lg n)`` CRCW rounds.
+
+    Returns ``(min_value, index)``; ``(inf, -1)`` for an empty input.
+    """
+    pram.require_crcw("fast_argmin")
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        return np.inf, -1
+    v, i = _doubly_log_rowmin(
+        pram, x.reshape(1, -1), np.arange(x.size, dtype=np.int64).reshape(1, -1)
+    )
+    return float(v[0]), int(i[0])
+
+
+def fast_argmax(pram: Pram, values: np.ndarray) -> Tuple[float, int]:
+    """Leftmost maximum of ``values`` in ``O(lg lg n)`` CRCW rounds."""
+    v, i = fast_argmin(pram, -np.asarray(values, dtype=np.float64))
+    return (-v if i >= 0 else -np.inf), i
+
+
+def fast_min(pram: Pram, values: np.ndarray) -> float:
+    """Minimum value only (see :func:`fast_argmin`)."""
+    return fast_argmin(pram, values)[0]
+
+
+def fast_max(pram: Pram, values: np.ndarray) -> float:
+    """Maximum value only (see :func:`fast_argmax`)."""
+    return fast_argmax(pram, values)[0]

@@ -1,0 +1,169 @@
+"""PRAM model semantics: read/write concurrency rules.
+
+The models differ only in which same-address accesses may share a
+synchronous step:
+
+========== ================= ==========================================
+model      concurrent reads  concurrent writes
+========== ================= ==========================================
+EREW       forbidden         forbidden
+CREW       allowed           forbidden
+CRCW       allowed           allowed, resolved by a :class:`WritePolicy`
+========== ================= ==========================================
+
+Write policies for CRCW:
+
+``COMMON``
+    all writers to an address must agree on the value;
+``ARBITRARY``
+    any single writer's value may survive (the simulator picks the
+    first, which is a legal arbitrary choice);
+``PRIORITY``
+    the lowest-indexed processor wins.
+
+:func:`resolve_concurrent_writes` is the single chokepoint used both by
+the instruction-level VM and by validating primitives, so semantics
+cannot drift between the two.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WritePolicy",
+    "PramModel",
+    "EREW",
+    "CREW",
+    "CRCW_COMMON",
+    "CRCW_ARBITRARY",
+    "CRCW_PRIORITY",
+    "ConcurrencyViolation",
+    "resolve_concurrent_writes",
+]
+
+
+class ConcurrencyViolation(RuntimeError):
+    """An access pattern illegal under the active PRAM model."""
+
+
+class WritePolicy(enum.Enum):
+    """Conflict resolution rule for concurrent writes."""
+
+    EXCLUSIVE = "exclusive"
+    COMMON = "common"
+    ARBITRARY = "arbitrary"
+    PRIORITY = "priority"
+
+
+@dataclass(frozen=True)
+class PramModel:
+    """A PRAM variant: name + read/write concurrency rules."""
+
+    name: str
+    concurrent_read: bool
+    write_policy: WritePolicy
+
+    @property
+    def concurrent_write(self) -> bool:
+        return self.write_policy is not WritePolicy.EXCLUSIVE
+
+    @property
+    def is_crcw(self) -> bool:
+        return self.concurrent_write
+
+    def check_reads(self, addresses: np.ndarray) -> None:
+        """Raise if the per-step read address multiset is illegal."""
+        if self.concurrent_read:
+            return
+        flat = np.asarray(addresses).ravel()
+        if flat.size != np.unique(flat).size:
+            raise ConcurrencyViolation(f"{self.name}: concurrent reads are forbidden")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+EREW = PramModel("EREW", concurrent_read=False, write_policy=WritePolicy.EXCLUSIVE)
+CREW = PramModel("CREW", concurrent_read=True, write_policy=WritePolicy.EXCLUSIVE)
+CRCW_COMMON = PramModel("CRCW-common", concurrent_read=True, write_policy=WritePolicy.COMMON)
+CRCW_ARBITRARY = PramModel(
+    "CRCW-arbitrary", concurrent_read=True, write_policy=WritePolicy.ARBITRARY
+)
+CRCW_PRIORITY = PramModel("CRCW-priority", concurrent_read=True, write_policy=WritePolicy.PRIORITY)
+
+
+def resolve_concurrent_writes(
+    policy: WritePolicy,
+    addresses: np.ndarray,
+    values: np.ndarray,
+    processor_ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve one synchronous step's writes under ``policy``.
+
+    Parameters
+    ----------
+    addresses, values:
+        Parallel 1-D arrays: processor ``t`` writes ``values[t]`` to
+        ``addresses[t]``.
+    processor_ids:
+        Priorities for ``PRIORITY`` (defaults to position order).
+
+    Returns
+    -------
+    (unique_addresses, winning_values)
+
+    Raises
+    ------
+    ConcurrencyViolation
+        on EXCLUSIVE conflicts, or COMMON writers that disagree.
+    """
+    addresses = np.asarray(addresses)
+    values = np.asarray(values)
+    if addresses.shape != values.shape or addresses.ndim != 1:
+        raise ValueError("addresses and values must be 1-D arrays of equal length")
+    if addresses.size == 0:
+        return addresses, values
+
+    uniq, first_idx, inverse, counts = np.unique(
+        addresses, return_index=True, return_inverse=True, return_counts=True
+    )
+    has_conflict = bool((counts > 1).any())
+
+    if policy is WritePolicy.EXCLUSIVE:
+        if has_conflict:
+            dup = uniq[counts > 1][0]
+            raise ConcurrencyViolation(
+                f"exclusive-write model: {int(counts.max())} processors wrote address {dup!r}"
+            )
+        return uniq, values[first_idx]
+
+    if policy is WritePolicy.COMMON:
+        # All writers of an address must agree with the first writer.
+        rep = values[first_idx][inverse]
+        if not np.array_equal(rep, values):
+            bad = uniq[np.unique(inverse[rep != values])][0]
+            raise ConcurrencyViolation(
+                f"CRCW-common: writers disagree on the value at address {bad!r}"
+            )
+        return uniq, values[first_idx]
+
+    if policy is WritePolicy.ARBITRARY:
+        return uniq, values[first_idx]
+
+    if policy is WritePolicy.PRIORITY:
+        if processor_ids is None:
+            processor_ids = np.arange(addresses.size)
+        processor_ids = np.asarray(processor_ids)
+        # Among writers of each address, the smallest processor id wins.
+        order = np.lexsort((processor_ids, inverse))
+        sorted_inverse = inverse[order]
+        firsts = np.ones(order.size, dtype=bool)
+        firsts[1:] = sorted_inverse[1:] != sorted_inverse[:-1]
+        winners = order[firsts]
+        return addresses[winners], values[winners]
+
+    raise AssertionError(f"unhandled policy {policy}")

@@ -1,0 +1,488 @@
+"""Vectorized PRAM primitives with genuine round accounting.
+
+Every function here executes its synchronous rounds as an explicit loop
+(one NumPy map per round) and charges the machine's ledger for each
+round actually run.  The ``rounds`` a caller observes are therefore a
+*measurement* of the simulated algorithm, never a closed-form formula.
+
+Conventions
+-----------
+- Groups of a *grouped* operation are described by an ``offsets`` array
+  of length ``G+1``: group ``g`` occupies ``values[offsets[g]:offsets[g+1]]``.
+  Empty groups are allowed and yield ``inf`` / index ``-1``.
+- All argmin/argmax results break ties toward the *smallest index*,
+  matching the paper's leftmost-minimum convention (§1.2).
+- Scans are inclusive unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal, Tuple
+
+import numpy as np
+
+from repro._util.bits import ceil_div, ceil_log2, ceil_sqrt
+from repro.pram.machine import Pram
+
+__all__ = [
+    "prefix_scan",
+    "exclusive_prefix_sum",
+    "segmented_scan",
+    "reduce",
+    "broadcast",
+    "pack_indices",
+    "merge_ranks",
+    "grouped_min",
+    "grouped_max",
+    "replicate_by_counts",
+]
+
+Op = Literal["add", "min", "max"]
+
+_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+_IDENTITY = {"add": 0.0, "min": np.inf, "max": -np.inf}
+
+
+def _shift_right(x: np.ndarray, d: int, fill) -> np.ndarray:
+    """``y[i] = x[i-d]`` with ``fill`` for the first ``d`` slots."""
+    y = np.empty_like(x)
+    y[:d] = fill
+    y[d:] = x[:-d]
+    return y
+
+
+# --------------------------------------------------------------------- #
+# Scans
+# --------------------------------------------------------------------- #
+def prefix_scan(pram: Pram, values: np.ndarray, op: Op = "add") -> np.ndarray:
+    """Inclusive prefix scan by Hillis–Steele doubling.
+
+    Executes ``ceil(lg n)`` synchronous rounds with ``n`` processors.
+    Requires concurrent reads for n>1 only in the trivial sense that two
+    processors never read the same cell in a round, so this is EREW-safe.
+    """
+    if hasattr(pram, "network_prefix_scan"):
+        return pram.network_prefix_scan(np.asarray(values, dtype=np.float64), op)
+    x = np.array(values, dtype=np.float64, copy=True)
+    n = x.size
+    if n <= 1:
+        pram.charge(rounds=1, processors=max(1, n))
+        return x
+    f = _OPS[op]
+    fill = _IDENTITY[op]
+    d = 1
+    while d < n:
+        x = f(x, _shift_right(x, d, fill))
+        pram.charge(rounds=1, processors=n)
+        d <<= 1
+    return x
+
+
+def exclusive_prefix_sum(pram: Pram, counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of nonnegative integer ``counts``.
+
+    The canonical processor-allocation step: converts per-group counts
+    into starting offsets.  ``ceil(lg n) + 1`` rounds.
+    """
+    counts = np.asarray(counts)
+    inclusive = prefix_scan(pram, counts.astype(np.float64), op="add")
+    out = np.empty(counts.size + 1, dtype=np.int64)
+    out[0] = 0
+    out[1:] = np.rint(inclusive).astype(np.int64)
+    pram.charge(rounds=1, processors=max(1, counts.size))
+    return out
+
+
+def segmented_scan(
+    pram: Pram,
+    values: np.ndarray,
+    heads: np.ndarray,
+    op: Op = "add",
+    max_segment_length: int | None = None,
+) -> np.ndarray:
+    """Inclusive scan restarting at every True in ``heads``.
+
+    ``max_segment_length`` is the crucial knob for the paper's
+    geometric-sum arguments: when all segments are known to have length
+    ``<= L``, only ``ceil(lg L)`` doubling rounds are needed (elements
+    farther apart than ``L`` never interact), so recursive subproblems
+    of side ``sqrt(n)`` pay ``lg n / 2`` rounds, not ``lg n``.
+    """
+    x = np.array(values, dtype=np.float64, copy=True)
+    n = x.size
+    if n == 0:
+        return x
+    flags = np.array(heads, dtype=bool, copy=True)
+    if flags.shape != (n,):
+        raise ValueError("heads must be a boolean vector matching values")
+    flags[0] = True
+    limit = n if max_segment_length is None else min(n, max(1, int(max_segment_length)))
+    f = _OPS[op]
+    fill = _IDENTITY[op]
+    d = 1
+    if limit <= 1:
+        pram.charge(rounds=1, processors=n)
+        return x
+    while d < limit:
+        xs = _shift_right(x, d, fill)
+        fs = _shift_right(flags, d, True)
+        x = np.where(flags, x, f(x, xs))
+        flags = flags | fs
+        pram.charge(rounds=1, processors=n)
+        d <<= 1
+    return x
+
+
+def reduce(pram: Pram, values: np.ndarray, op: Op = "add") -> float:
+    """Tree reduction: ``ceil(lg n)`` rounds, halving active processors."""
+    x = np.asarray(values, dtype=np.float64)
+    n = x.size
+    if n == 0:
+        return _IDENTITY[op]
+    f = _OPS[op]
+    while x.size > 1:
+        m = x.size
+        half = m // 2
+        merged = f(x[:half], x[half : 2 * half])
+        if m % 2:
+            merged = np.concatenate([merged, x[-1:]])
+        x = merged
+        pram.charge(rounds=1, processors=max(1, half))
+    return float(x[0])
+
+
+def broadcast(pram: Pram, value: float, n: int) -> np.ndarray:
+    """Distribute one value to ``n`` processors.
+
+    CREW/CRCW: one concurrent-read round.  EREW: ``ceil(lg n)`` doubling
+    rounds (each processor that has the value copies it to one more).
+    """
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    out = np.full(max(n, 1), value, dtype=np.float64)[:n]
+    if pram.model.concurrent_read:
+        pram.charge(rounds=1, processors=max(1, n))
+    else:
+        pram.charge(rounds=max(1, ceil_log2(max(1, n))), processors=max(1, n))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Compaction / merging / routing
+# --------------------------------------------------------------------- #
+def pack_indices(pram: Pram, mask: np.ndarray) -> np.ndarray:
+    """Stable compaction: indices ``i`` with ``mask[i]`` True, in order.
+
+    Prefix sum for destination slots (+1 scatter round).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0:
+        return np.empty(0, dtype=np.int64)
+    slots = prefix_scan(pram, mask.astype(np.float64), op="add")
+    total = int(slots[-1])
+    out = np.empty(total, dtype=np.int64)
+    idx = np.nonzero(mask)[0]
+    out[np.rint(slots[idx]).astype(np.int64) - 1] = idx
+    pram.charge(rounds=1, processors=max(1, mask.size))
+    return out
+
+
+def merge_ranks(pram: Pram, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Cross-ranks of two sorted vectors (for O(lg)-round merging).
+
+    Processor ``i`` of ``a`` binary-searches ``b`` (and vice versa), all
+    in lockstep: ``ceil(lg(|b|+1)) + ceil(lg(|a|+1))`` rounds, CREW
+    (concurrent reads of the probed arrays).
+
+    Returns ``(rank_a_in_b, rank_b_in_a)`` where ``rank_a_in_b[i]`` is
+    the number of elements of ``b`` strictly less than ``a[i]`` (ties
+    resolved to keep the merge stable with ``a`` first).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    rank_a = np.searchsorted(b, a, side="left")
+    pram.charge(rounds=max(1, ceil_log2(b.size + 1)), processors=max(1, a.size))
+    rank_b = np.searchsorted(a, b, side="right")
+    pram.charge(rounds=max(1, ceil_log2(a.size + 1)), processors=max(1, b.size))
+    return rank_a.astype(np.int64), rank_b.astype(np.int64)
+
+
+def replicate_by_counts(pram: Pram, values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Repeat ``values[g]`` ``counts[g]`` times, contiguously.
+
+    The PRAM realization is an offsets scan, an exclusive scatter of
+    group heads, and a segmented ``max`` copy-scan — ``O(lg total)``
+    rounds.  Used to hand each allocated processor its group's metadata.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if counts.shape != values.shape:
+        raise ValueError("values and counts must have equal length")
+    offsets = exclusive_prefix_sum(pram, counts)
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.float64)
+    heads = np.zeros(total, dtype=bool)
+    seed = np.full(total, -np.inf)
+    nonempty = counts > 0
+    heads[offsets[:-1][nonempty]] = True
+    seed[offsets[:-1][nonempty]] = values[nonempty]
+    pram.charge(rounds=1, processors=max(1, int(nonempty.sum())))
+    return segmented_scan(pram, seed, heads, op="max")
+
+
+# --------------------------------------------------------------------- #
+# Grouped minima / maxima
+# --------------------------------------------------------------------- #
+def grouped_min(
+    pram: Pram,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    strategy: Literal["auto", "binary", "allpairs", "doubly_log"] = "auto",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Leftmost minimum of each group: ``(min_values, arg_indices)``.
+
+    ``arg_indices`` are positions in the flat ``values`` array (``-1``
+    for empty groups, value ``inf``).
+
+    Strategies
+    ----------
+    ``binary``
+        Segmented scan over the flat array — ``ceil(lg max_width)``
+        rounds, EREW/CREW-safe.  This is the strategy whose round count
+        shrinks geometrically in the paper's ``sqrt``-recursions.
+    ``allpairs``
+        The CRCW constant-round trick: every pair inside a group is
+        compared at once, losers mark themselves, the unique winner
+        writes its index.  3 rounds, but needs ``sum(w_g^2)`` processors.
+    ``doubly_log``
+        Valiant / Shiloach–Vishkin recursive sqrt-splitting —
+        ``O(lg lg max_width)`` rounds with linear processors (CRCW).
+    ``auto``
+        ``allpairs`` when CRCW and the pair budget fits, else
+        ``doubly_log`` on CRCW, else ``binary``.
+    """
+    return _grouped_extremum(pram, values, offsets, "min", strategy)
+
+
+def grouped_max(
+    pram: Pram,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    strategy: Literal["auto", "binary", "allpairs", "doubly_log"] = "auto",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Leftmost maximum of each group (see :func:`grouped_min`)."""
+    neg, idx = _grouped_extremum(pram, -np.asarray(values, dtype=np.float64), offsets, "min", strategy)
+    return -neg, idx
+
+
+def _grouped_extremum(
+    pram: Pram,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    op: Literal["min"],
+    strategy: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    values = np.asarray(values, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size == 0:
+        raise ValueError("offsets must be a nonempty 1-D array")
+    if offsets[0] != 0 or offsets[-1] != values.size or (np.diff(offsets) < 0).any():
+        raise ValueError("offsets must start at 0, end at len(values), and be nondecreasing")
+    widths = np.diff(offsets)
+    n_groups = widths.size
+    if n_groups == 0:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    max_w = int(widths.max(initial=0))
+    if max_w == 0:
+        return np.full(n_groups, np.inf), np.full(n_groups, -1, dtype=np.int64)
+
+    if hasattr(pram, "network_grouped_min"):
+        # NetworkMachine: execute genuinely on the interconnection network.
+        return pram.network_grouped_min(values, offsets)
+
+    if strategy == "auto":
+        if pram.model.is_crcw:
+            pair_budget = int((widths.astype(np.int64) ** 2).sum())
+            # Brent machines time-slice, so strategy choice must respect
+            # the *physical* width or all-pairs degenerates to O(n) slices.
+            budget = getattr(pram, "physical_processors", pram.processors)
+            strategy = "allpairs" if pair_budget <= budget else "doubly_log"
+        else:
+            strategy = "binary"
+    if strategy in ("allpairs", "doubly_log"):
+        pram.require_crcw(f"grouped_min(strategy={strategy!r})")
+
+    if strategy == "binary":
+        return _grouped_min_binary(pram, values, offsets, widths, max_w)
+    if strategy == "allpairs":
+        return _grouped_min_allpairs(pram, values, offsets, widths)
+    if strategy == "doubly_log":
+        return _grouped_min_doubly_log(pram, values, offsets, widths)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _grouped_min_binary(pram, values, offsets, widths, max_w):
+    """Segmented (value, index) min-scan; leftmost ties via index order."""
+    n = values.size
+    heads = np.zeros(n, dtype=bool)
+    nonempty = widths > 0
+    heads[offsets[:-1][nonempty]] = True
+    # Scan values; a second scan of "position of current min" rides along.
+    # Combine rule (v1,i1)+(v2,i2) -> min with leftmost index; implemented
+    # by scanning keys that order by (value, index) lexicographically.
+    x = values.copy()
+    arg = np.arange(n, dtype=np.int64)
+    flags = heads.copy()
+    flags[0] = True
+    d = 1
+    if max_w > 1:
+        while d < max_w:
+            xs = _shift_right(x, d, np.inf)
+            args = _shift_right(arg, d, np.int64(-1))
+            fs = _shift_right(flags, d, True)
+            # prior element (xs) is to the LEFT: on ties it wins.
+            take_prev = (~flags) & ((xs < x) | ((xs == x) & (args < arg) & (args >= 0)))
+            x = np.where(take_prev, xs, x)
+            arg = np.where(take_prev, args, arg)
+            flags = flags | fs
+            pram.charge(rounds=1, processors=n)
+            d <<= 1
+    else:
+        pram.charge(rounds=1, processors=max(1, n))
+    tails = offsets[1:] - 1
+    out_v = np.full(widths.size, np.inf)
+    out_i = np.full(widths.size, -1, dtype=np.int64)
+    out_v[nonempty] = x[tails[nonempty]]
+    # +inf minima report -1 (all-∞ group), matching the other strategies
+    out_i[nonempty] = np.where(out_v[nonempty] < np.inf, arg[tails[nonempty]], -1)
+    pram.charge(rounds=1, processors=max(1, int(nonempty.sum())))
+    return out_v, out_i
+
+
+def _width_classes(widths: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """Bucket nonempty groups by power-of-two width class.
+
+    Returns ``(padded_width, group_indices)`` pairs; padding a group to
+    at most twice its width keeps the processor overcount ≤ 4x.
+    """
+    out = []
+    nonempty = np.nonzero(widths > 0)[0]
+    if nonempty.size == 0:
+        return out
+    classes = np.maximum(0, np.ceil(np.log2(np.maximum(widths[nonempty], 1))).astype(int))
+    classes[widths[nonempty] == 1] = 0
+    for c in np.unique(classes):
+        out.append((1 << int(c), nonempty[classes == c]))
+    return out
+
+
+def _padded_matrix(values, offsets, widths, group_ids, width):
+    """Gather groups ``group_ids`` into a (G, width) matrix padded with inf."""
+    starts = offsets[:-1][group_ids]
+    cols = np.arange(width)
+    idx = starts[:, None] + cols[None, :]
+    mask = cols[None, :] < widths[group_ids][:, None]
+    safe = np.where(mask, idx, 0)
+    mat = np.where(mask, values[safe], np.inf)
+    return mat, starts
+
+
+def _grouped_min_allpairs(pram, values, offsets, widths):
+    """CRCW constant-round grouped minimum.
+
+    For each width class: 1 comparison round (all pairs at once),
+    1 CRCW-common round (losers raise a flag), 1 exclusive round (the
+    unique winner writes its index).  Classes occupy disjoint processor
+    blocks, so they share the same 3 rounds; processors charged are the
+    total number of pairwise comparisons across classes.
+    """
+    n_groups = widths.size
+    out_v = np.full(n_groups, np.inf)
+    out_i = np.full(n_groups, -1, dtype=np.int64)
+    total_pairs = 0
+    for width, gids in _width_classes(widths):
+        mat, starts = _padded_matrix(values, offsets, widths, gids, width)
+        total_pairs += mat.shape[0] * width * width
+        # loser[g, j] = exists i with (v_i < v_j) or (v_i == v_j and i < j)
+        less = mat[:, :, None] < mat[:, None, :]
+        eq = mat[:, :, None] == mat[:, None, :]
+        ii = np.arange(width)
+        earlier = ii[:, None] < ii[None, :]
+        loser = (less | (eq & earlier[None, :, :])).any(axis=1)
+        loser |= np.isposinf(mat)  # padding never wins (all-∞ group -> no winner)
+        winner_col = np.argmin(loser, axis=1)
+        has_winner = ~loser[np.arange(gids.size), winner_col]
+        out_v[gids[has_winner]] = mat[np.arange(gids.size), winner_col][has_winner]
+        out_i[gids[has_winner]] = (starts + winner_col)[has_winner]
+    if total_pairs:
+        pram.charge(rounds=3, processors=total_pairs, work=3 * total_pairs)
+    return out_v, out_i
+
+
+def _grouped_min_doubly_log(pram, values, offsets, widths):
+    """Recursive sqrt-splitting: ``O(lg lg w)`` levels of 3-round all-pairs."""
+    n_groups = widths.size
+    out_v = np.full(n_groups, np.inf)
+    out_i = np.full(n_groups, -1, dtype=np.int64)
+    for width, gids in _width_classes(widths):
+        mat, starts = _padded_matrix(values, offsets, widths, gids, width)
+        idx = starts[:, None] + np.arange(width)[None, :]
+        idx = np.where(np.isinf(mat), np.int64(-1), idx)
+        v, a = _doubly_log_rowmin(pram, mat, idx)
+        ok = a >= 0
+        out_v[gids[ok]] = v[ok]
+        out_i[gids[ok]] = a[ok]
+    return out_v, out_i
+
+
+def _doubly_log_rowmin(pram: Pram, mat: np.ndarray, idx: np.ndarray):
+    """Row minima of a padded (B, w) matrix by recursive sqrt splitting.
+
+    Each level: split rows into ceil(sqrt) blocks, recurse on blocks,
+    then one 3-round all-pairs among the block winners.  Depth is
+    ``O(lg lg w)``; every level's all-pairs uses O(B·w) comparisons.
+    """
+    B, w = mat.shape
+    if w <= 4:
+        return _allpairs_rows(pram, mat, idx)
+    s = ceil_sqrt(w)
+    g = ceil_div(w, s)
+    padded = g * s
+    if padded != w:
+        pad_v = np.full((B, padded - w), np.inf)
+        pad_i = np.full((B, padded - w), -1, dtype=np.int64)
+        mat = np.concatenate([mat, pad_v], axis=1)
+        idx = np.concatenate([idx, pad_i], axis=1)
+    sub_v, sub_i = _doubly_log_rowmin(
+        pram, mat.reshape(B * g, s), idx.reshape(B * g, s)
+    )
+    return _allpairs_rows(pram, sub_v.reshape(B, g), sub_i.reshape(B, g))
+
+
+def _allpairs_rows(pram: Pram, mat: np.ndarray, idx: np.ndarray):
+    """3-round CRCW all-pairs leftmost row minimum of (B, w) candidates."""
+    B, w = mat.shape
+    if w == 1:
+        pram.charge(rounds=1, processors=max(1, B))
+        return mat[:, 0].copy(), idx[:, 0].copy()
+    less = mat[:, :, None] < mat[:, None, :]
+    eq = mat[:, :, None] == mat[:, None, :]
+    ii = np.arange(w)
+    # leftmost tie-break uses original flat indices carried in ``idx``
+    earlier = (idx[:, :, None] < idx[:, None, :]) & (idx[:, :, None] >= 0)
+    loser = (less | (eq & earlier)).any(axis=1)
+    loser |= idx < 0
+    loser |= np.isposinf(mat)  # +inf never wins: all-inf groups report -1
+    col = np.argmin(loser, axis=1)
+    rowsel = np.arange(B)
+    has = ~loser[rowsel, col]
+    out_v = np.where(has, mat[rowsel, col], np.inf)
+    out_i = np.where(has, idx[rowsel, col], -1)
+    pram.charge(rounds=3, processors=B * w * w, work=3 * B * w * w)
+    return out_v, out_i

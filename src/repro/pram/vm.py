@@ -1,0 +1,231 @@
+"""An instruction-level PRAM virtual machine.
+
+While :mod:`repro.pram.primitives` simulates algorithms at the level of
+whole vectorized rounds, this module executes *programs*: every
+processor runs the same straight-line instruction sequence (SIMD style,
+with per-processor predication), and every instruction is one
+synchronous step whose shared-memory accesses are checked against the
+machine model — concurrent reads rejected on EREW, concurrent writes
+rejected on CREW, disagreeing writers rejected on CRCW-common, priority
+resolution on CRCW-priority.
+
+The VM exists to pin down the semantics the coarse simulator assumes:
+the test-suite runs classic textbook programs (parallel max via
+concurrent writes, pointer jumping, prefix sums) and asserts both the
+results and the *violations* (e.g. the O(1) CRCW max program must fault
+on a CREW machine).
+
+Example
+-------
+>>> vm = PramVM(CRCW_COMMON, processors=4, memory_size=8)
+>>> vm.memory[0:4] = [3.0, 9.0, 4.0, 1.0]
+>>> prog = [ProcId("i"), Load("x", "i"), Const("z", 0.0), ...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.pram.ledger import CostLedger
+from repro.pram.models import (
+    ConcurrencyViolation,
+    PramModel,
+    WritePolicy,
+    resolve_concurrent_writes,
+)
+
+__all__ = [
+    "PramVM",
+    "Instruction",
+    "Const",
+    "ProcId",
+    "Load",
+    "Store",
+    "BinOp",
+    "UnaryOp",
+    "SetActive",
+    "AllActive",
+]
+
+
+class Instruction:
+    """Base class; one synchronous PRAM step."""
+
+
+@dataclass(frozen=True)
+class Const(Instruction):
+    """``R[dst] = value`` on every active processor."""
+
+    dst: str
+    value: float
+
+
+@dataclass(frozen=True)
+class ProcId(Instruction):
+    """``R[dst] = processor index``."""
+
+    dst: str
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``R[dst] = M[int(R[addr])]`` — checked read."""
+
+    dst: str
+    addr: str
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``M[int(R[addr])] = R[src]`` — checked, conflict-resolved write."""
+
+    src: str
+    addr: str
+
+
+@dataclass(frozen=True)
+class BinOp(Instruction):
+    """``R[dst] = op(R[a], R[b])``; op ∈ {add, sub, mul, min, max, lt, le, eq, and, or}."""
+
+    dst: str
+    op: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Instruction):
+    """``R[dst] = op(R[a])``; op ∈ {neg, not, floor}."""
+
+    dst: str
+    op: str
+    a: str
+
+
+@dataclass(frozen=True)
+class SetActive(Instruction):
+    """Predicate the following instructions on ``R[pred] != 0``.
+
+    Deactivated processors idle (they still count as present but issue
+    no memory traffic)."""
+
+    pred: str
+
+
+@dataclass(frozen=True)
+class AllActive(Instruction):
+    """Reactivate every processor."""
+
+
+_BINOPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "lt": lambda a, b: (a < b).astype(np.float64),
+    "le": lambda a, b: (a <= b).astype(np.float64),
+    "eq": lambda a, b: (a == b).astype(np.float64),
+    "and": lambda a, b: ((a != 0) & (b != 0)).astype(np.float64),
+    "or": lambda a, b: ((a != 0) | (b != 0)).astype(np.float64),
+}
+
+_UNOPS = {
+    "neg": np.negative,
+    "not": lambda a: (a == 0).astype(np.float64),
+    "floor": np.floor,
+}
+
+
+class PramVM:
+    """A SIMD PRAM executing checked straight-line programs.
+
+    Parameters
+    ----------
+    model:
+        Concurrency semantics to enforce.
+    processors:
+        Number of processors (all run the same program).
+    memory_size:
+        Cells of shared memory, initialized to zero.
+    """
+
+    def __init__(
+        self,
+        model: PramModel,
+        processors: int,
+        memory_size: int,
+        ledger: CostLedger | None = None,
+    ) -> None:
+        if processors < 1:
+            raise ValueError("processors must be >= 1")
+        if memory_size < 1:
+            raise ValueError("memory_size must be >= 1")
+        self.model = model
+        self.processors = processors
+        self.memory = np.zeros(memory_size, dtype=np.float64)
+        self.registers: Dict[str, np.ndarray] = {}
+        self.active = np.ones(processors, dtype=bool)
+        self.ledger = ledger if ledger is not None else CostLedger()
+
+    # ------------------------------------------------------------------ #
+    def reg(self, name: str) -> np.ndarray:
+        """Register file column ``name`` (created zeroed on first use)."""
+        if name not in self.registers:
+            self.registers[name] = np.zeros(self.processors, dtype=np.float64)
+        return self.registers[name]
+
+    def _addresses(self, reg: np.ndarray) -> np.ndarray:
+        addr = reg[self.active].astype(np.int64)
+        if addr.size and (addr.min() < 0 or addr.max() >= self.memory.size):
+            raise IndexError(
+                f"address out of range [0, {self.memory.size}): "
+                f"{int(addr.min())}..{int(addr.max())}"
+            )
+        return addr
+
+    # ------------------------------------------------------------------ #
+    def execute(self, program: Sequence[Instruction]) -> None:
+        """Run ``program``; each instruction costs one charged round."""
+        for instr in program:
+            self._step(instr)
+
+    def _step(self, instr: Instruction) -> None:
+        act = self.active
+        n_act = int(act.sum())
+        if isinstance(instr, Const):
+            self.reg(instr.dst)[act] = instr.value
+        elif isinstance(instr, ProcId):
+            self.reg(instr.dst)[act] = np.nonzero(act)[0].astype(np.float64)
+        elif isinstance(instr, Load):
+            addr = self._addresses(self.reg(instr.addr))
+            self.model.check_reads(addr)
+            self.reg(instr.dst)[act] = self.memory[addr]
+        elif isinstance(instr, Store):
+            addr = self._addresses(self.reg(instr.addr))
+            vals = self.reg(instr.src)[act]
+            pids = np.nonzero(act)[0]
+            uniq, winners = resolve_concurrent_writes(
+                self.model.write_policy, addr, vals, processor_ids=pids
+            )
+            self.memory[uniq] = winners
+        elif isinstance(instr, BinOp):
+            fn = _BINOPS.get(instr.op)
+            if fn is None:
+                raise ValueError(f"unknown binary op {instr.op!r}")
+            self.reg(instr.dst)[act] = fn(self.reg(instr.a), self.reg(instr.b))[act]
+        elif isinstance(instr, UnaryOp):
+            fn = _UNOPS.get(instr.op)
+            if fn is None:
+                raise ValueError(f"unknown unary op {instr.op!r}")
+            self.reg(instr.dst)[act] = fn(self.reg(instr.a))[act]
+        elif isinstance(instr, SetActive):
+            self.active = self.reg(instr.pred) != 0
+        elif isinstance(instr, AllActive):
+            self.active = np.ones(self.processors, dtype=bool)
+        else:
+            raise TypeError(f"not an Instruction: {instr!r}")
+        self.ledger.charge(rounds=1, processors=max(1, n_act))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running scaling tests")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip = pytest.mark.skip(reason="needs --slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

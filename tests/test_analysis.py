@@ -1,0 +1,78 @@
+"""Growth-law fitting and live table regeneration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import GROWTHS, best_fit, fit_ratios, flatness
+from repro.analysis.tables import (
+    render_table,
+    table_1_1_rows,
+    table_1_2_rows,
+    table_1_3_rows,
+)
+
+
+def test_fit_ratios_flat_for_matching_law():
+    ns = [64, 256, 1024]
+    rounds = [10 * GROWTHS["lg n"](n) for n in ns]
+    mean, ratios = fit_ratios(ns, rounds, "lg n")
+    assert np.isclose(mean, 10.0)
+    assert flatness(ratios) == pytest.approx(1.0)
+
+
+def test_fit_ratios_detects_mismatch():
+    ns = [64, 256, 1024]
+    rounds = [n for n in ns]  # linear growth
+    _, ratios = fit_ratios(ns, rounds, "lg n")
+    assert flatness(ratios) > 5
+
+
+def test_best_fit_picks_true_law():
+    ns = [16, 64, 256, 1024, 4096]
+    for law in ("lg n", "lg lg n", "lg^2 n", "sqrt n"):
+        rounds = [3.0 * GROWTHS[law](n) for n in ns]
+        got, f = best_fit(ns, rounds, candidates=["lg n", "lg lg n", "lg^2 n", "sqrt n"])
+        assert got == law
+        assert f == pytest.approx(1.0)
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        fit_ratios([1], [1.0], "quadratic-ish")
+    with pytest.raises(ValueError):
+        fit_ratios([], [], "lg n")
+    with pytest.raises(ValueError):
+        fit_ratios([1, 2], [1.0], "lg n")
+
+
+def test_flatness_handles_zero():
+    assert flatness([0.0, 1.0]) == np.inf
+
+
+@pytest.mark.slow
+def test_table_1_1_live():
+    rows = table_1_1_rows(sizes=(64, 128))
+    assert set(rows) == {"CRCW-PRAM", "CREW-PRAM", "hypercube, etc."}
+    for model, rs in rows.items():
+        assert all(r["rounds"] > 0 for r in rs)
+    text = render_table("Table 1.1", rows)
+    assert "CRCW-PRAM" in text and "rounds" in text
+
+
+@pytest.mark.slow
+def test_table_1_2_live():
+    rows = table_1_2_rows(sizes=(64,))
+    assert all(r["rounds"] > 0 for rs in rows.values() for r in rs)
+
+
+@pytest.mark.slow
+def test_table_1_3_live():
+    rows = table_1_3_rows(sizes=(16,))
+    assert all(r["rounds"] > 0 for rs in rows.values() for r in rs)
+
+
+def test_render_table_small():
+    rows = {"M": [dict(n=4, rounds=7, peak_processors=2, claimed_time="lg n",
+                       claimed_processors="n", normalized=3.5)]}
+    text = render_table("T", rows)
+    assert "7" in text and "3.50" in text

@@ -1,0 +1,100 @@
+"""§1.2 example / Figure 1.1: farthest neighbors across convex chains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.farthest_neighbors import (
+    all_farthest_neighbors,
+    all_farthest_neighbors_brute,
+    farthest_between_chains,
+    farthest_between_chains_pram,
+)
+from repro.core.rowmin_network import network_machine_for
+from repro.monge.generators import convex_position_points
+from repro.pram import CRCW_COMMON, CostLedger, Pram
+
+
+def brute_chains(P, Q):
+    d = np.hypot(P[:, 0][:, None] - Q[:, 0][None, :], P[:, 1][:, None] - Q[:, 1][None, :])
+    return d.max(axis=1), d.argmax(axis=1)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_between_chains_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    pts = convex_position_points(int(rng.integers(4, 60)), rng)
+    k = int(rng.integers(1, pts.shape[0] - 1))
+    P, Q = pts[:k], pts[k:]
+    bv, bc = brute_chains(P, Q)
+    gv, gc = farthest_between_chains(P, Q)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)
+
+
+def test_between_chains_parallel(rng):
+    pts = convex_position_points(50, rng)
+    P, Q = pts[:20], pts[20:]
+    pram = Pram(CRCW_COMMON, 1 << 26, ledger=CostLedger())
+    gv, gc = farthest_between_chains_pram(pram, P, Q)
+    bv, bc = brute_chains(P, Q)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)
+    assert pram.ledger.rounds > 0
+
+
+def test_between_chains_on_network(rng):
+    pts = convex_position_points(40, rng)
+    P, Q = pts[:18], pts[18:]
+    machine = network_machine_for("hypercube", 64)
+    gv, gc = farthest_between_chains_pram(machine, P, Q)
+    bv, bc = brute_chains(P, Q)
+    np.testing.assert_allclose(gv, bv)
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        farthest_between_chains(np.zeros((0, 2)), np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        farthest_between_chains(np.zeros((3, 3)), np.zeros((3, 2)))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_all_farthest_neighbors(seed):
+    rng = np.random.default_rng(seed)
+    poly = convex_position_points(int(rng.integers(3, 80)), rng)
+    bv, bi = all_farthest_neighbors_brute(poly)
+    gv, gi = all_farthest_neighbors(poly)
+    np.testing.assert_allclose(gv, bv)
+    # witnesses may differ under exact distance ties; values decide
+    d = np.hypot(
+        poly[:, 0] - poly[gi, 0], poly[:, 1] - poly[gi, 1]
+    )
+    np.testing.assert_allclose(d, bv)
+
+
+def test_all_farthest_requires_two_vertices():
+    with pytest.raises(ValueError):
+        all_farthest_neighbors(np.zeros((1, 2)))
+
+
+def test_all_farthest_eval_count_near_linear():
+    n = 512
+    poly = convex_position_points(n, np.random.default_rng(0))
+    # the recursion does O(n lg n) distance evals; brute is n^2
+    import repro.apps.farthest_neighbors as fn
+
+    gv, gi = all_farthest_neighbors(poly)
+    bv, bi = all_farthest_neighbors_brute(poly)
+    np.testing.assert_allclose(gv, bv)
+
+
+@given(st.integers(0, 20_000))
+@settings(max_examples=20, deadline=None)
+def test_property_all_farthest(seed):
+    rng = np.random.default_rng(seed)
+    poly = convex_position_points(int(rng.integers(3, 30)), rng)
+    bv, _ = all_farthest_neighbors_brute(poly)
+    gv, _ = all_farthest_neighbors(poly)
+    np.testing.assert_allclose(gv, bv)

@@ -1,0 +1,114 @@
+"""Economic lot-sizing / least-weight subsequence ([AP90] citation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lot_size import (
+    least_weight_subsequence,
+    least_weight_subsequence_brute,
+    lot_size_weight,
+    wagner_whitin,
+)
+from repro.monge.properties import is_monge
+
+
+def random_monge_weight(n, rng):
+    """w(i,j) from a random Monge array over indices 0..n."""
+    from repro.monge.generators import random_monge
+
+    a = random_monge(n + 1, n + 1, rng, integer=True).data
+
+    def w(i, j):
+        return float(a[i, j])
+
+    return w, a
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_lws_matches_brute_on_monge_weights(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 60))
+    w, a = random_monge_weight(n, rng)
+    Eb, pb = least_weight_subsequence_brute(n, w)
+    Ef, pf = least_weight_subsequence(n, w)
+    np.testing.assert_allclose(Ef, Eb)
+    np.testing.assert_array_equal(pf, pb)
+
+
+def test_lws_trivial_sizes():
+    E, p = least_weight_subsequence(0, lambda i, j: 1.0)
+    assert E[0] == 0.0
+    E, p = least_weight_subsequence(1, lambda i, j: 5.0)
+    assert E[1] == 5.0 and p[1] == 0
+    with pytest.raises(ValueError):
+        least_weight_subsequence(-1, lambda i, j: 0.0)
+
+
+def test_lot_size_weight_is_monge(rng):
+    d = rng.integers(0, 10, size=12).astype(float)
+    w = lot_size_weight(d, setup_cost=5.0, holding_cost=0.7)
+    n = 12
+    a = np.array([[w(i, j) if j > i else 0.0 for j in range(n + 1)] for i in range(n + 1)])
+    # check Monge on the strict upper-triangular region via quadruples
+    for i in range(n):
+        for k in range(i + 1, n):
+            for j in range(k + 1, n):
+                for l in range(j + 1, n + 1):
+                    assert a[i, j] + a[k, l] <= a[i, l] + a[k, j] + 1e-9
+
+
+def test_wagner_whitin_known_instance():
+    # demands with an obvious structure: one big gap forces two runs
+    demands = [10, 10, 0, 0, 0, 10, 10]
+    cost, runs = wagner_whitin(demands, setup_cost=3.0, holding_cost=1.0)
+    # producing everything in period 0 would hold 10 units for 5+6 periods
+    assert runs[0] == 0
+    assert len(runs) >= 2
+    # exact optimum vs brute
+    w = lot_size_weight(demands, 3.0, 1.0)
+    Eb, _ = least_weight_subsequence_brute(len(demands), w)
+    assert np.isclose(cost, Eb[-1])
+
+
+def test_wagner_whitin_single_run_when_holding_free():
+    cost, runs = wagner_whitin([5, 5, 5, 5], setup_cost=10.0, holding_cost=0.0)
+    assert runs == [0]
+    assert np.isclose(cost, 10.0)
+
+
+def test_wagner_whitin_run_per_period_when_setup_free():
+    cost, runs = wagner_whitin([1, 2, 3], setup_cost=0.0, holding_cost=5.0)
+    assert np.isclose(cost, 0.0)
+
+
+def test_wagner_whitin_empty():
+    assert wagner_whitin([], 1.0, 1.0) == (0.0, [])
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        lot_size_weight([-1.0], 1.0, 1.0)
+    with pytest.raises(ValueError):
+        lot_size_weight([1.0], -1.0, 1.0)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_property_lws_and_lot_size(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 30))
+    w, _ = random_monge_weight(n, rng)
+    Eb, pb = least_weight_subsequence_brute(n, w)
+    Ef, pf = least_weight_subsequence(n, w)
+    np.testing.assert_allclose(Ef, Eb)
+    np.testing.assert_array_equal(pf, pb)
+    # lot-size agreement
+    d = rng.integers(0, 8, size=int(rng.integers(1, 15))).astype(float)
+    s = float(rng.integers(0, 10))
+    h = float(rng.integers(0, 4))
+    cost, runs = wagner_whitin(d, s, h)
+    ww = lot_size_weight(d, s, h)
+    Eb2, _ = least_weight_subsequence_brute(len(d), ww)
+    assert np.isclose(cost, Eb2[-1])

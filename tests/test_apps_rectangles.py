@@ -1,0 +1,161 @@
+"""§1.3 apps 1-2: empty rectangles and two-corner rectangles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.empty_rectangle import (
+    largest_empty_corner_rectangle,
+    largest_empty_corner_rectangle_brute,
+    largest_empty_rectangle,
+    largest_empty_rectangle_brute,
+)
+from repro.apps.largest_rectangle import (
+    largest_rectangle_brute,
+    largest_two_corner_rectangle,
+)
+from repro.pram import CRCW_COMMON, CostLedger, Pram
+
+BOX = (0.0, 0.0, 10.0, 10.0)
+
+
+def machine():
+    return Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
+
+
+# --------------------------------------------------------------------- #
+# app 2: two-corner rectangle
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(20))
+def test_two_corner_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 50))
+    pts = rng.normal(size=(n, 2)) if seed % 3 else rng.integers(0, 10, (n, 2)).astype(float)
+    ba, _, _ = largest_rectangle_brute(pts)
+    ga, gi, gj = largest_two_corner_rectangle(pts)
+    assert np.isclose(ba, ga)
+    # reported pair realizes the reported area
+    assert np.isclose(
+        abs(pts[gi, 0] - pts[gj, 0]) * abs(pts[gi, 1] - pts[gj, 1]), ga
+    )
+
+
+def test_two_corner_parallel_accounting(rng):
+    pts = rng.normal(size=(64, 2))
+    pram = machine()
+    ga, _, _ = largest_two_corner_rectangle(pts, pram=pram)
+    ba, _, _ = largest_rectangle_brute(pts)
+    assert np.isclose(ga, ba)
+    assert pram.ledger.rounds > 0
+
+
+def test_two_corner_degenerate_collinear():
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+    area, i, j = largest_two_corner_rectangle(pts)
+    assert area == 0.0
+
+
+def test_two_corner_requires_two_points():
+    with pytest.raises(ValueError):
+        largest_two_corner_rectangle(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        largest_rectangle_brute(np.zeros((1, 2)))
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_two_corner_property(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 25))
+    pts = rng.integers(0, 8, (n, 2)).astype(float)
+    ba, _, _ = largest_rectangle_brute(pts)
+    ga, _, _ = largest_two_corner_rectangle(pts)
+    assert np.isclose(ba, ga)
+
+
+# --------------------------------------------------------------------- #
+# app 1: empty rectangles
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(15))
+def test_corner_rectangle_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 25))
+    pts = rng.uniform(0.2, 9.8, size=(n, 2))
+    if seed % 3 == 0 and n:
+        pts = np.clip(np.round(pts), 0.1, 9.9)
+    ba = largest_empty_corner_rectangle_brute(pts, BOX)[0]
+    ga = largest_empty_corner_rectangle(pts, BOX)[0]
+    assert np.isclose(ba, ga)
+
+
+def test_corner_rectangle_no_points():
+    area, w, h = largest_empty_corner_rectangle(np.zeros((0, 2)), BOX)
+    assert np.isclose(area, 100.0)
+
+
+def test_corner_rectangle_parallel(rng):
+    pts = rng.uniform(0.5, 9.5, size=(30, 2))
+    pram = machine()
+    ga = largest_empty_corner_rectangle(pts, BOX, pram=pram)[0]
+    ba = largest_empty_corner_rectangle_brute(pts, BOX)[0]
+    assert np.isclose(ga, ba)
+    assert pram.ledger.rounds > 0
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_empty_rectangle_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 20))
+    pts = rng.uniform(0.2, 9.8, size=(n, 2))
+    if seed % 4 == 0 and n:
+        pts = np.clip(np.round(pts), 0.1, 9.9)
+    ba, _ = largest_empty_rectangle_brute(pts, BOX)
+    ga, grect = largest_empty_rectangle(pts, BOX)
+    assert np.isclose(ba, ga)
+    # returned rectangle is inside the box and empty
+    xl, yb, xr, yt = grect
+    assert 0 <= xl < xr <= 10 and 0 <= yb < yt <= 10
+    inside = (
+        (pts[:, 0] > xl) & (pts[:, 0] < xr) & (pts[:, 1] > yb) & (pts[:, 1] < yt)
+        if n
+        else np.zeros(0, dtype=bool)
+    )
+    assert not inside.any()
+
+
+def test_empty_rectangle_no_points():
+    area, rect = largest_empty_rectangle(np.zeros((0, 2)), BOX)
+    assert np.isclose(area, 100.0)
+
+
+def test_empty_rectangle_rejects_outside_points():
+    with pytest.raises(ValueError):
+        largest_empty_rectangle(np.array([[11.0, 5.0]]), BOX)
+    with pytest.raises(ValueError):
+        largest_empty_rectangle_brute(np.zeros((0, 2)), (0, 0, 0, 1))
+
+
+def test_empty_rectangle_single_center_point():
+    area, rect = largest_empty_rectangle(np.array([[5.0, 5.0]]), BOX)
+    assert np.isclose(area, 50.0)  # a half-box
+
+
+def test_empty_rectangle_parallel_accounting(rng):
+    pts = rng.uniform(0.5, 9.5, size=(16, 2))
+    pram = machine()
+    ga, _ = largest_empty_rectangle(pts, BOX, pram=pram)
+    ba, _ = largest_empty_rectangle_brute(pts, BOX)
+    assert np.isclose(ga, ba)
+    assert pram.ledger.rounds > 0
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None)
+def test_empty_rectangle_property(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 14))
+    pts = rng.uniform(0.3, 9.7, size=(n, 2))
+    ba, _ = largest_empty_rectangle_brute(pts, BOX)
+    ga, _ = largest_empty_rectangle(pts, BOX)
+    assert np.isclose(ba, ga)

@@ -1,0 +1,149 @@
+"""§1.3 app 4: string editing via grid-DAG tube products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.string_edit import (
+    EditCosts,
+    _big_for,
+    edit_distance_dag_parallel,
+    edit_distance_wagner_fischer,
+    strip_dist_matrix,
+)
+from repro.core.network_machine import NetworkMachine
+from repro.core.rowmin_network import make_network
+from repro.monge.properties import is_monge
+from repro.pram import CRCW_COMMON, CostLedger, Pram
+from repro.pram.ledger import CostLedger as CL
+
+
+def random_costs(rng):
+    dmap = {c: float(rng.integers(1, 4)) for c in "abcd"}
+    imap = {c: float(rng.integers(1, 4)) for c in "abcd"}
+    smap = {
+        (a, b): 0.0 if a == b else float(rng.integers(1, 5))
+        for a in "abcd"
+        for b in "abcd"
+    }
+    return EditCosts(
+        delete=lambda a: dmap[a],
+        insert=lambda b: imap[b],
+        substitute=lambda a, b: smap[(a, b)],
+    )
+
+
+def rand_string(rng, max_len=12):
+    k = int(rng.integers(0, max_len))
+    return "".join(rng.choice(list("abcd"), size=k))
+
+
+def test_wagner_fischer_classic_examples():
+    assert edit_distance_wagner_fischer("kitten", "sitting")[0] == 3
+    assert edit_distance_wagner_fischer("", "abc")[0] == 3
+    assert edit_distance_wagner_fischer("abc", "")[0] == 3
+    assert edit_distance_wagner_fischer("same", "same")[0] == 0
+
+
+def test_wagner_fischer_script_is_minimal_and_valid():
+    cost, script = edit_distance_wagner_fischer("kitten", "sitting")
+    assert len(script) == 3
+    kinds = [op[0] for op in script]
+    assert kinds.count("substitute") == 2 and kinds.count("insert") == 1
+
+
+def test_negative_costs_rejected():
+    bad = EditCosts(delete=lambda a: -1.0)
+    with pytest.raises(ValueError):
+        edit_distance_wagner_fischer("a", "b", bad)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_dag_matches_wagner_fischer(seed):
+    rng = np.random.default_rng(seed)
+    x, y = rand_string(rng), rand_string(rng)
+    costs = random_costs(rng) if seed % 2 else EditCosts()
+    ref = edit_distance_wagner_fischer(x, y, costs)[0]
+    got = edit_distance_dag_parallel(x, y, costs)
+    assert np.isclose(ref, got), (x, y)
+
+
+def test_strip_dist_is_monge(rng):
+    y = "abcabd"
+    costs = random_costs(rng)
+    big = _big_for("c", y, costs)
+    D = strip_dist_matrix("c", y, costs, big)
+    assert is_monge(D)
+
+
+def test_strip_dist_matches_dp(rng):
+    """Single-row strip DIST equals a direct DP for every entry pair."""
+    y = "abca"
+    costs = random_costs(rng)
+    big = _big_for("b", y, costs)
+    D = strip_dist_matrix("b", y, costs, big)
+    t = len(y)
+    for p in range(t + 1):
+        ref = edit_distance_wagner_fischer("b", y[p:], costs)[0]
+        # DIST[p][t] = cost of consuming "b" against y[p:]
+        assert np.isclose(D[p, t], ref), p
+
+
+def test_dist_matrix_full_equals_all_suffix_distances(rng):
+    x, y = "abc", "abcd"
+    costs = EditCosts()
+    val, dist = edit_distance_dag_parallel(x, y, costs, return_dist=True)
+    t = len(y)
+    for p in range(t + 1):
+        ref = edit_distance_wagner_fischer(x, y[p:], costs)[0]
+        assert np.isclose(dist[p, t], ref), p
+
+
+def test_parallel_rounds_grow_polylog():
+    import math
+
+    rounds = {}
+    for s in (8, 32):
+        rng = np.random.default_rng(s)
+        x = "".join(rng.choice(list("ab"), size=s))
+        y = "".join(rng.choice(list("ab"), size=s))
+        pram = Pram(CRCW_COMMON, 1 << 44, ledger=CostLedger())
+        got = edit_distance_dag_parallel(x, y, pram=pram)
+        assert np.isclose(got, edit_distance_wagner_fischer(x, y)[0])
+        rounds[s] = pram.ledger.rounds
+    # lg 32 / lg 8 = 5/3; allow constants but rule out linear growth
+    assert rounds[32] <= 4 * rounds[8]
+
+
+def test_on_network_machine():
+    x, y = "abca", "bcab"
+    net = make_network("hypercube", 64, ledger=CL())
+    machine = NetworkMachine(net)
+    got = edit_distance_dag_parallel(x, y, pram=machine)
+    assert np.isclose(got, edit_distance_wagner_fischer(x, y)[0])
+    assert machine.ledger.rounds > 0
+
+
+def test_empty_strings():
+    assert edit_distance_dag_parallel("", "") == 0.0
+    costs = EditCosts()
+    assert np.isclose(
+        edit_distance_dag_parallel("", "xyz"),
+        edit_distance_wagner_fischer("", "xyz")[0],
+    )
+    assert np.isclose(
+        edit_distance_dag_parallel("xy", ""),
+        edit_distance_wagner_fischer("xy", "")[0],
+    )
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=25, deadline=None)
+def test_property_dag_vs_dp(seed):
+    rng = np.random.default_rng(seed)
+    x, y = rand_string(rng, 10), rand_string(rng, 10)
+    costs = random_costs(rng)
+    ref = edit_distance_wagner_fischer(x, y, costs)[0]
+    got = edit_distance_dag_parallel(x, y, costs)
+    assert np.isclose(ref, got)

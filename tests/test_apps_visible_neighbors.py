@@ -1,0 +1,141 @@
+"""§1.3 app 3: visible/invisible neighbor queries on convex polygons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.geometry import (
+    ensure_ccw,
+    is_ccw_convex,
+    pareto_staircase,
+    polygon_contains_strictly,
+    random_convex_polygon,
+    segment_crosses_polygon_interior,
+    separated_convex_polygons,
+    visible_arc,
+)
+from repro.apps.visible_neighbors import (
+    QUERIES,
+    neighbor_queries_brute,
+    visible_neighbor_queries,
+)
+from repro.pram import CRCW_COMMON, CostLedger, Pram
+
+
+def _close(a, b):
+    return np.allclose(
+        np.nan_to_num(a, posinf=1e9, neginf=-1e9),
+        np.nan_to_num(b, posinf=1e9, neginf=-1e9),
+        atol=1e-9,
+    )
+
+
+# --------------------------------------------------------------------- #
+# geometry helpers
+# --------------------------------------------------------------------- #
+def test_random_convex_polygon_is_convex(rng):
+    poly = random_convex_polygon(12, rng)
+    assert is_ccw_convex(poly)
+    assert not is_ccw_convex(poly[::-1])
+    with pytest.raises(ValueError):
+        random_convex_polygon(2, rng)
+
+
+def test_ensure_ccw_flips_cw(rng):
+    poly = random_convex_polygon(8, rng)
+    np.testing.assert_array_equal(ensure_ccw(poly[::-1].copy()), poly[::-1][::-1])
+    assert is_ccw_convex(ensure_ccw(poly[::-1].copy()))
+
+
+def test_polygon_contains_strictly():
+    sq = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+    inside = polygon_contains_strictly(sq, np.array([[1.0, 1.0]]))
+    on_edge = polygon_contains_strictly(sq, np.array([[0.0, 1.0]]))
+    outside = polygon_contains_strictly(sq, np.array([[3.0, 1.0]]))
+    assert inside[0] and not on_edge[0] and not outside[0]
+
+
+def test_segment_crossing_predicate():
+    sq = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+    assert segment_crosses_polygon_interior((-1, 1), (3, 1), sq)
+    assert not segment_crosses_polygon_interior((-1, -1), (3, -1), sq)
+    assert not segment_crosses_polygon_interior((0, 0), (2, 0), sq)  # along edge
+
+
+def test_visible_arcs_are_few(rng):
+    P, Q = separated_convex_polygons(9, 11, rng)
+    any_rows = 0
+    for i in range(9):
+        mask = visible_arc(P[i], P, Q)
+        # vertices on P's far side legitimately see nothing (P blocks)
+        any_rows += int(mask.any())
+        transitions = int((mask != np.roll(mask, 1)).sum())
+        # tangent arc minus P's wedge: at most two circular arcs
+        assert transitions <= 4
+    assert any_rows >= 3  # the facing side always sees something
+
+
+def test_pareto_staircase_basic():
+    pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+    nw = pareto_staircase(pts, +1, -1)  # min x, max y
+    assert 0 in nw or 3 in nw
+    assert pareto_staircase(np.zeros((0, 2)), 1, 1).size == 0
+
+
+# --------------------------------------------------------------------- #
+# the four queries
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(12))
+def test_queries_match_brute(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(4, 14))
+    n = int(rng.integers(4, 14))
+    P, Q = separated_convex_polygons(m, n, rng, gap=0.4 + rng.random())
+    ref = neighbor_queries_brute(P, Q)
+    got = visible_neighbor_queries(P, Q)
+    for name in QUERIES:
+        assert _close(ref[name][0], got[name][0]), name
+
+
+def test_queries_witnesses_consistent(rng):
+    P, Q = separated_convex_polygons(10, 12, rng)
+    got = visible_neighbor_queries(P, Q)
+    for name in QUERIES:
+        vals, idx = got[name]
+        for i in range(len(P)):
+            if idx[i] >= 0:
+                d = float(np.hypot(*(P[i] - Q[idx[i]])))
+                assert np.isclose(d, vals[i]), name
+
+
+def test_queries_parallel_accounting(rng):
+    P, Q = separated_convex_polygons(12, 14, rng)
+    pram = Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
+    got = visible_neighbor_queries(P, Q, pram=pram)
+    ref = neighbor_queries_brute(P, Q)
+    for name in QUERIES:
+        assert _close(ref[name][0], got[name][0]), name
+    assert pram.ledger.rounds > 0
+
+
+def test_far_apart_polygons_fully_visible(rng):
+    """With a huge gap, every vertex of Q is visible from every x."""
+    P, Q = separated_convex_polygons(6, 7, rng, gap=50.0)
+    got = visible_neighbor_queries(P, Q)
+    # invisible sets may be empty for some/all rows
+    vals, idx = got["nearest_visible"]
+    assert (idx >= 0).all()
+
+
+@given(st.integers(0, 30_000))
+@settings(max_examples=20, deadline=None)
+def test_property_queries(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(4, 10))
+    n = int(rng.integers(4, 10))
+    P, Q = separated_convex_polygons(m, n, rng, gap=0.3 + 2 * rng.random())
+    ref = neighbor_queries_brute(P, Q)
+    got = visible_neighbor_queries(P, Q)
+    for name in QUERIES:
+        assert _close(ref[name][0], got[name][0]), name

@@ -1,0 +1,197 @@
+"""Theorems 3.2–3.4: §2 algorithms on the interconnection networks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    inverse_monge_row_maxima_network,
+    monge_row_maxima_network,
+    monge_row_minima_network,
+    staircase_row_minima_network,
+    tube_maxima_network,
+    tube_minima_network,
+)
+from repro.core.network_machine import NetworkMachine
+from repro.core.rowmin_network import make_network, network_machine_for
+from repro.monge.generators import (
+    random_composite,
+    random_monge,
+    random_staircase_monge,
+)
+
+TOPOLOGIES = ["hypercube", "ccc", "shuffle-exchange"]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("seed", range(3))
+def test_rowmin_all_topologies(seed, topology):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 40))
+    n = int(rng.integers(1, 40))
+    a = random_monge(m, n, rng, integer=bool(seed % 2))
+    v, c, ledger = monge_row_minima_network(a, topology)
+    np.testing.assert_array_equal(c, a.data.argmin(axis=1))
+    assert ledger.rounds > 0
+
+
+def test_rowmax_network(rng):
+    a = random_monge(20, 26, rng, integer=True)
+    v, c, _ = monge_row_maxima_network(a, "hypercube")
+    np.testing.assert_array_equal(c, a.data.argmax(axis=1))
+
+
+def test_inverse_rowmax_network(rng):
+    from repro.monge.generators import random_inverse_monge
+
+    a = random_inverse_monge(18, 25, rng)
+    v, c, _ = inverse_monge_row_maxima_network(a, "hypercube")
+    np.testing.assert_array_equal(c, a.data.argmax(axis=1))
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_staircase_network(rng, topology):
+    a = random_staircase_monge(25, 25, rng, integer=True)
+    dense = a.materialize()
+    bc = dense.argmin(axis=1)
+    bv = dense[np.arange(25), bc]
+    bc = np.where(np.isinf(bv), -1, bc)
+    v, c, ledger = staircase_row_minima_network(a, topology)
+    np.testing.assert_array_equal(c, bc)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_tube_network(rng, topology):
+    comp = random_composite(7, 9, 8, rng, integer=True)
+    d = comp.D.materialize()
+    e = comp.E.materialize()
+    cube = d[:, :, None] + e[None, :, :]
+    v, j, ledger = tube_minima_network(comp, topology)
+    np.testing.assert_array_equal(j, cube.argmin(axis=1))
+    v, j, _ = tube_maxima_network(comp, topology)
+    np.testing.assert_array_equal(j, cube.argmax(axis=1))
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError, match="unknown topology"):
+        make_network("torus", 16)
+
+
+def test_network_machine_is_pram_compatible():
+    machine = network_machine_for("hypercube", 64)
+    assert isinstance(machine, NetworkMachine)
+    assert machine.sub(10) is machine  # shares the physical network
+    machine.charge_eval(1000)
+    assert machine.ledger.rounds > 0
+
+
+def test_network_prefix_scan_slicing(rng):
+    """Inputs longer than the network are processed in carried slices."""
+    machine = network_machine_for("hypercube", 16)
+    x = rng.normal(size=100)
+    got = machine.network_prefix_scan(x, "add")
+    np.testing.assert_allclose(got, np.cumsum(x), rtol=1e-9)
+
+
+def test_network_grouped_min_slicing(rng):
+    machine = network_machine_for("hypercube", 16)
+    values = rng.integers(0, 6, size=200).astype(float)
+    cuts = np.sort(rng.choice(np.arange(1, 200), size=9, replace=False))
+    offsets = np.concatenate([[0], cuts, [200]])
+    gv, gi = machine.network_grouped_min(values, offsets)
+    for g in range(len(offsets) - 1):
+        seg = values[offsets[g] : offsets[g + 1]]
+        assert gv[g] == seg.min()
+        assert gi[g] == offsets[g] + int(np.argmin(seg))
+
+
+def test_network_grouped_min_spanning_group(rng):
+    """A single group longer than the whole network must carry across
+    slices correctly."""
+    machine = network_machine_for("hypercube", 8)
+    values = rng.normal(size=50)
+    offsets = np.array([0, 50])
+    gv, gi = machine.network_grouped_min(values, offsets)
+    assert gv[0] == values.min() and gi[0] == int(np.argmin(values))
+
+
+def test_network_bracketing_queries(rng):
+    machine = network_machine_for("hypercube", 64)
+    x = rng.integers(0, 10, size=7).astype(float)
+    thr = rng.integers(0, 10, size=5).astype(float)
+    pos = rng.integers(0, 8, size=5).astype(np.int64)
+    got = machine.network_nearest_smaller_left_threshold(x, thr, pos)
+    for t in range(5):
+        ref = -1
+        for j in range(int(pos[t]) - 1, -1, -1):
+            if x[j] < thr[t]:
+                ref = j
+                break
+        assert got[t] == ref
+
+
+def test_hypercube_beats_nothing_but_pram_wins():
+    """Shape check: network rounds exceed PRAM rounds on the same input
+    (the tables' ordering CRCW <= CREW <= network)."""
+    from repro.pram import CRCW_COMMON, CostLedger, Pram
+    from repro.core import monge_row_minima_pram
+
+    n = 128
+    a = random_monge(n, n, np.random.default_rng(0))
+    pram = Pram(CRCW_COMMON, 1 << 30, ledger=CostLedger())
+    monge_row_minima_pram(pram, a)
+    v, c, net_ledger = monge_row_minima_network(a, "hypercube")
+    assert net_ledger.rounds > pram.ledger.rounds
+
+
+def test_ccc_and_se_cost_more_than_hypercube():
+    n = 64
+    a = random_monge(n, n, np.random.default_rng(1))
+    rounds = {}
+    for topo in TOPOLOGIES:
+        _, _, led = monge_row_minima_network(a, topo)
+        rounds[topo] = led.rounds
+    assert rounds["ccc"] > rounds["hypercube"]
+    assert rounds["shuffle-exchange"] > rounds["hypercube"]
+    # constant-factor slowdown, not asymptotic
+    assert rounds["ccc"] < 4 * rounds["hypercube"]
+    assert rounds["shuffle-exchange"] < 4 * rounds["hypercube"]
+
+
+def test_network_grouped_max_via_negation(rng):
+    """grouped_max dispatches through the network path by negation."""
+    from repro.pram.primitives import grouped_max
+
+    machine = network_machine_for("hypercube", 32)
+    values = rng.integers(0, 9, size=64).astype(float)
+    offsets = np.arange(0, 65, 8, dtype=np.int64)
+    v, i = grouped_max(machine, values, offsets)
+    ref = values.reshape(8, 8)
+    np.testing.assert_array_equal(v, ref.max(axis=1))
+    np.testing.assert_array_equal(
+        i, np.arange(0, 64, 8) + ref.argmax(axis=1)
+    )
+
+
+def test_network_machine_charge_eval_scales_with_slices():
+    m16 = network_machine_for("hypercube", 16)
+    m16.charge_eval(16)
+    one_slice = m16.ledger.rounds
+    m16b = network_machine_for("hypercube", 16)
+    m16b.charge_eval(160)  # ten slices
+    assert m16b.ledger.rounds == 10 * one_slice
+
+
+def test_windowed_solver_on_network_machine(rng):
+    """The windowed dispatcher runs end-to-end on a network machine."""
+    from repro.core.windowed import windowed_monge_row_minima
+
+    a = random_monge(20, 20, rng, integer=True)
+    lo = np.arange(20) // 2
+    hi = np.minimum(20, lo + 7)
+    machine = network_machine_for("hypercube", 64)
+    v, c = windowed_monge_row_minima(machine, a, lo, hi)
+    for i in range(20):
+        seg = a.data[i, lo[i] : hi[i]]
+        assert c[i] == lo[i] + int(np.argmin(seg))

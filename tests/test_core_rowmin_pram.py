@@ -1,0 +1,170 @@
+"""Parallel Monge row minima/maxima (Table 1.1 algorithms)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rowmin_pram import (
+    inverse_monge_row_maxima_pram,
+    monge_row_maxima_pram,
+    monge_row_minima_pram,
+)
+from repro.monge.generators import (
+    chain_distance_array,
+    convex_position_points,
+    random_inverse_monge,
+    random_monge,
+)
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+from repro.pram.scheduling import BrentPram
+
+
+def make(model=CRCW_COMMON, p=1 << 26):
+    return Pram(model, p, ledger=CostLedger())
+
+
+@pytest.mark.parametrize("strategy", ["sqrt", "halving"])
+@pytest.mark.parametrize("model", [CRCW_COMMON, CREW])
+@pytest.mark.parametrize("seed", range(4))
+def test_minima_match_bruteforce(seed, model, strategy):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 50))
+    n = int(rng.integers(1, 50))
+    a = random_monge(m, n, rng, integer=bool(seed % 2))
+    v, c = monge_row_minima_pram(make(model), a, strategy=strategy)
+    ref_c = a.data.argmin(axis=1)
+    np.testing.assert_array_equal(c, ref_c)
+    np.testing.assert_allclose(v, a.data[np.arange(m), ref_c])
+
+
+def test_rectangular_lemma_2_1_shapes(rng):
+    """Lemma 2.1 / Corollary 2.4 cases: m >> n and m << n."""
+    for m, n in [(200, 9), (9, 200), (128, 1), (1, 128)]:
+        a = random_monge(m, n, rng)
+        v, c = monge_row_minima_pram(make(), a)
+        np.testing.assert_array_equal(c, a.data.argmin(axis=1))
+
+
+def test_leftmost_ties():
+    a = np.zeros((7, 9))
+    v, c = monge_row_minima_pram(make(), a)
+    assert (c == 0).all() and (v == 0).all()
+
+
+def test_single_cell():
+    v, c = monge_row_minima_pram(make(), np.array([[3.5]]))
+    assert v[0] == 3.5 and c[0] == 0
+
+
+def test_zero_columns_rejected():
+    with pytest.raises(ValueError):
+        monge_row_minima_pram(make(), np.empty((3, 0)))
+
+
+def test_empty_rows_ok():
+    v, c = monge_row_minima_pram(make(), np.empty((0, 3)))
+    assert v.size == 0 and c.size == 0
+
+
+def test_unknown_strategy_rejected(rng):
+    with pytest.raises(ValueError):
+        monge_row_minima_pram(make(), random_monge(4, 4, rng), strategy="bogus")
+
+
+def test_row_maxima_of_monge(rng):
+    a = random_monge(25, 31, rng, integer=True)
+    v, c = monge_row_maxima_pram(make(), a)
+    ref_c = a.data.argmax(axis=1)
+    np.testing.assert_array_equal(c, ref_c)
+    np.testing.assert_allclose(v, a.data.max(axis=1))
+
+
+def test_row_maxima_of_inverse_monge_polygon(rng):
+    pts = convex_position_points(36, rng)
+    a = chain_distance_array(pts[:16], pts[16:])
+    v, c = inverse_monge_row_maxima_pram(make(), a)
+    dense = a.materialize()
+    np.testing.assert_array_equal(c, dense.argmax(axis=1))
+    np.testing.assert_allclose(v, dense.max(axis=1))
+
+
+def test_inverse_monge_maxima_random(rng):
+    a = random_inverse_monge(30, 22, rng, integer=True)
+    v, c = inverse_monge_row_maxima_pram(make(), a)
+    np.testing.assert_array_equal(c, a.data.argmax(axis=1))
+
+
+def test_crcw_round_growth_logarithmic():
+    """Measured rounds grow ~ lg n on a CRCW machine with 8n procs."""
+    rounds = {}
+    for n in (64, 1024):
+        a = random_monge(n, n, np.random.default_rng(n))
+        pram = BrentPram(CRCW_COMMON, 1 << 40, 8 * n, ledger=CostLedger())
+        monge_row_minima_pram(pram, a)
+        rounds[n] = pram.ledger.rounds
+    # lg(1024)/lg(64) = 1.67; allow up to 4x for constant jitter
+    assert rounds[1024] <= 4 * rounds[64]
+    # and far from linear growth (16x)
+    assert rounds[1024] < rounds[64] * 8
+
+
+def test_crew_round_growth():
+    rounds = {}
+    for n in (64, 1024):
+        a = random_monge(n, n, np.random.default_rng(n))
+        phys = max(1, int(n / math.log2(math.log2(n))))
+        pram = BrentPram(CREW, 1 << 40, phys, ledger=CostLedger())
+        v, c = monge_row_minima_pram(pram, a)
+        np.testing.assert_array_equal(c, a.data.argmin(axis=1))
+        rounds[n] = pram.ledger.rounds
+    assert rounds[1024] <= 5 * rounds[64]
+
+
+def test_processor_budget_respected_by_brent():
+    n = 256
+    a = random_monge(n, n, np.random.default_rng(1))
+    pram = BrentPram(CRCW_COMMON, 1 << 40, n, ledger=CostLedger())
+    monge_row_minima_pram(pram, a)
+    assert pram.ledger.peak_processors <= n
+
+
+def test_work_is_near_linear():
+    """Total work stays within O(n lg n)-ish of the sequential O(n).
+
+    Measured on a Brent machine with 8n physical processors (an
+    unbounded machine lets the all-pairs primitive trade quadratic work
+    for constant rounds, which is legal but pollutes this metric).
+    """
+    n = 1024
+    a = random_monge(n, n, np.random.default_rng(2))
+    pram = BrentPram(CRCW_COMMON, 1 << 40, 8 * n, ledger=CostLedger())
+    monge_row_minima_pram(pram, a)
+    assert pram.ledger.work <= 100 * n * math.log2(n)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_property_random_instances(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 40))
+    n = int(rng.integers(1, 40))
+    a = random_monge(m, n, rng, integer=True)
+    for strategy in ("sqrt", "halving"):
+        v, c = monge_row_minima_pram(make(), a, strategy=strategy)
+        np.testing.assert_array_equal(c, a.data.argmin(axis=1), err_msg=strategy)
+
+
+def test_erew_machine_supported(rng):
+    """The binary grouped-minimum path is exclusive-read/write safe, so
+    the searches run on a plain EREW machine too."""
+    from repro.pram.models import EREW
+
+    a = random_monge(30, 30, rng, integer=True)
+    pram = Pram(EREW, 1 << 26, ledger=CostLedger())
+    v, c = monge_row_minima_pram(pram, a)
+    np.testing.assert_array_equal(c, a.data.argmin(axis=1))
+    # EREW pays lg-rounds for broadcasts but stays polylog overall
+    assert pram.ledger.rounds < 1000

@@ -1,0 +1,109 @@
+"""§1.2's easy direction: parallel staircase row maxima + LCS wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.string_edit import longest_common_subsequence
+from repro.core.staircase_pram import staircase_row_maxima_pram
+from repro.monge.generators import random_monge, random_staircase_monge
+from repro.monge.staircase_seq import row_maxima_staircase
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+
+
+def make(model=CRCW_COMMON):
+    return Pram(model, 1 << 30, ledger=CostLedger())
+
+
+def brute_max(dense):
+    masked = np.where(np.isinf(dense), -np.inf, dense)
+    m = dense.shape[0]
+    cols = masked.argmax(axis=1)
+    vals = masked[np.arange(m), cols]
+    return vals, np.where(np.isinf(vals), -1, cols)
+
+
+@pytest.mark.parametrize("model", [CRCW_COMMON, CREW])
+@pytest.mark.parametrize("seed", range(6))
+def test_parallel_staircase_maxima(seed, model):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 50))
+    n = int(rng.integers(1, 50))
+    a = random_staircase_monge(m, n, rng, integer=bool(seed % 2))
+    bv, bc = brute_max(a.materialize())
+    gv, gc = staircase_row_maxima_pram(make(model), a)
+    np.testing.assert_array_equal(gc, bc)
+    finite = np.isfinite(bv)
+    np.testing.assert_allclose(gv[finite], bv[finite])
+
+
+def test_matches_sequential_easy_direction(rng):
+    a = random_staircase_monge(30, 30, rng)
+    sv, sc = row_maxima_staircase(a)
+    pv, pc = staircase_row_maxima_pram(make(), a)
+    np.testing.assert_array_equal(pc, sc)
+
+
+def test_full_monge_input(rng):
+    a = random_monge(25, 25, rng, integer=True)
+    gv, gc = staircase_row_maxima_pram(make(), a.data)
+    np.testing.assert_array_equal(gc, a.data.argmax(axis=1))
+
+
+def test_all_infinite_rows():
+    from repro.monge.arrays import ExplicitArray, StaircaseArray
+
+    a = StaircaseArray(ExplicitArray(np.zeros((4, 4))), np.array([4, 2, 0, 0]))
+    gv, gc = staircase_row_maxima_pram(make(), a)
+    assert (gc[2:] == -1).all()
+    assert gc[0] == 0  # leftmost among all-equal
+
+
+def test_empty():
+    gv, gc = staircase_row_maxima_pram(make(), np.empty((0, 3)))
+    assert gv.size == 0
+
+
+def test_uses_fewer_rounds_than_minima(rng):
+    """The easy direction should not need the Theorem 2.3 machinery's
+    rounds (shape statement, generous factor)."""
+    from repro.core.staircase_pram import staircase_row_minima_pram
+
+    n = 128
+    a = random_staircase_monge(n, n, np.random.default_rng(0))
+    m1 = make()
+    staircase_row_maxima_pram(m1, a)
+    m2 = make()
+    staircase_row_minima_pram(m2, a)
+    assert m1.ledger.rounds <= 2 * m2.ledger.rounds
+
+
+# --------------------------------------------------------------------- #
+def _lcs_brute(x, y):
+    dp = np.zeros((len(x) + 1, len(y) + 1), dtype=int)
+    for i in range(1, len(x) + 1):
+        for j in range(1, len(y) + 1):
+            dp[i, j] = (
+                dp[i - 1, j - 1] + 1
+                if x[i - 1] == y[j - 1]
+                else max(dp[i - 1, j], dp[i, j - 1])
+            )
+    return int(dp[len(x), len(y)])
+
+
+@pytest.mark.parametrize(
+    "x,y,expect",
+    [("ABCBDAB", "BDCABA", 4), ("", "", 0), ("abc", "", 0), ("abc", "abc", 3)],
+)
+def test_lcs_known(x, y, expect):
+    assert longest_common_subsequence(x, y) == expect
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=25, deadline=None)
+def test_lcs_property(seed):
+    rng = np.random.default_rng(seed)
+    x = "".join(rng.choice(list("ab"), size=int(rng.integers(0, 12))))
+    y = "".join(rng.choice(list("ab"), size=int(rng.integers(0, 12))))
+    assert longest_common_subsequence(x, y) == _lcs_brute(x, y)

@@ -1,0 +1,134 @@
+"""Parallel tube (product) searching (Table 1.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tube_pram import tube_maxima_pram, tube_minima_pram
+from repro.monge.composite import product_argmax, product_argmin
+from repro.monge.generators import random_composite
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+from repro.pram.models import ConcurrencyViolation
+from repro.pram.scheduling import BrentPram
+
+
+def make(model=CRCW_COMMON, p=1 << 30):
+    return Pram(model, p, ledger=CostLedger())
+
+
+@pytest.mark.parametrize("scheme,model", [("crew", CREW), ("crcw", CRCW_COMMON)])
+@pytest.mark.parametrize("seed", range(5))
+def test_minima_match_sequential(seed, scheme, model):
+    rng = np.random.default_rng(seed)
+    p, q, r = (int(rng.integers(1, 20)) for _ in range(3))
+    c = random_composite(p, q, r, rng, integer=bool(seed % 2))
+    sv, sj = product_argmin(c)
+    v, j = tube_minima_pram(make(model), c, scheme=scheme)
+    np.testing.assert_allclose(v, sv)
+    np.testing.assert_array_equal(j, sj)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_maxima_match_sequential(seed):
+    rng = np.random.default_rng(seed)
+    p, q, r = (int(rng.integers(1, 18)) for _ in range(3))
+    c = random_composite(p, q, r, rng, integer=bool(seed % 2))
+    sv, sj = product_argmax(c)
+    v, j = tube_maxima_pram(make(), c)
+    np.testing.assert_allclose(v, sv)
+    np.testing.assert_array_equal(j, sj)
+
+
+def test_auto_scheme_dispatch(rng):
+    c = random_composite(6, 6, 6, rng)
+    v1, _ = tube_minima_pram(make(CREW), c)  # auto -> crew
+    v2, _ = tube_minima_pram(make(CRCW_COMMON), c)  # auto -> crcw
+    np.testing.assert_allclose(v1, v2)
+
+
+def test_crcw_scheme_requires_crcw(rng):
+    c = random_composite(4, 4, 4, rng)
+    with pytest.raises(ConcurrencyViolation):
+        tube_minima_pram(make(CREW), c, scheme="crcw")
+
+
+def test_unknown_scheme(rng):
+    with pytest.raises(ValueError):
+        tube_minima_pram(make(), random_composite(2, 2, 2, rng), scheme="x")
+
+
+def test_accepts_pair(rng):
+    from repro.monge.generators import random_monge
+
+    D = random_monge(3, 4, rng)
+    E = random_monge(4, 5, rng)
+    v, j = tube_minima_pram(make(), (D, E))
+    assert v.shape == (3, 5)
+    with pytest.raises(TypeError):
+        tube_minima_pram(make(), "nope")
+
+
+def test_smallest_j_ties():
+    c = random_composite(5, 7, 6, np.random.default_rng(0))
+    zero = (np.zeros((5, 7)), np.zeros((7, 6)))
+    _, j = tube_minima_pram(make(), zero)
+    assert (j == 0).all()
+    _, j = tube_maxima_pram(make(), zero)
+    assert (j == 0).all()
+
+
+def test_degenerate_dims(rng):
+    for dims in [(1, 1, 1), (1, 9, 1), (9, 1, 9), (1, 1, 9), (9, 9, 1)]:
+        c = random_composite(*dims, rng)
+        sv, sj = product_argmin(c)
+        v, j = tube_minima_pram(make(), c)
+        np.testing.assert_allclose(v, sv)
+        np.testing.assert_array_equal(j, sj)
+
+
+def test_crew_rounds_logarithmic_shape():
+    r = {}
+    for n in (16, 128):
+        c = random_composite(n, n, n, np.random.default_rng(n))
+        pram = make(CREW, 1 << 40)
+        tube_minima_pram(pram, c, scheme="crew")
+        r[n] = pram.ledger.rounds
+    # lg128/lg16 = 1.75 — allow slack but rule out linear (8x)
+    assert r[128] <= 3.5 * r[16]
+
+
+def test_crcw_rounds_doubly_log_shape():
+    r = {}
+    for n in (16, 256):
+        c = random_composite(n, n, n, np.random.default_rng(n))
+        pram = BrentPram(CRCW_COMMON, 1 << 42, 8 * n * n, ledger=CostLedger())
+        v, j = tube_minima_pram(pram, c, scheme="crcw")
+        r[n] = pram.ledger.rounds
+    # doubly-log growth: far less than the lg-ratio of 2
+    assert r[256] <= 3.2 * r[16]
+
+
+def test_crew_peak_processors_order_n_squared():
+    n = 64
+    c = random_composite(n, n, n, np.random.default_rng(3))
+    pram = make(CREW, 1 << 40)
+    tube_minima_pram(pram, c, scheme="crew")
+    assert pram.ledger.peak_processors <= 4 * n * n
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=25, deadline=None)
+def test_property_schemes_agree(seed):
+    rng = np.random.default_rng(seed)
+    p, q, r = (int(rng.integers(1, 12)) for _ in range(3))
+    c = random_composite(p, q, r, rng, integer=True)
+    v1, j1 = tube_minima_pram(make(CREW), c, scheme="crew")
+    v2, j2 = tube_minima_pram(make(CRCW_COMMON), c, scheme="crcw")
+    sv, sj = product_argmin(c)
+    np.testing.assert_allclose(v1, sv)
+    np.testing.assert_array_equal(j1, sj)
+    np.testing.assert_allclose(v2, sv)
+    np.testing.assert_array_equal(j2, sj)

@@ -1,0 +1,146 @@
+"""Cross-module integration: every machine realization agrees on every
+array class, and failure modes surface loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    monge_row_minima_pram,
+    monge_row_minima_network,
+    staircase_row_minima_network,
+    staircase_row_minima_pram,
+    tube_minima_network,
+    tube_minima_pram,
+)
+from repro.monge import (
+    monge_decomposition,
+    product_argmin,
+    reconstruct,
+    row_minima,
+)
+from repro.monge.generators import (
+    random_composite,
+    random_monge,
+    random_staircase_monge,
+)
+from repro.pram import CRCW_COMMON, CRCW_PRIORITY, CREW, CostLedger, Pram
+from repro.pram.fast_max import priority_find_first
+from repro.pram.ledger import ProcessorBudgetExceeded
+from repro.pram.models import ConcurrencyViolation
+from repro.pram.scheduling import BrentPram
+
+
+def all_machines(n):
+    yield "CRCW", Pram(CRCW_COMMON, 1 << 30, ledger=CostLedger())
+    yield "CREW", Pram(CREW, 1 << 30, ledger=CostLedger())
+    yield "Brent-CRCW", BrentPram(CRCW_COMMON, 1 << 30, 8 * n, ledger=CostLedger())
+
+
+# --------------------------------------------------------------------- #
+def test_every_machine_agrees_on_monge(rng):
+    n = 100
+    a = random_monge(n, n, rng, integer=True)
+    ref_v, ref_c = row_minima(a)
+    for name, machine in all_machines(n):
+        v, c = monge_row_minima_pram(machine, a)
+        np.testing.assert_array_equal(c, ref_c, err_msg=name)
+        np.testing.assert_allclose(v, ref_v, err_msg=name)
+    for topo in ("hypercube", "ccc", "shuffle-exchange"):
+        v, c, _ = monge_row_minima_network(a, topo)
+        np.testing.assert_array_equal(c, ref_c, err_msg=topo)
+
+
+def test_every_machine_agrees_on_staircase(rng):
+    n = 60
+    a = random_staircase_monge(n, n, rng, integer=True)
+    dense = a.materialize()
+    ref_c = dense.argmin(axis=1)
+    ref_c = np.where(np.isinf(dense[np.arange(n), ref_c]), -1, ref_c)
+    for name, machine in all_machines(n):
+        v, c = staircase_row_minima_pram(machine, a)
+        np.testing.assert_array_equal(c, ref_c, err_msg=name)
+    v, c, _ = staircase_row_minima_network(a, "hypercube")
+    np.testing.assert_array_equal(c, ref_c)
+
+
+def test_every_machine_agrees_on_tubes(rng):
+    comp = random_composite(9, 11, 10, rng, integer=True)
+    ref_v, ref_j = product_argmin(comp)
+    for name, machine in all_machines(11 * 11):
+        v, j = tube_minima_pram(machine, comp)
+        np.testing.assert_array_equal(j, ref_j, err_msg=name)
+    v, j, _ = tube_minima_network(comp, "hypercube")
+    np.testing.assert_array_equal(j, ref_j)
+
+
+def test_decomposition_roundtrips_through_search(rng):
+    """Generator -> decomposition -> reconstruction -> identical search."""
+    a = random_monge(25, 30, rng)
+    u, v, g = monge_decomposition(a.data)
+    rebuilt = reconstruct(u, v, g)
+    _, c1 = row_minima(a)
+    _, c2 = row_minima(rebuilt)
+    np.testing.assert_array_equal(c1, c2)
+
+
+# --------------------------------------------------------------------- #
+# failure injection
+# --------------------------------------------------------------------- #
+def test_non_monge_input_is_searchable_but_unverified(rng):
+    """The searchers trust their precondition; verifiers are the gate."""
+    from repro.monge.properties import is_monge
+
+    bad = rng.normal(size=(12, 12))  # almost surely not Monge
+    assert not is_monge(bad)
+    # the parallel search still runs (garbage-in contract), but a
+    # brute-force check shows the answers can differ:
+    machine = Pram(CRCW_COMMON, 1 << 26, ledger=CostLedger())
+    v, c = monge_row_minima_pram(machine, bad)
+    assert c.shape == (12,)
+
+
+def test_processor_budget_violation_is_loud():
+    led = CostLedger(processor_limit=4)
+    pram = Pram(CRCW_COMMON, 4, ledger=led)
+    with pytest.raises((ProcessorBudgetExceeded, RuntimeError)):
+        monge_row_minima_pram(pram, np.zeros((64, 64)))
+
+
+def test_priority_find_first():
+    pram = Pram(CRCW_PRIORITY, 1 << 10, ledger=CostLedger())
+    mask = np.zeros(100, dtype=bool)
+    mask[[40, 17, 80]] = True
+    assert priority_find_first(pram, mask) == 17
+    assert pram.ledger.rounds == 2  # constant rounds
+    assert priority_find_first(pram, np.zeros(5, dtype=bool)) == -1
+    with pytest.raises(ConcurrencyViolation):
+        priority_find_first(Pram(CRCW_COMMON, 4), mask)
+
+
+def test_ledger_phases_capture_algorithm_structure(rng):
+    """Phase tagging works through a full algorithm run."""
+    machine = Pram(CRCW_COMMON, 1 << 26, ledger=CostLedger())
+    with machine.phase("search"):
+        monge_row_minima_pram(machine, random_monge(64, 64, rng))
+    assert machine.ledger.phases["search"].rounds == machine.ledger.rounds
+
+
+def test_network_machine_rejects_oversized_register():
+    from repro.networks import Hypercube
+
+    net = Hypercube(3)
+    with pytest.raises(ValueError):
+        net.exchange(np.zeros(9), 0)
+
+
+def test_sequential_parallel_work_relationship(rng):
+    """Parallel total work stays within polylog of sequential evals."""
+    n = 256
+    a = random_monge(n, n, rng)
+    a.eval_count = 0
+    row_minima(a)
+    seq = a.eval_count
+    machine = BrentPram(CRCW_COMMON, 1 << 30, 8 * n, ledger=CostLedger())
+    b = random_monge(n, n, np.random.default_rng(1))
+    monge_row_minima_pram(machine, b)
+    assert machine.ledger.work <= 100 * seq

@@ -1,0 +1,116 @@
+"""Sequential tube (product) searching in Monge-composite arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monge.arrays import MongeComposite
+from repro.monge.composite import (
+    product_argmax,
+    product_argmin,
+    product_argmin_brute,
+    tube_maxima_sequential,
+    tube_minima_sequential,
+)
+from repro.monge.generators import random_composite, random_monge
+from repro.monge.properties import is_monge
+
+
+def brute(c, which):
+    d = c.D.materialize()
+    e = c.E.materialize()
+    cube = d[:, :, None] + e[None, :, :]
+    if which == "min":
+        args = cube.argmin(axis=1)
+    else:
+        args = cube.argmax(axis=1)
+    vals = np.take_along_axis(cube, args[:, None, :], axis=1)[:, 0, :]
+    return vals, args
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("dims", [(1, 1, 1), (5, 4, 3), (3, 8, 5), (7, 7, 7)])
+def test_product_argmin_matches_brute(seed, dims):
+    rng = np.random.default_rng(seed)
+    c = random_composite(*dims, rng, integer=bool(seed % 2))
+    gv, gj = product_argmin(c)
+    bv, bj = brute(c, "min")
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gj, bj)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("dims", [(1, 1, 1), (5, 4, 3), (3, 8, 5), (7, 7, 7)])
+def test_product_argmax_matches_brute(seed, dims):
+    rng = np.random.default_rng(seed)
+    c = random_composite(*dims, rng, integer=bool(seed % 2))
+    gv, gj = product_argmax(c)
+    bv, bj = brute(c, "max")
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gj, bj)
+
+
+def test_smallest_j_tie_break():
+    # all-zero factors: every j ties; witness must be j=0 everywhere
+    c = MongeComposite(np.zeros((3, 4)), np.zeros((4, 5)))
+    _, j = product_argmin(c)
+    assert (j == 0).all()
+    _, j = product_argmax(c)
+    assert (j == 0).all()
+
+
+def test_min_plus_product_of_monge_is_monge(rng):
+    """Closure property behind hierarchical DIST combination."""
+    c = random_composite(8, 9, 10, rng)
+    vals, _ = product_argmin(c)
+    assert is_monge(vals)
+
+
+def test_aliases(rng):
+    c = random_composite(3, 3, 3, rng)
+    np.testing.assert_array_equal(tube_minima_sequential(c)[0], product_argmin(c)[0])
+    np.testing.assert_array_equal(tube_maxima_sequential(c)[0], product_argmax(c)[0])
+
+
+def test_accepts_de_pair(rng):
+    D = random_monge(3, 4, rng)
+    E = random_monge(4, 5, rng)
+    v1, _ = product_argmin((D, E))
+    v2, _ = product_argmin(MongeComposite(D, E))
+    np.testing.assert_array_equal(v1, v2)
+    with pytest.raises(TypeError):
+        product_argmin("nope")
+
+
+def test_brute_helper_agrees(rng):
+    c = random_composite(4, 5, 6, rng)
+    v1, j1 = product_argmin_brute(c)
+    v2, j2 = product_argmin(c)
+    np.testing.assert_allclose(v1, v2)
+    np.testing.assert_array_equal(j1, j2)
+
+
+def test_eval_count_near_linear_per_row():
+    """Sequential tube search does O((q+r)) evals per output row."""
+    rng = np.random.default_rng(9)
+    c = random_composite(16, 64, 64, rng)
+    c.E.eval_count = 0
+    product_argmin(c)
+    assert c.E.eval_count <= 16 * 6 * (64 + 64)
+
+
+@given(st.integers(0, 30_000))
+@settings(max_examples=30, deadline=None)
+def test_property_products(seed):
+    rng = np.random.default_rng(seed)
+    p, q, r = (int(rng.integers(1, 9)) for _ in range(3))
+    c = random_composite(p, q, r, rng, integer=True)
+    gv, gj = product_argmin(c)
+    bv, bj = brute(c, "min")
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gj, bj)
+    gv, gj = product_argmax(c)
+    bv, bj = brute(c, "max")
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gj, bj)

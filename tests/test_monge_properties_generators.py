@@ -1,0 +1,190 @@
+"""Property verifiers + generators produce what they promise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monge.generators import (
+    chain_distance_array,
+    convex_position_points,
+    random_composite,
+    random_inverse_monge,
+    random_monge,
+    random_staircase_boundary,
+    random_staircase_inverse_monge,
+    random_staircase_monge,
+    transportation_cost_array,
+)
+from repro.monge.properties import (
+    is_inverse_monge,
+    is_monge,
+    is_staircase_inverse_monge,
+    is_staircase_monge,
+    is_totally_monotone_minima,
+    monge_defect,
+    staircase_boundary,
+)
+
+
+def test_known_monge_example():
+    a = [[0.0, 1.0], [1.0, 0.0]]
+    assert is_monge(a)
+    assert not is_inverse_monge(a)
+    b = [[1.0, 0.0], [0.0, 1.0]]
+    assert is_inverse_monge(b)
+    assert not is_monge(b)
+
+
+def test_monge_defect_values():
+    assert monge_defect([[0.0, 0.0], [0.0, -1.0]]) == -1.0
+    assert monge_defect([[0.0, 0.0], [0.0, 1.0]]) == 1.0
+    assert monge_defect([[1.0, 2.0]]) == -np.inf  # too small to violate
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("shape", [(1, 1), (1, 7), (7, 1), (5, 5), (8, 3), (3, 8)])
+def test_random_monge_is_monge(seed, shape):
+    rng = np.random.default_rng(seed)
+    a = random_monge(*shape, rng)
+    assert is_monge(a)
+    assert is_totally_monotone_minima(a)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_monge_integer_mode(seed):
+    rng = np.random.default_rng(seed)
+    a = random_monge(6, 6, rng, integer=True)
+    assert is_monge(a)
+    assert np.allclose(a.data, np.rint(a.data))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_inverse_monge(seed):
+    rng = np.random.default_rng(seed)
+    assert is_inverse_monge(random_inverse_monge(6, 9, rng))
+
+
+def test_generators_require_generator_object():
+    with pytest.raises(TypeError):
+        random_monge(3, 3, 42)  # seed int not allowed
+
+
+def test_random_staircase_boundary_shape():
+    rng = np.random.default_rng(1)
+    f = random_staircase_boundary(10, 6, rng)
+    assert f.shape == (10,)
+    assert (np.diff(f) <= 0).all()
+    assert f.max() <= 6 and f.min() >= 0 and f[0] >= 1
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_staircase_monge_verifies(seed):
+    rng = np.random.default_rng(seed)
+    a = random_staircase_monge(7, 7, rng)
+    assert is_staircase_monge(a)
+    assert not is_monge(a) or (a.boundary == 7).all()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_staircase_inverse_monge_verifies(seed):
+    rng = np.random.default_rng(seed)
+    a = random_staircase_inverse_monge(6, 8, rng)
+    assert is_staircase_inverse_monge(a)
+
+
+def test_staircase_boundary_extraction():
+    d = np.array([[1.0, 2.0, np.inf], [1.0, np.inf, np.inf]])
+    np.testing.assert_array_equal(staircase_boundary(d), [2, 1])
+    # non-staircase: finite after an inf in a row
+    bad = np.array([[np.inf, 1.0]])
+    assert staircase_boundary(bad) is None
+    # increasing boundary violates downward closure
+    bad2 = np.array([[1.0, np.inf], [1.0, 1.0]])
+    assert staircase_boundary(bad2) is None
+
+
+def test_is_staircase_monge_rejects_bad_finite_part():
+    d = np.array([[0.0, 0.0, np.inf], [0.0, 5.0, np.inf]])  # cross diff +5
+    assert not is_staircase_monge(d)
+
+
+def test_plain_monge_is_staircase_monge():
+    rng = np.random.default_rng(7)
+    assert is_staircase_monge(random_monge(5, 5, rng))
+
+
+def test_transportation_cost_is_monge():
+    rng = np.random.default_rng(2)
+    a = transportation_cost_array(rng.normal(size=8), rng.normal(size=11))
+    assert is_monge(a)
+    sq = transportation_cost_array(
+        rng.normal(size=6), rng.normal(size=6), cost=lambda t: t * t
+    )
+    assert is_monge(sq)
+
+
+def test_convex_position_points_are_convex():
+    rng = np.random.default_rng(3)
+    pts = convex_position_points(20, rng)
+    # every consecutive triple turns left (ccw)
+    p = np.vstack([pts, pts[:2]])
+    u = p[1:-1] - p[:-2]
+    v = p[2:] - p[1:-1]
+    cross = u[:, 0] * v[:, 1] - u[:, 1] * v[:, 0]
+    assert (cross > 0).all()
+    with pytest.raises(ValueError):
+        convex_position_points(2, rng)
+
+
+def test_chain_distance_array_is_inverse_monge():
+    rng = np.random.default_rng(4)
+    pts = convex_position_points(17, rng)
+    P, Q = pts[:8], pts[8:]
+    a = chain_distance_array(P, Q)
+    assert is_inverse_monge(a)
+
+
+def test_chain_distance_validates_shape():
+    with pytest.raises(ValueError):
+        chain_distance_array(np.zeros((3, 3)), np.zeros((3, 2)))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_composite_factors_are_monge(seed):
+    rng = np.random.default_rng(seed)
+    c = random_composite(4, 5, 6, rng)
+    assert is_monge(c.D) and is_monge(c.E)
+    assert c.shape == (4, 5, 6)
+
+
+def test_total_monotonicity_weaker_than_monge():
+    # totally monotone but NOT Monge
+    a = np.array([[0.0, 10.0], [0.0, 100.0]])
+    assert is_totally_monotone_minima(a)
+    assert monge_defect(a) > 0 or is_monge(a)  # indeed not Monge
+    assert not is_monge(a)
+
+
+def test_total_monotonicity_detects_violation():
+    # right column wins at row 0 but loses at row 1
+    a = np.array([[5.0, 1.0], [1.0, 5.0]])
+    assert not is_totally_monotone_minima(a)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_random_monge_always_monge(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 12))
+    n = int(rng.integers(1, 12))
+    assert is_monge(random_monge(m, n, rng))
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_random_staircase_always_staircase(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 12))
+    n = int(rng.integers(1, 12))
+    assert is_staircase_monge(random_staircase_monge(m, n, rng, integer=True))

@@ -1,0 +1,84 @@
+"""Monge decomposition / margin / normalization utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monge.generators import random_inverse_monge, random_monge
+from repro.monge.properties import is_monge
+from repro.monge.recognition import (
+    monge_decomposition,
+    monge_margin,
+    normalize_potentials,
+    reconstruct,
+)
+from repro.monge.smawk import smawk
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_roundtrip(seed):
+    rng = np.random.default_rng(seed)
+    a = random_monge(int(rng.integers(1, 20)), int(rng.integers(1, 20)), rng)
+    u, v, g = monge_decomposition(a.data)
+    np.testing.assert_allclose(reconstruct(u, v, g), a.data, atol=1e-9)
+
+
+def test_monge_iff_density_nonpositive(rng):
+    a = random_monge(10, 10, rng)
+    _, _, g = monge_decomposition(a.data)
+    assert (g[1:, 1:] <= 1e-9).all()
+    b = random_inverse_monge(10, 10, rng)
+    _, _, g2 = monge_decomposition(b.data)
+    assert (g2[1:, 1:] >= -1e-9).all()
+
+
+def test_margin_signs(rng):
+    a = random_monge(8, 8, rng)
+    assert monge_margin(a.data) >= -1e-9
+    bad = a.data.copy()
+    bad[4, 4] += 100.0  # breaks Monge locally
+    assert monge_margin(bad) < 0
+    # margin-respecting perturbation keeps the property
+    m = monge_margin(a.data)
+    if m > 1e-6:
+        noisy = a.data + (np.random.default_rng(1).random(a.data.shape) - 0.5) * m / 3
+        assert is_monge(noisy, tol=1e-9)
+
+
+def test_margin_trivial_shapes():
+    assert monge_margin(np.zeros((1, 5))) == np.inf
+    assert monge_margin(np.zeros((5, 1))) == np.inf
+
+
+def test_normalize_zeroes_borders_and_keeps_monge(rng):
+    a = random_monge(15, 17, rng, integer=True)
+    norm = normalize_potentials(a.data)
+    assert np.allclose(norm[0, :], 0.0) and np.allclose(norm[:, 0], 0.0)
+    assert is_monge(norm)
+    # cross-differences (and hence the margin) are preserved exactly
+    assert np.isclose(monge_margin(norm), monge_margin(a.data))
+    # row-potential-only shifts do preserve argmins
+    shifted = a.data + np.arange(15)[:, None]
+    _, c1 = smawk(a.data)
+    _, c2 = smawk(shifted)
+    np.testing.assert_array_equal(c1, c2)
+
+
+def test_decomposition_validation():
+    with pytest.raises(ValueError):
+        monge_decomposition(np.empty((0, 3)))
+    with pytest.raises(ValueError):
+        reconstruct(np.zeros(3), np.zeros(3), np.zeros((2, 3)))
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=30, deadline=None)
+def test_property_roundtrip_and_sign(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 15))
+    n = int(rng.integers(1, 15))
+    a = random_monge(m, n, rng, integer=True)
+    u, v, g = monge_decomposition(a.data)
+    np.testing.assert_allclose(reconstruct(u, v, g), a.data, atol=1e-9)
+    assert monge_margin(a.data) >= -1e-9

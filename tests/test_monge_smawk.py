@@ -1,0 +1,125 @@
+"""SMAWK: correctness, tie-breaking, and linear evaluation counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monge.arrays import ExplicitArray, ImplicitArray
+from repro.monge.generators import (
+    chain_distance_array,
+    convex_position_points,
+    random_inverse_monge,
+    random_monge,
+)
+from repro.monge.smawk import row_maxima, row_minima, smawk
+
+
+def brute_leftmost_minima(dense):
+    cols = dense.argmin(axis=1)
+    return dense[np.arange(dense.shape[0]), cols], cols
+
+
+def brute_leftmost_maxima(dense):
+    cols = dense.argmax(axis=1)
+    return dense[np.arange(dense.shape[0]), cols], cols
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("shape", [(1, 1), (1, 9), (9, 1), (7, 7), (16, 5), (5, 16), (33, 40)])
+def test_smawk_matches_bruteforce(seed, shape):
+    rng = np.random.default_rng(seed)
+    a = random_monge(*shape, rng)
+    v, c = smawk(a)
+    bv, bc = brute_leftmost_minima(a.data)
+    np.testing.assert_allclose(v, bv)
+    np.testing.assert_array_equal(c, bc)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_smawk_leftmost_on_ties(seed):
+    rng = np.random.default_rng(seed)
+    a = random_monge(12, 12, rng, integer=True)  # many duplicate values
+    v, c = smawk(a)
+    bv, bc = brute_leftmost_minima(a.data)
+    np.testing.assert_array_equal(c, bc)
+
+
+def test_smawk_constant_array_all_leftmost():
+    a = ExplicitArray(np.zeros((5, 7)))
+    v, c = smawk(a)
+    assert (v == 0).all() and (c == 0).all()
+
+
+def test_smawk_minima_positions_monotone(rng):
+    a = random_monge(30, 30, rng)
+    _, c = smawk(a)
+    assert (np.diff(c) >= 0).all()
+
+
+def test_smawk_rejects_zero_columns():
+    with pytest.raises(ValueError):
+        smawk(ExplicitArray(np.empty((3, 0))))
+
+
+def test_smawk_empty_rows():
+    v, c = smawk(ExplicitArray(np.empty((0, 3))))
+    assert v.size == 0 and c.size == 0
+
+
+def test_smawk_linear_eval_count():
+    """O(m+n) evaluations on square instances (constant < 6)."""
+    for n in (64, 256, 1024):
+        a = random_monge(n, n, np.random.default_rng(n))
+        a.eval_count = 0
+        smawk(a)
+        assert a.eval_count <= 6 * (2 * n), f"n={n}: {a.eval_count} evals"
+
+
+def test_row_maxima_inverse_monge(rng):
+    a = random_inverse_monge(20, 14, rng)
+    v, c = row_maxima(a)
+    bv, bc = brute_leftmost_maxima(a.data)
+    np.testing.assert_allclose(v, bv)
+    np.testing.assert_array_equal(c, bc)
+
+
+def test_row_maxima_on_polygon_chains(rng):
+    """The Figure 1.1 workload: farthest vertex of Q for each vertex of P."""
+    pts = convex_position_points(40, rng)
+    P, Q = pts[:18], pts[18:]
+    a = chain_distance_array(P, Q)
+    v, c = row_maxima(a)
+    dense = a.materialize()
+    np.testing.assert_allclose(v, dense.max(axis=1))
+    np.testing.assert_array_equal(c, dense.argmax(axis=1))
+
+
+def test_row_minima_alias(rng):
+    a = random_monge(6, 6, rng)
+    v1, c1 = row_minima(a)
+    v2, c2 = smawk(a)
+    np.testing.assert_array_equal(c1, c2)
+
+
+def test_smawk_on_implicit_array(rng):
+    x = np.sort(rng.normal(size=15))
+    y = np.sort(rng.normal(size=22))
+    a = ImplicitArray(lambda r, c: np.abs(x[r] - y[c]), (15, 22))
+    v, c = smawk(a)
+    dense = np.abs(x[:, None] - y[None, :])
+    np.testing.assert_allclose(v, dense.min(axis=1))
+    np.testing.assert_array_equal(c, dense.argmin(axis=1))
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=60, deadline=None)
+def test_smawk_property_random_instances(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 20))
+    n = int(rng.integers(1, 20))
+    a = random_monge(m, n, rng, integer=bool(rng.integers(0, 2)))
+    v, c = smawk(a)
+    bv, bc = brute_leftmost_minima(a.data)
+    np.testing.assert_allclose(v, bv)
+    np.testing.assert_array_equal(c, bc)

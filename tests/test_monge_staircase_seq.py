@@ -1,0 +1,117 @@
+"""Sequential staircase-Monge searching baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monge.arrays import ExplicitArray, StaircaseArray
+from repro.monge.generators import random_monge, random_staircase_monge
+from repro.monge.staircase_seq import (
+    effective_boundary,
+    row_maxima_staircase,
+    row_minima_staircase_blocks,
+    row_minima_staircase_brute,
+)
+
+
+def brute_min(dense):
+    m = dense.shape[0]
+    cols = dense.argmin(axis=1)
+    vals = dense[np.arange(m), cols]
+    cols = np.where(np.isinf(vals), -1, cols)
+    return vals, cols
+
+
+def brute_max_finite(dense):
+    masked = np.where(np.isinf(dense), -np.inf, dense)
+    m = dense.shape[0]
+    cols = masked.argmax(axis=1)
+    vals = masked[np.arange(m), cols]
+    cols = np.where(np.isinf(vals), -1, cols)
+    return vals, cols
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_blocks_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 25))
+    n = int(rng.integers(1, 25))
+    a = random_staircase_monge(m, n, rng, integer=bool(seed % 2))
+    dense = a.materialize()
+    bv, bc = brute_min(dense)
+    gv, gc = row_minima_staircase_blocks(a)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)
+    gv2, gc2 = row_minima_staircase_brute(a)
+    np.testing.assert_allclose(gv2, bv)
+    np.testing.assert_array_equal(gc2, bc)
+
+
+def test_blocks_all_infinite_rows():
+    base = ExplicitArray(np.zeros((3, 3)))
+    a = StaircaseArray(base, np.array([2, 0, 0]))
+    v, c = row_minima_staircase_blocks(a)
+    assert c.tolist() == [0, -1, -1]
+    assert v[0] == 0.0 and np.isinf(v[1:]).all()
+
+
+def test_blocks_accepts_dense_staircase_matrix(rng):
+    a = random_staircase_monge(8, 8, rng)
+    dense = a.materialize()
+    gv, gc = row_minima_staircase_blocks(dense)
+    bv, bc = brute_min(dense)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)
+
+
+def test_effective_boundary_rejects_non_staircase():
+    with pytest.raises(ValueError):
+        effective_boundary(np.array([[np.inf, 1.0]]))
+
+
+def test_plain_monge_counts_as_staircase(rng):
+    a = random_monge(6, 6, rng)
+    arr, f = effective_boundary(a.data)
+    assert (f == 6).all()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_row_maxima_staircase_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 25))
+    n = int(rng.integers(1, 25))
+    a = random_staircase_monge(m, n, rng, integer=bool(seed % 2))
+    dense = a.materialize()
+    bv, bc = brute_max_finite(dense)
+    gv, gc = row_maxima_staircase(a)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)
+
+
+def test_row_maxima_near_linear_evals():
+    n = 256
+    a = random_staircase_monge(n, n, np.random.default_rng(0))
+    a.base.eval_count = 0
+    row_maxima_staircase(a)
+    import math
+
+    assert a.base.eval_count <= 8 * 2 * n * (1 + math.log2(n))
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=40, deadline=None)
+def test_property_staircase_minmax(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 16))
+    n = int(rng.integers(1, 16))
+    a = random_staircase_monge(m, n, rng, integer=True)
+    dense = a.materialize()
+    gv, gc = row_minima_staircase_blocks(a)
+    bv, bc = brute_min(dense)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)
+    gv, gc = row_maxima_staircase(a)
+    bv, bc = brute_max_finite(dense)
+    np.testing.assert_allclose(gv, bv)
+    np.testing.assert_array_equal(gc, bc)

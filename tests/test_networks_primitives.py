@@ -1,0 +1,181 @@
+"""Network primitives across all three topologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import CubeConnectedCycles, Hypercube, ShuffleExchange
+from repro.networks.primitives import (
+    RoutingCollision,
+    net_bitonic_sort,
+    net_broadcast,
+    net_monotone_route,
+    net_prefix_scan,
+    net_reduce,
+    net_segmented_argmin_scan,
+    net_segmented_scan,
+)
+from repro.pram.ledger import CostLedger
+
+TOPOLOGIES = [Hypercube, CubeConnectedCycles, ShuffleExchange]
+
+
+def fresh(cls, dim=6):
+    return cls(dim, ledger=CostLedger())
+
+
+@pytest.mark.parametrize("cls", TOPOLOGIES)
+def test_prefix_scan_matches_cumsum(cls, rng):
+    net = fresh(cls)
+    x = rng.normal(size=64)
+    np.testing.assert_allclose(net_prefix_scan(net, x, "add"), np.cumsum(x), rtol=1e-12)
+
+
+def test_prefix_scan_min_max(rng):
+    net = fresh(Hypercube)
+    x = rng.normal(size=64)
+    np.testing.assert_array_equal(net_prefix_scan(net, x, "min"), np.minimum.accumulate(x))
+    np.testing.assert_array_equal(net_prefix_scan(net, x, "max"), np.maximum.accumulate(x))
+
+
+def test_prefix_scan_validates_shape():
+    with pytest.raises(ValueError):
+        net_prefix_scan(fresh(Hypercube), np.ones(10), "add")
+
+
+def test_hypercube_prefix_rounds_is_dim():
+    net = fresh(Hypercube, 8)
+    net_prefix_scan(net, np.ones(256), "add")
+    assert net.ledger.rounds == 8
+
+
+@pytest.mark.parametrize("cls", TOPOLOGIES)
+def test_segmented_scan(cls, rng):
+    net = fresh(cls)
+    x = rng.normal(size=64)
+    heads = rng.random(64) < 0.25
+    heads[0] = True
+    got = net_segmented_scan(net, x, heads, "add")
+    ref = np.empty(64)
+    acc = 0.0
+    for i in range(64):
+        acc = x[i] if heads[i] else acc + x[i]
+        ref[i] = acc
+    np.testing.assert_allclose(got, ref, rtol=1e-9)
+
+
+@pytest.mark.parametrize("cls", TOPOLOGIES)
+def test_segmented_argmin_scan_leftmost(cls):
+    net = fresh(cls)
+    x = np.zeros(64)  # every value ties: leftmost index must win
+    heads = np.zeros(64, dtype=bool)
+    heads[[0, 10, 40]] = True
+    v, idx = net_segmented_argmin_scan(net, x, np.arange(64), heads)
+    assert idx[9] == 0 and idx[39] == 10 and idx[63] == 40
+
+
+def test_segmented_argmin_random_reference(rng):
+    net = fresh(Hypercube)
+    x = rng.integers(0, 5, size=64).astype(float)
+    heads = rng.random(64) < 0.2
+    heads[0] = True
+    v, idx = net_segmented_argmin_scan(net, x, np.arange(64), heads)
+    rv, ri = np.empty(64), np.empty(64, dtype=int)
+    for i in range(64):
+        if heads[i] or i == 0:
+            rv[i], ri[i] = x[i], i
+        elif x[i] < rv[i - 1]:
+            rv[i], ri[i] = x[i], i
+        else:
+            rv[i], ri[i] = rv[i - 1], ri[i - 1]
+    np.testing.assert_array_equal(v, rv)
+    np.testing.assert_array_equal(idx, ri)
+
+
+@pytest.mark.parametrize("cls", TOPOLOGIES)
+def test_reduce_and_broadcast(cls, rng):
+    net = fresh(cls)
+    x = rng.normal(size=64)
+    assert np.isclose(net_reduce(net, x, "add"), x.sum())
+    assert net_reduce(net, x, "min") == x.min()
+    np.testing.assert_array_equal(net_broadcast(net, 9.5), np.full(64, 9.5))
+
+
+@pytest.mark.parametrize("cls", TOPOLOGIES)
+def test_bitonic_sort(cls, rng):
+    net = fresh(cls)
+    x = rng.normal(size=64)
+    k, p = net_bitonic_sort(net, x, np.arange(64))
+    np.testing.assert_array_equal(k, np.sort(x))
+    np.testing.assert_array_equal(x[p.astype(int)], np.sort(x))
+
+
+def test_bitonic_sort_without_payload(rng):
+    net = fresh(Hypercube)
+    x = rng.integers(0, 4, size=64).astype(float)  # duplicates
+    k, p = net_bitonic_sort(net, x)
+    assert p is None
+    np.testing.assert_array_equal(k, np.sort(x))
+
+
+@pytest.mark.parametrize("cls", TOPOLOGIES)
+def test_monotone_route_delivers(cls, rng):
+    net = fresh(cls)
+    src = np.sort(rng.choice(64, size=20, replace=False))
+    dst = np.sort(rng.choice(64, size=20, replace=False))
+    act = np.zeros(64)
+    act[src] = 1
+    pay = np.zeros(64)
+    pay[src] = 100.0 + np.arange(20)
+    d = np.zeros(64)
+    d[src] = dst
+    out = net_monotone_route(net, pay, d, act, fill=-1.0)
+    np.testing.assert_array_equal(out[dst], 100.0 + np.arange(20))
+    mask = np.ones(64, dtype=bool)
+    mask[dst] = False
+    assert (out[mask] == -1).all()
+
+
+def test_monotone_route_rejects_nonmonotone():
+    net = fresh(Hypercube)
+    act = np.zeros(64)
+    act[[2, 3]] = 1
+    d = np.zeros(64)
+    d[2], d[3] = 10, 5  # decreasing: not monotone
+    with pytest.raises(ValueError):
+        net_monotone_route(net, np.zeros(64), d, act)
+
+
+def test_monotone_route_rejects_out_of_range():
+    net = fresh(Hypercube)
+    act = np.zeros(64)
+    act[1] = 1
+    d = np.zeros(64)
+    d[1] = 64
+    with pytest.raises(ValueError):
+        net_monotone_route(net, np.zeros(64), d, act)
+
+
+def test_monotone_route_empty_is_noop():
+    net = fresh(Hypercube)
+    out = net_monotone_route(net, np.zeros(64), np.zeros(64), np.zeros(64), fill=7.0)
+    assert (out == 7.0).all()
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_route_concentrate_and_spread(seed):
+    rng = np.random.default_rng(seed)
+    net = fresh(Hypercube, 5)
+    k = int(rng.integers(1, 32))
+    src = np.sort(rng.choice(32, size=k, replace=False))
+    dst = np.sort(rng.choice(32, size=k, replace=False))
+    act = np.zeros(32)
+    act[src] = 1
+    pay = np.zeros(32)
+    pay[src] = src.astype(float)
+    d = np.zeros(32)
+    d[src] = dst
+    out = net_monotone_route(net, pay, d, act, fill=np.nan)
+    np.testing.assert_array_equal(out[dst], src.astype(float))

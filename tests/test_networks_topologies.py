@@ -1,0 +1,105 @@
+"""Topology simulators: edges, emulation costs, validation."""
+
+import numpy as np
+import pytest
+
+from repro.networks import CubeConnectedCycles, Hypercube, ShuffleExchange
+from repro.pram.ledger import CostLedger
+
+
+def test_hypercube_exchange_moves_across_dimension():
+    net = Hypercube(3, ledger=CostLedger())
+    x = np.arange(8.0)
+    got = net.exchange(x, 1)
+    np.testing.assert_array_equal(got, x[np.arange(8) ^ 2])
+    assert net.ledger.rounds == 1
+
+
+def test_hypercube_rejects_bad_inputs():
+    net = Hypercube(2)
+    with pytest.raises(ValueError):
+        net.exchange(np.arange(4.0), 2)
+    with pytest.raises(ValueError):
+        net.exchange(np.arange(3.0), 0)
+    with pytest.raises(ValueError):
+        Hypercube(-1)
+    with pytest.raises(ValueError):
+        Hypercube(0).exchange(np.arange(1.0), 0)
+
+
+def test_ascend_descend_visit_all_dimensions():
+    net = Hypercube(4, ledger=CostLedger())
+    seen = []
+
+    def combine(d, local, received, ids):
+        seen.append(d)
+        return local
+
+    net.ascend(np.zeros(16), combine)
+    assert seen == [0, 1, 2, 3]
+    seen.clear()
+    net.descend(np.zeros(16), combine)
+    assert seen == [3, 2, 1, 0]
+    assert net.ledger.rounds == 8
+
+
+def test_ccc_normal_sequence_constant_slowdown():
+    """Consecutive dimensions cost 2 rounds (1 rotation + 1 cross)."""
+    net = CubeConnectedCycles(5, ledger=CostLedger())
+    x = np.arange(32.0)
+    net.exchange(x, 0)  # cursor at 0: no rotation
+    base = net.ledger.rounds
+    assert base == 1
+    net.exchange(x, 1)
+    assert net.ledger.rounds == base + 2
+
+
+def test_ccc_random_jump_pays_cyclic_distance():
+    net = CubeConnectedCycles(8, ledger=CostLedger())
+    x = np.zeros(256)
+    net.exchange(x, 0)
+    r0 = net.ledger.rounds
+    net.exchange(x, 4)  # distance 4
+    assert net.ledger.rounds == r0 + 5
+    net.exchange(x, 7)  # cyclic distance 3 going backwards
+    assert net.ledger.rounds == r0 + 5 + 4
+
+
+def test_ccc_charges_true_node_count():
+    net = CubeConnectedCycles(4, ledger=CostLedger())
+    net.exchange(np.zeros(16), 0)
+    assert net.ledger.peak_processors == 4 * 16  # dim * 2^dim cycle nodes
+
+
+def test_shuffle_exchange_descending_is_cheap():
+    net = ShuffleExchange(5, ledger=CostLedger())
+    x = np.arange(32.0)
+    total = 0
+    for d in range(4, -1, -1):
+        before = net.ledger.rounds
+        net.exchange(x, d)
+        total = max(total, net.ledger.rounds - before)
+    assert total <= 2  # one shuffle + one exchange per dimension
+
+
+def test_shuffle_exchange_correct_values():
+    net = ShuffleExchange(4, ledger=CostLedger())
+    x = np.arange(16.0)
+    got = net.exchange(x, 2)
+    np.testing.assert_array_equal(got, x[np.arange(16) ^ 4])
+
+
+def test_shuffle_exchange_uses_unshuffle_shortcut():
+    net = ShuffleExchange(8, ledger=CostLedger())
+    x = np.zeros(256)
+    net.exchange(x, 0)
+    r0 = net.ledger.rounds
+    net.exchange(x, 1)  # one unshuffle + exchange = 2 rounds
+    assert net.ledger.rounds - r0 == 2
+
+
+def test_size_and_ids():
+    for cls in (Hypercube, CubeConnectedCycles, ShuffleExchange):
+        net = cls(6)
+        assert net.size == 64
+        np.testing.assert_array_equal(net.ids, np.arange(64))

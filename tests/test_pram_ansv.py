@@ -1,0 +1,90 @@
+"""All-nearest-smaller-values [BBG+89]."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.bits import ceil_log2
+from repro.pram import CREW, CostLedger, Pram
+from repro.pram.ansv import (
+    all_nearest_smaller_values,
+    nearest_smaller_left,
+    nearest_smaller_right,
+)
+
+
+def make():
+    return Pram(CREW, 1 << 20, ledger=CostLedger())
+
+
+def brute_left(x):
+    out = []
+    for i in range(len(x)):
+        j = i - 1
+        while j >= 0 and x[j] >= x[i]:
+            j -= 1
+        out.append(j)
+    return np.array(out)
+
+
+def brute_right(x):
+    n = len(x)
+    out = []
+    for i in range(n):
+        j = i + 1
+        while j < n and x[j] >= x[i]:
+            j += 1
+        out.append(j if j < n else -1)
+    return np.array(out)
+
+
+def test_known_example():
+    x = np.array([3.0, 1.0, 4.0, 1.5, 5.0, 0.5])
+    np.testing.assert_array_equal(nearest_smaller_left(make(), x), [-1, -1, 1, 1, 3, -1])
+    np.testing.assert_array_equal(nearest_smaller_right(make(), x), [1, 5, 3, 5, 5, -1])
+
+
+def test_sorted_ascending():
+    x = np.arange(10.0)
+    np.testing.assert_array_equal(nearest_smaller_left(make(), x), np.arange(10) - 1)
+
+
+def test_sorted_descending():
+    x = np.arange(10.0)[::-1].copy()
+    np.testing.assert_array_equal(nearest_smaller_left(make(), x), np.full(10, -1))
+    expected_right = np.concatenate([np.arange(1, 10), [-1]])
+    np.testing.assert_array_equal(nearest_smaller_right(make(), x), expected_right)
+
+
+def test_all_equal_strict():
+    x = np.ones(8)
+    np.testing.assert_array_equal(nearest_smaller_left(make(), x), np.full(8, -1))
+    np.testing.assert_array_equal(nearest_smaller_right(make(), x), np.full(8, -1))
+
+
+def test_empty_and_singleton():
+    assert nearest_smaller_left(make(), np.array([])).size == 0
+    np.testing.assert_array_equal(nearest_smaller_left(make(), np.array([5.0])), [-1])
+
+
+def test_both_directions_wrapper(rng):
+    x = rng.normal(size=64)
+    left, right = all_nearest_smaller_values(make(), x)
+    np.testing.assert_array_equal(left, brute_left(x))
+    np.testing.assert_array_equal(right, brute_right(x))
+
+
+def test_round_count_logarithmic():
+    n = 4096
+    pram = make()
+    nearest_smaller_left(pram, np.random.default_rng(3).normal(size=n))
+    # sparse table (lg n) + descent (lg n + 1) + epilogue
+    assert pram.ledger.rounds <= 3 * ceil_log2(n) + 5
+
+
+@given(st.lists(st.integers(0, 8), min_size=1, max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_matches_bruteforce(xs):
+    x = np.array(xs, dtype=float)
+    np.testing.assert_array_equal(nearest_smaller_left(make(), x), brute_left(x))
+    np.testing.assert_array_equal(nearest_smaller_right(make(), x), brute_right(x))

@@ -1,0 +1,89 @@
+"""Doubly-logarithmic CRCW extrema."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+from repro.pram.fast_max import fast_argmax, fast_argmin, fast_max, fast_min
+from repro.pram.models import ConcurrencyViolation
+
+
+def make(p=1 << 22):
+    return Pram(CRCW_COMMON, p, ledger=CostLedger())
+
+
+def test_fast_argmin_basic(rng):
+    x = rng.normal(size=1000)
+    v, i = fast_argmin(make(), x)
+    assert v == x.min()
+    assert i == int(np.argmin(x))
+
+
+def test_fast_argmax_basic(rng):
+    x = rng.normal(size=777)
+    v, i = fast_argmax(make(), x)
+    assert v == x.max()
+    assert i == int(np.argmax(x))
+
+
+def test_leftmost_tie_break():
+    x = np.array([2.0, 1.0, 1.0, 2.0])
+    v, i = fast_argmin(make(), x)
+    assert (v, i) == (1.0, 1)
+    v, i = fast_argmax(make(), x)
+    assert (v, i) == (2.0, 0)
+
+
+def test_empty_input():
+    v, i = fast_argmin(make(), np.array([]))
+    assert v == np.inf and i == -1
+
+
+def test_single_element():
+    v, i = fast_argmin(make(), np.array([42.0]))
+    assert (v, i) == (42.0, 0)
+
+
+def test_requires_crcw():
+    with pytest.raises(ConcurrencyViolation):
+        fast_argmin(Pram(CREW, 100), np.ones(4))
+
+
+def test_value_only_wrappers(rng):
+    x = rng.normal(size=64)
+    assert fast_min(make(), x) == x.min()
+    assert fast_max(make(), x) == x.max()
+
+
+def test_round_growth_is_doubly_logarithmic():
+    """Rounds at n=2**16 should exceed n=16 by only ~2 levels (3 rounds each)."""
+
+    def rounds(n):
+        pram = make()
+        fast_argmin(pram, np.arange(float(n)))
+        return pram.ledger.rounds
+
+    r16, r256, r64k = rounds(16), rounds(256), rounds(1 << 16)
+    assert r256 - r16 <= 4
+    assert r64k - r256 <= 7
+    # and far below the binary-tree lg n = 16 gap:
+    assert r64k <= r16 + 12
+
+
+def test_processor_usage_linear_in_n():
+    n = 4096
+    pram = make()
+    fast_argmin(pram, np.arange(float(n)))
+    # peak processors per level is O(n) (all-pairs of sqrt-blocks)
+    assert pram.ledger.peak_processors <= 4 * n
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_fast_argmin_matches_numpy(xs):
+    x = np.array(xs, dtype=float)
+    v, i = fast_argmin(make(), x)
+    assert v == x.min()
+    assert i == int(np.argmin(x))

@@ -1,0 +1,91 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.pram.ledger import CostLedger, ProcessorBudgetExceeded
+
+
+def test_charge_accumulates_rounds_and_work():
+    led = CostLedger()
+    led.charge(rounds=3, processors=10)
+    led.charge(rounds=1, processors=4)
+    assert led.rounds == 4
+    assert led.work == 34
+    assert led.peak_processors == 10
+
+
+def test_explicit_work_overrides_product():
+    led = CostLedger()
+    led.charge(rounds=2, processors=8, work=5)
+    assert led.work == 5
+
+
+def test_zero_rounds_is_noop():
+    led = CostLedger()
+    led.charge(rounds=0, processors=100)
+    assert led.rounds == 0
+    assert led.peak_processors == 0
+
+
+def test_negative_charges_rejected():
+    led = CostLedger()
+    with pytest.raises(ValueError):
+        led.charge(rounds=-1)
+    with pytest.raises(ValueError):
+        led.charge(processors=-2)
+
+
+def test_processor_budget_enforced():
+    led = CostLedger(processor_limit=16)
+    led.charge(rounds=1, processors=16)
+    with pytest.raises(ProcessorBudgetExceeded):
+        led.charge(rounds=1, processors=17)
+
+
+def test_phases_accumulate_nested():
+    led = CostLedger()
+    with led.phase("outer"):
+        led.charge(rounds=1, processors=2)
+        with led.phase("inner"):
+            led.charge(rounds=2, processors=3)
+    assert led.phases["outer"].rounds == 3
+    assert led.phases["inner"].rounds == 2
+    assert led.phases["outer"].peak_processors == 3
+    assert led.rounds == 3
+
+
+def test_phase_reentry_accumulates():
+    led = CostLedger()
+    for _ in range(2):
+        with led.phase("p"):
+            led.charge(rounds=1, processors=1)
+    assert led.phases["p"].rounds == 2
+    assert led.phases["p"].charges == 2
+
+
+def test_merge_combines_totals_and_phases():
+    a, b = CostLedger(), CostLedger()
+    with a.phase("x"):
+        a.charge(rounds=1, processors=4)
+    with b.phase("x"):
+        b.charge(rounds=2, processors=8)
+    with b.phase("y"):
+        b.charge(rounds=1, processors=1)
+    a.merge(b)
+    assert a.rounds == 4
+    assert a.peak_processors == 8
+    assert a.phases["x"].rounds == 3
+    assert a.phases["y"].rounds == 1
+
+
+def test_snapshot_is_detached():
+    led = CostLedger()
+    led.charge(rounds=1, processors=1)
+    snap = led.snapshot()
+    led.charge(rounds=5, processors=5)
+    assert snap["rounds"] == 1
+
+
+def test_invalid_limit_rejected():
+    with pytest.raises(ValueError):
+        CostLedger(processor_limit=0)

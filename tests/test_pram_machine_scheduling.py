@@ -1,0 +1,97 @@
+"""Machine handle behaviour + Brent rescheduling."""
+
+import numpy as np
+import pytest
+
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+from repro.pram.models import ConcurrencyViolation
+from repro.pram.primitives import prefix_scan
+from repro.pram.scheduling import BrentPram, brent_rounds
+
+
+def test_machine_rejects_bad_processor_count():
+    with pytest.raises(ValueError):
+        Pram(CREW, 0)
+
+
+def test_sub_machine_shares_ledger():
+    pram = Pram(CREW, 100, ledger=CostLedger())
+    sub = pram.sub(10)
+    sub.charge(rounds=2, processors=10)
+    assert pram.ledger.rounds == 2
+
+
+def test_sub_machine_cannot_grow():
+    pram = Pram(CREW, 10)
+    with pytest.raises(ValueError):
+        pram.sub(11)
+
+
+def test_charge_rejects_overwide_round():
+    pram = Pram(CREW, 4)
+    with pytest.raises(RuntimeError):
+        pram.charge(rounds=1, processors=5)
+
+
+def test_gather_scatter_roundtrip(rng):
+    pram = Pram(CREW, 64, ledger=CostLedger(), validate=True)
+    mem = np.zeros(16)
+    addr = np.arange(8)
+    pram.scatter(mem, addr, np.arange(8.0))
+    got = pram.gather(mem, addr)
+    np.testing.assert_array_equal(got, np.arange(8.0))
+    assert pram.ledger.rounds == 2
+
+
+def test_validated_scatter_conflict_faults_on_crew():
+    pram = Pram(CREW, 8, validate=True)
+    mem = np.zeros(4)
+    with pytest.raises(ConcurrencyViolation):
+        pram.scatter(mem, np.array([1, 1]), np.array([2.0, 3.0]))
+
+
+def test_require_crcw():
+    with pytest.raises(ConcurrencyViolation):
+        Pram(CREW, 2).require_crcw("x")
+    Pram(CRCW_COMMON, 2).require_crcw("x")  # no raise
+
+
+# --------------------------------------------------------------------- #
+def test_brent_rounds_formula():
+    assert brent_rounds(10, 100, 100) == 10
+    assert brent_rounds(10, 100, 50) == 20
+    assert brent_rounds(10, 100, 30) == 40
+    assert brent_rounds(1, 1, 7) == 1
+    with pytest.raises(ValueError):
+        brent_rounds(1, 1, 0)
+
+
+def test_brent_pram_slices_rounds():
+    led = CostLedger()
+    bp = BrentPram(CREW, virtual_processors=64, physical_processors=16, ledger=led)
+    prefix_scan(bp, np.ones(64), "add")  # 6 rounds at width 64
+    assert led.rounds == 6 * 4  # each round sliced into 64/16 = 4
+    assert led.peak_processors == 16
+
+
+def test_brent_pram_narrow_rounds_not_inflated():
+    led = CostLedger()
+    bp = BrentPram(CREW, 64, 16, ledger=led)
+    bp.charge(rounds=3, processors=8)  # fits entirely
+    assert led.rounds == 3
+
+
+def test_brent_sub_preserves_physical_width():
+    bp = BrentPram(CREW, 64, 16)
+    sub = bp.sub(32)
+    assert isinstance(sub, BrentPram)
+    assert sub.physical_processors == 16
+    assert sub.ledger is bp.ledger
+
+
+def test_brent_pram_validation():
+    with pytest.raises(ValueError):
+        BrentPram(CREW, 8, 0)
+    bp = BrentPram(CREW, 8, 2)
+    with pytest.raises(RuntimeError):
+        bp.charge(rounds=1, processors=9)

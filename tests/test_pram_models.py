@@ -1,0 +1,100 @@
+"""Semantics of the PRAM model definitions and write resolution."""
+
+import numpy as np
+import pytest
+
+from repro.pram.models import (
+    CRCW_ARBITRARY,
+    CRCW_COMMON,
+    CRCW_PRIORITY,
+    CREW,
+    EREW,
+    ConcurrencyViolation,
+    WritePolicy,
+    resolve_concurrent_writes,
+)
+
+
+def test_model_flags():
+    assert not EREW.concurrent_read and not EREW.concurrent_write
+    assert CREW.concurrent_read and not CREW.concurrent_write
+    for m in (CRCW_COMMON, CRCW_ARBITRARY, CRCW_PRIORITY):
+        assert m.concurrent_read and m.concurrent_write and m.is_crcw
+
+
+def test_erew_rejects_concurrent_reads():
+    with pytest.raises(ConcurrencyViolation):
+        EREW.check_reads(np.array([1, 2, 1]))
+    EREW.check_reads(np.array([1, 2, 3]))  # distinct is fine
+
+
+def test_crew_allows_concurrent_reads():
+    CREW.check_reads(np.array([7, 7, 7]))
+
+
+def test_exclusive_write_conflict_raises():
+    with pytest.raises(ConcurrencyViolation):
+        resolve_concurrent_writes(
+            WritePolicy.EXCLUSIVE, np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0])
+        )
+
+
+def test_exclusive_write_no_conflict_passes_through():
+    addr, vals = resolve_concurrent_writes(
+        WritePolicy.EXCLUSIVE, np.array([2, 0, 1]), np.array([5.0, 6.0, 7.0])
+    )
+    mem = np.zeros(3)
+    mem[addr] = vals
+    assert list(mem) == [6.0, 7.0, 5.0]
+
+
+def test_common_write_agreeing_ok():
+    addr, vals = resolve_concurrent_writes(
+        WritePolicy.COMMON, np.array([3, 3, 1]), np.array([9.0, 9.0, 2.0])
+    )
+    assert dict(zip(addr.tolist(), vals.tolist())) == {3: 9.0, 1: 2.0}
+
+
+def test_common_write_disagreement_raises():
+    with pytest.raises(ConcurrencyViolation):
+        resolve_concurrent_writes(
+            WritePolicy.COMMON, np.array([3, 3]), np.array([9.0, 8.0])
+        )
+
+
+def test_arbitrary_write_picks_some_writer():
+    addr, vals = resolve_concurrent_writes(
+        WritePolicy.ARBITRARY, np.array([5, 5, 5]), np.array([1.0, 2.0, 3.0])
+    )
+    assert addr.tolist() == [5]
+    assert vals[0] in (1.0, 2.0, 3.0)
+
+
+def test_priority_write_lowest_processor_wins():
+    addr, vals = resolve_concurrent_writes(
+        WritePolicy.PRIORITY,
+        np.array([4, 4, 2, 4]),
+        np.array([10.0, 20.0, 30.0, 40.0]),
+        processor_ids=np.array([7, 3, 5, 9]),
+    )
+    got = dict(zip(addr.tolist(), vals.tolist()))
+    assert got == {4: 20.0, 2: 30.0}  # pid 3 wins address 4
+
+
+def test_priority_default_ids_are_positions():
+    addr, vals = resolve_concurrent_writes(
+        WritePolicy.PRIORITY, np.array([0, 0]), np.array([111.0, 222.0])
+    )
+    assert dict(zip(addr.tolist(), vals.tolist())) == {0: 111.0}
+
+
+def test_empty_write_batch():
+    addr, vals = resolve_concurrent_writes(
+        WritePolicy.COMMON, np.array([], dtype=int), np.array([])
+    )
+    assert addr.size == 0 and vals.size == 0
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(ValueError):
+        resolve_concurrent_writes(WritePolicy.COMMON, np.array([1, 2]), np.array([1.0]))

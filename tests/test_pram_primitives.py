@@ -1,0 +1,287 @@
+"""Primitives: correctness against NumPy references + round accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.bits import ceil_log2
+from repro.pram import CRCW_COMMON, CREW, EREW, CostLedger, Pram
+from repro.pram.primitives import (
+    broadcast,
+    exclusive_prefix_sum,
+    grouped_max,
+    grouped_min,
+    merge_ranks,
+    pack_indices,
+    prefix_scan,
+    reduce,
+    replicate_by_counts,
+    segmented_scan,
+)
+
+
+def make(model=CREW, p=1 << 20):
+    return Pram(model, p, ledger=CostLedger())
+
+
+# --------------------------------------------------------------------- #
+# scans
+# --------------------------------------------------------------------- #
+def test_prefix_scan_add_matches_cumsum(rng):
+    x = rng.normal(size=100)
+    pram = make()
+    np.testing.assert_allclose(prefix_scan(pram, x, "add"), np.cumsum(x), rtol=1e-12)
+
+
+def test_prefix_scan_min_max(rng):
+    x = rng.normal(size=63)
+    pram = make()
+    np.testing.assert_array_equal(prefix_scan(pram, x, "min"), np.minimum.accumulate(x))
+    np.testing.assert_array_equal(prefix_scan(pram, x, "max"), np.maximum.accumulate(x))
+
+
+def test_prefix_scan_round_count_is_ceil_log2():
+    for n in (2, 3, 7, 8, 9, 1000):
+        pram = make()
+        prefix_scan(pram, np.ones(n), "add")
+        assert pram.ledger.rounds == ceil_log2(n)
+
+
+def test_prefix_scan_trivial_sizes():
+    pram = make()
+    assert prefix_scan(pram, np.array([5.0]), "add")[0] == 5.0
+    assert prefix_scan(pram, np.array([]), "add").size == 0
+
+
+def test_exclusive_prefix_sum_offsets():
+    pram = make()
+    out = exclusive_prefix_sum(pram, np.array([2, 0, 3, 1]))
+    assert out.tolist() == [0, 2, 2, 5, 6]
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=60),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_segmented_scan_matches_reference(xs, data):
+    x = np.array(xs)
+    heads = np.array(
+        data.draw(st.lists(st.booleans(), min_size=len(xs), max_size=len(xs)))
+    )
+    heads[0] = True
+    pram = make()
+    got = segmented_scan(pram, x, heads, "add")
+    # reference: cumulative sum restarting at heads
+    ref = np.empty_like(x)
+    acc = 0.0
+    for i in range(len(xs)):
+        acc = x[i] if heads[i] else acc + x[i]
+        ref[i] = acc
+    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+def test_segmented_scan_max_segment_length_rounds():
+    # 1024 elements in segments of <= 4: only 2 rounds needed, not 10.
+    n = 1024
+    heads = np.zeros(n, dtype=bool)
+    heads[::4] = True
+    pram = make()
+    out = segmented_scan(pram, np.ones(n), heads, "add", max_segment_length=4)
+    assert pram.ledger.rounds == 2
+    np.testing.assert_array_equal(out[:8], [1, 2, 3, 4, 1, 2, 3, 4])
+
+
+def test_segmented_scan_min_op():
+    x = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+    heads = np.array([True, False, False, True, False])
+    pram = make()
+    got = segmented_scan(pram, x, heads, "min")
+    np.testing.assert_array_equal(got, [3, 1, 1, 5, 4])
+
+
+def test_reduce_matches_numpy(rng):
+    x = rng.normal(size=37)
+    pram = make()
+    assert np.isclose(reduce(pram, x, "add"), x.sum())
+    assert reduce(pram, x, "min") == x.min()
+    assert reduce(pram, x, "max") == x.max()
+    assert pytest.approx(reduce(make(), np.array([]), "add")) == 0.0
+
+
+def test_reduce_rounds_logarithmic():
+    pram = make()
+    reduce(pram, np.ones(1024), "add")
+    assert pram.ledger.rounds == 10
+
+
+# --------------------------------------------------------------------- #
+# broadcast / pack / merge / replicate
+# --------------------------------------------------------------------- #
+def test_broadcast_crew_one_round():
+    pram = make(CREW)
+    out = broadcast(pram, 7.5, 100)
+    assert out.shape == (100,) and (out == 7.5).all()
+    assert pram.ledger.rounds == 1
+
+
+def test_broadcast_erew_log_rounds():
+    pram = make(EREW)
+    broadcast(pram, 1.0, 100)
+    assert pram.ledger.rounds == ceil_log2(100)
+
+
+def test_pack_indices_stable(rng):
+    mask = rng.random(200) < 0.3
+    pram = make()
+    got = pack_indices(pram, mask)
+    np.testing.assert_array_equal(got, np.nonzero(mask)[0])
+
+
+def test_pack_indices_empty_cases():
+    pram = make()
+    assert pack_indices(pram, np.zeros(10, dtype=bool)).size == 0
+    assert pack_indices(pram, np.array([], dtype=bool)).size == 0
+
+
+def test_merge_ranks_produces_sorted_merge(rng):
+    a = np.sort(rng.normal(size=40))
+    b = np.sort(rng.normal(size=25))
+    pram = make()
+    ra, rb = merge_ranks(pram, a, b)
+    merged = np.empty(65)
+    merged[np.arange(40) + ra] = a
+    merged[np.arange(25) + rb] = b
+    np.testing.assert_array_equal(merged, np.sort(np.concatenate([a, b])))
+
+
+def test_replicate_by_counts():
+    pram = make()
+    out = replicate_by_counts(pram, np.array([5.0, 7.0, 9.0]), np.array([2, 0, 3]))
+    np.testing.assert_array_equal(out, [5, 5, 9, 9, 9])
+
+
+# --------------------------------------------------------------------- #
+# grouped extrema
+# --------------------------------------------------------------------- #
+def _brute_grouped_min(values, offsets):
+    mins, args = [], []
+    for g in range(len(offsets) - 1):
+        seg = values[offsets[g] : offsets[g + 1]]
+        if seg.size == 0:
+            mins.append(np.inf)
+            args.append(-1)
+        else:
+            k = int(np.argmin(seg))  # argmin returns first occurrence
+            mins.append(seg[k])
+            args.append(offsets[g] + k)
+    return np.array(mins), np.array(args)
+
+
+@pytest.mark.parametrize("strategy", ["binary", "allpairs", "doubly_log"])
+def test_grouped_min_matches_bruteforce(rng, strategy):
+    values = rng.integers(0, 10, size=300).astype(float)  # many ties
+    cuts = np.sort(rng.choice(np.arange(1, 300), size=17, replace=False))
+    offsets = np.concatenate([[0], cuts, [300]])
+    model = CREW if strategy == "binary" else CRCW_COMMON
+    pram = make(model)
+    got_v, got_i = grouped_min(pram, values, offsets, strategy=strategy)
+    ref_v, ref_i = _brute_grouped_min(values, offsets)
+    np.testing.assert_array_equal(got_v, ref_v)
+    np.testing.assert_array_equal(got_i, ref_i)
+
+
+@pytest.mark.parametrize("strategy", ["binary", "allpairs", "doubly_log"])
+def test_grouped_min_empty_groups(strategy):
+    values = np.array([4.0, 2.0])
+    offsets = np.array([0, 0, 2, 2])
+    model = CREW if strategy == "binary" else CRCW_COMMON
+    got_v, got_i = grouped_min(make(model), values, offsets, strategy=strategy)
+    assert got_v.tolist() == [np.inf, 2.0, np.inf]
+    assert got_i.tolist() == [-1, 1, -1]
+
+
+def test_grouped_min_single_group_leftmost_tie(rng):
+    values = np.array([3.0, 1.0, 1.0, 5.0])
+    offsets = np.array([0, 4])
+    for strategy, model in (
+        ("binary", CREW),
+        ("allpairs", CRCW_COMMON),
+        ("doubly_log", CRCW_COMMON),
+    ):
+        v, i = grouped_min(make(model), values, offsets, strategy=strategy)
+        assert v[0] == 1.0 and i[0] == 1, strategy
+
+
+def test_grouped_max_negates_correctly(rng):
+    values = rng.normal(size=50)
+    offsets = np.array([0, 20, 50])
+    v, i = grouped_max(make(CREW), values, offsets, strategy="binary")
+    assert v[0] == values[:20].max()
+    assert i[0] == int(np.argmax(values[:20]))
+    assert v[1] == values[20:].max()
+
+
+def test_grouped_min_allpairs_requires_crcw():
+    from repro.pram.models import ConcurrencyViolation
+
+    with pytest.raises(ConcurrencyViolation):
+        grouped_min(make(CREW), np.ones(4), np.array([0, 4]), strategy="allpairs")
+
+
+def test_grouped_min_auto_selects_on_budget():
+    values = np.arange(64.0)
+    offsets = np.arange(0, 65, 8)
+    # medium machine: all-pairs (8 groups * 64 pairs = 512) won't fit in
+    # 256 processors, so auto must fall back to doubly_log (fits: O(n))
+    pram = Pram(CRCW_COMMON, 256, ledger=CostLedger())
+    v, i = grouped_min(pram, values, offsets, strategy="auto")
+    np.testing.assert_array_equal(v, values[::8])
+    assert pram.ledger.rounds > 3  # not the constant-round all-pairs path
+    # large machine: all-pairs fits and takes exactly 3 rounds
+    pram2 = Pram(CRCW_COMMON, 1024, ledger=CostLedger())
+    grouped_min(pram2, values, offsets, strategy="auto")
+    assert pram2.ledger.rounds == 3
+
+
+def test_grouped_min_doubly_log_round_growth():
+    # rounds grow like lg lg w: going from w=16 to w=256 adds one level
+    def rounds_for(w):
+        pram = make(CRCW_COMMON)
+        grouped_min(pram, np.random.default_rng(1).normal(size=w), np.array([0, w]),
+                    strategy="doubly_log")
+        return pram.ledger.rounds
+
+    assert rounds_for(256) <= rounds_for(16) + 6
+    assert rounds_for(65536) <= rounds_for(16) + 12
+
+
+def test_grouped_min_validates_offsets():
+    with pytest.raises(ValueError):
+        grouped_min(make(), np.ones(3), np.array([0, 5]))
+    with pytest.raises(ValueError):
+        grouped_min(make(), np.ones(3), np.array([1, 3]))
+    with pytest.raises(ValueError):
+        grouped_min(make(), np.ones(3), np.array([0, 2, 1, 3]))
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_grouped_min_property_random_partitions(data):
+    n = data.draw(st.integers(1, 80))
+    values = np.array(
+        data.draw(
+            st.lists(
+                st.integers(-5, 5).map(float), min_size=n, max_size=n
+            )
+        )
+    )
+    k = data.draw(st.integers(0, min(10, n)))
+    cuts = sorted(data.draw(st.lists(st.integers(0, n), min_size=k, max_size=k)))
+    offsets = np.array([0] + cuts + [n], dtype=np.int64)
+    ref_v, ref_i = _brute_grouped_min(values, offsets)
+    for strategy, model in (("binary", CREW), ("doubly_log", CRCW_COMMON)):
+        v, i = grouped_min(make(model), values, offsets, strategy=strategy)
+        np.testing.assert_array_equal(v, ref_v, err_msg=strategy)
+        np.testing.assert_array_equal(i, ref_i, err_msg=strategy)

@@ -1,0 +1,56 @@
+"""Bitonic sorting network on the PRAM."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.bits import ceil_log2
+from repro.pram import CREW, CostLedger, Pram
+from repro.pram.sorting import bitonic_argsort, bitonic_sort
+
+
+def make():
+    return Pram(CREW, 1 << 20, ledger=CostLedger())
+
+
+def test_sorts_random(rng):
+    x = rng.normal(size=100)
+    np.testing.assert_array_equal(bitonic_sort(make(), x), np.sort(x))
+
+
+def test_argsort_is_permutation(rng):
+    x = rng.normal(size=37)
+    perm = bitonic_argsort(make(), x)
+    assert sorted(perm.tolist()) == list(range(37))
+    np.testing.assert_array_equal(x[perm], np.sort(x))
+
+
+def test_handles_duplicates_deterministically():
+    x = np.array([2.0, 1.0, 2.0, 1.0])
+    perm = bitonic_argsort(make(), x)
+    assert perm.tolist() == [1, 3, 0, 2]  # stable on ties by index
+
+
+def test_handles_inf_values():
+    x = np.array([np.inf, 1.0, np.inf, 0.0])
+    np.testing.assert_array_equal(bitonic_sort(make(), x), np.sort(x))
+
+
+def test_trivial_sizes():
+    assert bitonic_sort(make(), np.array([])).size == 0
+    np.testing.assert_array_equal(bitonic_sort(make(), np.array([3.0])), [3.0])
+
+
+def test_round_count_is_lg_squared():
+    n = 256
+    pram = make()
+    bitonic_sort(pram, np.random.default_rng(0).normal(size=n))
+    k = ceil_log2(n)
+    assert pram.ledger.rounds == k * (k + 1) // 2
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=70))
+@settings(max_examples=60, deadline=None)
+def test_matches_numpy_sort(xs):
+    x = np.array(xs)
+    np.testing.assert_array_equal(bitonic_sort(make(), x), np.sort(x))

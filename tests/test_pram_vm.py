@@ -1,0 +1,141 @@
+"""Instruction-level PRAM VM: classic programs + enforced violations."""
+
+import numpy as np
+import pytest
+
+from repro.pram.models import (
+    CRCW_COMMON,
+    CRCW_PRIORITY,
+    CREW,
+    EREW,
+    ConcurrencyViolation,
+)
+from repro.pram.vm import (
+    AllActive,
+    BinOp,
+    Const,
+    Load,
+    PramVM,
+    ProcId,
+    SetActive,
+    Store,
+    UnaryOp,
+)
+
+
+def test_constant_round_crcw_or_of_bits():
+    """The folklore O(1) CRCW OR: every processor holding a 1 writes 1."""
+    vm = PramVM(CRCW_COMMON, processors=8, memory_size=10)
+    vm.memory[0:8] = [0, 0, 1, 0, 0, 1, 0, 0]
+    prog = [
+        ProcId("i"),
+        Load("x", "i"),
+        SetActive("x"),          # only processors holding a 1 stay active
+        Const("one", 1.0),
+        Const("dst", 9.0),
+        Store("one", "dst"),     # all agree on the value: legal on COMMON
+        AllActive(),
+    ]
+    vm.execute(prog)
+    assert vm.memory[9] == 1.0
+    assert vm.ledger.rounds == len(prog)
+
+
+def test_crcw_or_faults_on_crew():
+    vm = PramVM(CREW, processors=4, memory_size=8)
+    vm.memory[0:4] = [1, 1, 0, 0]
+    prog = [
+        ProcId("i"),
+        Load("x", "i"),
+        SetActive("x"),
+        Const("one", 1.0),
+        Const("dst", 7.0),
+        Store("one", "dst"),
+    ]
+    with pytest.raises(ConcurrencyViolation):
+        vm.execute(prog)
+
+
+def test_common_write_disagreement_faults():
+    vm = PramVM(CRCW_COMMON, processors=2, memory_size=4)
+    prog = [ProcId("i"), Const("dst", 3.0), Store("i", "dst")]
+    with pytest.raises(ConcurrencyViolation):
+        vm.execute(prog)
+
+
+def test_priority_write_lowest_wins():
+    vm = PramVM(CRCW_PRIORITY, processors=4, memory_size=4)
+    prog = [ProcId("i"), Const("dst", 0.0), Store("i", "dst")]
+    vm.execute(prog)
+    assert vm.memory[0] == 0.0  # processor 0 wins
+
+
+def test_erew_concurrent_read_faults():
+    vm = PramVM(EREW, processors=3, memory_size=4)
+    prog = [Const("a", 2.0), Load("x", "a")]  # everyone reads cell 2
+    with pytest.raises(ConcurrencyViolation):
+        vm.execute(prog)
+
+
+def test_erew_distinct_reads_ok():
+    vm = PramVM(EREW, processors=3, memory_size=4)
+    vm.memory[:3] = [10, 20, 30]
+    vm.execute([ProcId("i"), Load("x", "i")])
+    np.testing.assert_array_equal(vm.registers["x"], [10, 20, 30])
+
+
+def test_pointer_jumping_prefix_sum():
+    """lg n rounds of doubling computes all prefix sums (CREW)."""
+    n = 8
+    vm = PramVM(CREW, processors=n, memory_size=2 * n)
+    vm.memory[0:n] = np.arange(1, n + 1)
+    # Host drives the doubling loop; each iteration is a few VM steps.
+    vm.execute([ProcId("i"), Load("x", "i")])
+    d = 1
+    while d < n:
+        prog = [
+            Const("d", float(d)),
+            BinOp("src", "sub", "i", "d"),
+            Const("zero", 0.0),
+            BinOp("ok", "le", "zero", "src"),
+            SetActive("ok"),
+            Load("y", "src"),
+            BinOp("x", "add", "x", "y"),
+            AllActive(),
+        ]
+        # write x back so loads observe the previous round's values
+        vm.execute(prog + [Store("x", "i")])
+        d *= 2
+    np.testing.assert_array_equal(
+        vm.memory[0:n], np.cumsum(np.arange(1, n + 1))
+    )
+
+
+def test_out_of_range_address_raises():
+    vm = PramVM(CREW, processors=2, memory_size=2)
+    with pytest.raises(IndexError):
+        vm.execute([Const("a", 5.0), Load("x", "a")])
+
+
+def test_unknown_ops_rejected():
+    vm = PramVM(CREW, processors=1, memory_size=1)
+    with pytest.raises(ValueError):
+        vm.execute([BinOp("x", "xor", "x", "x")])
+    with pytest.raises(ValueError):
+        vm.execute([UnaryOp("x", "sqrt", "x")])
+    with pytest.raises(TypeError):
+        vm.execute(["not an instruction"])
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        PramVM(CREW, processors=0, memory_size=4)
+    with pytest.raises(ValueError):
+        PramVM(CREW, processors=1, memory_size=0)
+
+
+def test_ledger_counts_each_instruction():
+    vm = PramVM(CREW, processors=4, memory_size=4)
+    vm.execute([Const("a", 1.0), Const("b", 2.0), BinOp("c", "add", "a", "b")])
+    assert vm.ledger.rounds == 3
+    assert vm.ledger.peak_processors == 4
