@@ -1,0 +1,24 @@
+# Developer entry points.  Everything assumes the in-repo layout
+# (PYTHONPATH=src); no installation step is required.
+
+PY ?= python
+PYTHONPATH := src
+
+.PHONY: test test-fast bench-smoke bench
+
+## test: full tier-1 suite (slow scaling/property tests included)
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q
+
+## test-fast: developer loop — everything except tests marked `slow`
+test-fast:
+	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q -m "not slow"
+
+## bench-smoke: perf-regression smoke (small sizes, verifies the
+## fused-kernel invariant; does not overwrite BENCH_hotpath.json)
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_regress.py --smoke --out /tmp/BENCH_hotpath_smoke.json
+
+## bench: full pinned workload matrix -> BENCH_hotpath.json
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_regress.py

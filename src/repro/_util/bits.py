@@ -12,6 +12,7 @@ __all__ = [
     "ceil_div",
     "ceil_log2",
     "ceil_sqrt",
+    "ceil_sqrt_array",
     "is_power_of_two",
     "next_power_of_two",
     "floor_log2",
@@ -50,6 +51,23 @@ def ceil_sqrt(n: int) -> int:
         raise ValueError(f"ceil_sqrt requires n >= 0, got {n}")
     s = math.isqrt(n)
     return s if s * s == n else s + 1
+
+
+def ceil_sqrt_array(x):
+    """Elementwise :func:`ceil_sqrt` of a nonnegative int64 array.
+
+    Exactness is restored from the float estimate by a ±1 correction,
+    so results agree with the integer routine for every value the
+    simulators produce (subproblem row counts, well below 2**52).
+    """
+    import numpy as np
+
+    x = np.asarray(x, dtype=np.int64)
+    if x.size and int(x.min()) < 0:
+        raise ValueError("ceil_sqrt_array requires nonnegative entries")
+    r = np.sqrt(x.astype(np.float64)).astype(np.int64)
+    r = np.where(r * r > x, r - 1, r)  # now r == floor(sqrt(x))
+    return r + (r * r < x).astype(np.int64)
 
 
 def is_power_of_two(n: int) -> bool:

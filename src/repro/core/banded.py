@@ -157,7 +157,7 @@ def banded_row_minima_pram(
             cols_flat = w_lo[owner] + local
             pram.charge(rounds=2, processors=max(1, widths.size))
             if cols_flat.size:
-                values_flat = a.eval(rows_flat, cols_flat)
+                values_flat = a.eval(rows_flat, cols_flat, checked=False)
                 pram.charge_eval(values_flat.size)
                 gv, gi = grouped_min(pram, values_flat, offsets)
                 vals[new_rows] = gv

@@ -46,8 +46,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro._util.bits import ceil_sqrt
-from repro.monge.arrays import SearchArray, as_search_array
+from repro._util.bits import ceil_sqrt_array
+from repro.monge.arrays import CachedArray, SearchArray, as_search_array
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
 
@@ -104,7 +104,7 @@ def _ragged(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
 
 
 def monge_row_minima_pram(
-    pram: Pram, array, strategy: str = "sqrt"
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Leftmost row minima of a Monge array, parallel.
 
@@ -112,8 +112,15 @@ def monge_row_minima_pram(
     paper's recursion) or ``"halving"`` (ablation baseline).  Grouped
     minima pick the CRCW doubly-log primitive automatically when the
     machine is CRCW, else the CREW binary scan.
+
+    ``cache=True`` wraps the array in a
+    :class:`~repro.monge.arrays.CachedArray` so entries revisited
+    across recursion levels are computed once; results and ledger
+    charges are identical either way (wall-clock only).
     """
     a = as_search_array(array)
+    if cache:
+        a = CachedArray(a)
     m, n = a.shape
     if n == 0:
         raise ValueError("cannot take row minima of a zero-column array")
@@ -134,7 +141,7 @@ def monge_row_minima_pram(
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
-def monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt"):
+def monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt", cache: bool = False):
     """Leftmost row maxima of a **Monge** array (Table 1.1 semantics).
 
     Row-flipping a Monge array yields an inverse-Monge array; negating
@@ -150,19 +157,19 @@ def monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt"):
             self.base = base
 
         def _eval(self, rows, cols):
-            return -self.base.eval(m - 1 - rows, cols)
+            return -self.base.eval(m - 1 - rows, cols, checked=False)
 
-    vals, cols = monge_row_minima_pram(pram, _Flip(a), strategy=strategy)
+    vals, cols = monge_row_minima_pram(pram, _Flip(a), strategy=strategy, cache=cache)
     return -vals[::-1], cols[::-1].copy()
 
 
-def inverse_monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt"):
+def inverse_monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt", cache: bool = False):
     """Leftmost row maxima of an **inverse-Monge** array (Fig. 1.1 use).
 
     The negation is Monge and leftmost minima coincide positionally.
     """
     a = as_search_array(array)
-    vals, cols = monge_row_minima_pram(pram, a.negate(), strategy=strategy)
+    vals, cols = monge_row_minima_pram(pram, a.negate(), strategy=strategy, cache=cache)
     return -vals, cols
 
 
@@ -196,7 +203,7 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
         cols_flat = sb.cs[owner_prob][owner_rowgrp] + local_col
         # allocation is uniform-per-subproblem: O(1) rounds
         pram.charge(rounds=1, processors=max(1, widths.size))
-        values_flat = arr.eval(rows_flat, cols_flat)
+        values_flat = arr.eval(rows_flat, cols_flat, checked=False)
         pram.charge_eval(values_flat.size)
         gv, gi = grouped_min(pram, values_flat, offsets)
         got_cols = np.where(gi >= 0, cols_flat[np.maximum(gi, 0)], -1)
@@ -212,7 +219,7 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
     bb = batch.select(big)
     nb = len(bb)
     # ---- phase (b): sampled rows ------------------------------------- #
-    s = np.array([ceil_sqrt(int(r)) for r in bb.rcount], dtype=np.int64)
+    s = ceil_sqrt_array(bb.rcount)
     u = bb.rcount // s                      # number of sampled rows, >= 1
     v = -(-bb.ccount // u)                  # chunk width = ceil(ccount/u)
     nchunk = -(-bb.ccount // v)             # <= u chunks
@@ -354,7 +361,7 @@ def _solve_halving(pram: Pram, arr: SearchArray):
             rows_flat = new_rows[owner]
             cols_flat = lo[owner] + local
             pram.charge(rounds=2, processors=max(1, widths.size))  # allocation
-            values_flat = arr.eval(rows_flat, cols_flat)
+            values_flat = arr.eval(rows_flat, cols_flat, checked=False)
             pram.charge_eval(values_flat.size)
             gv, gi = grouped_min(pram, values_flat, offsets)
             vals[new_rows] = gv

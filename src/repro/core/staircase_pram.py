@@ -48,8 +48,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro._util.bits import ceil_sqrt
-from repro.monge.arrays import SearchArray
+from repro._util.bits import ceil_sqrt_array
+from repro.monge.arrays import CachedArray, SearchArray
 from repro.monge.staircase_seq import effective_boundary
 from repro.pram.ansv import nearest_smaller_left_threshold
 from repro.pram.machine import Pram
@@ -63,7 +63,7 @@ __all__ = [
 ]
 
 
-def staircase_row_maxima_pram(pram: Pram, array) -> Tuple[np.ndarray, np.ndarray]:
+def staircase_row_maxima_pram(pram: Pram, array, cache: bool = False) -> Tuple[np.ndarray, np.ndarray]:
     """Row maxima of a staircase-Monge array over its finite prefixes —
     §1.2's *easy* direction, parallel.
 
@@ -81,13 +81,15 @@ def staircase_row_maxima_pram(pram: Pram, array) -> Tuple[np.ndarray, np.ndarray
     m, n = arr.shape
     if m == 0:
         return np.empty(0), np.empty(0, dtype=np.int64)
+    if cache:
+        arr = CachedArray(arr)
 
     class _RowFlip(_SA):
         def __init__(self):
             super().__init__((m, n))
 
         def _eval(self, rows, cols):
-            return arr.eval(m - 1 - rows, cols)
+            return arr.eval(m - 1 - rows, cols, checked=False)
 
     lo = np.zeros(m, dtype=np.int64)
     hi = f[::-1].copy()  # nondecreasing after the flip
@@ -123,16 +125,22 @@ class _StairBatch:
         return _StairBatch(self.rs[mask], self.rcount[mask], self.cs[mask], self.ccount[mask])
 
 
-def staircase_row_minima_pram(pram: Pram, array) -> Tuple[np.ndarray, np.ndarray]:
+def staircase_row_minima_pram(
+    pram: Pram, array, cache: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
     """Leftmost row minima of a staircase-Monge array, parallel.
 
     Rows whose finite prefix is empty report ``(inf, -1)``.
-    Returns ``(values, columns)``.
+    Returns ``(values, columns)``.  ``cache=True`` memoizes entry
+    evaluations across recursion levels (wall-clock only; results and
+    ledger charges are unchanged).
     """
     arr, f = effective_boundary(array)
     m, n = arr.shape
     if m == 0:
         return np.empty(0), np.empty(0, dtype=np.int64)
+    if cache:
+        arr = CachedArray(arr)
     batch = _StairBatch(
         rs=np.array([0], dtype=np.int64),
         rcount=np.array([m], dtype=np.int64),
@@ -198,7 +206,7 @@ def _stair_solve(pram: Pram, arr: SearchArray, f: np.ndarray, batch: _StairBatch
         cols_flat = sb.cs[owner][rowgrp] + local_col
         pram.charge(rounds=2, processors=max(1, widths.size))
         if cols_flat.size:
-            values_flat = arr.eval(rows_flat, cols_flat)
+            values_flat = arr.eval(rows_flat, cols_flat, checked=False)
             pram.charge_eval(values_flat.size)
             gv, gi = grouped_min(pram, values_flat, offsets)
         else:
@@ -217,7 +225,7 @@ def _stair_solve(pram: Pram, arr: SearchArray, f: np.ndarray, batch: _StairBatch
 
     bb = batch.select(big)
     nb = len(bb)
-    s = np.array([ceil_sqrt(int(r)) for r in bb.rcount], dtype=np.int64)
+    s = ceil_sqrt_array(bb.rcount)
     u = bb.rcount // s  # sampled rows per subproblem (>= 1)
 
     # sampled global rows: S_k = rs + (k+1)s - 1

@@ -39,7 +39,7 @@ from typing import Tuple
 import numpy as np
 
 from repro._util.bits import ceil_sqrt
-from repro.monge.arrays import MongeComposite, SearchArray
+from repro.monge.arrays import CachedArray, MongeComposite, SearchArray
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
 
@@ -55,15 +55,18 @@ def _as_composite(c) -> MongeComposite:
 
 
 def tube_minima_pram(
-    pram: Pram, composite, scheme: str = "auto"
+    pram: Pram, composite, scheme: str = "auto", cache: bool = False
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Tube (product) minima with witnesses: ``(values, j_args)``,
     both of shape ``(p, r)``.
 
     ``scheme``: ``"crew"`` (halving), ``"crcw"`` (doubly-log sampling),
-    or ``"auto"`` (pick by machine model).
+    or ``"auto"`` (pick by machine model).  ``cache=True`` memoizes
+    the ``D`` and ``E`` factor evaluations (wall-clock only).
     """
     c = _as_composite(composite)
+    if cache:
+        c = MongeComposite(CachedArray(c.D), CachedArray(c.E))
     if scheme == "auto":
         scheme = "crcw" if pram.model.is_crcw else "crew"
     if scheme == "crew":
@@ -75,7 +78,7 @@ def tube_minima_pram(
 
 
 def tube_maxima_pram(
-    pram: Pram, composite, scheme: str = "auto"
+    pram: Pram, composite, scheme: str = "auto", cache: bool = False
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Tube maxima with smallest-``j`` witnesses.
 
@@ -93,23 +96,23 @@ def tube_maxima_pram(
             super().__init__((p, q))
 
         def _eval(self, rows, cols):
-            return -D.eval(p - 1 - rows, cols)
+            return -D.eval(p - 1 - rows, cols, checked=False)
 
     class _FlipE(SearchArray):
         def __init__(self):
             super().__init__((q, r))
 
         def _eval(self, rows, cols):
-            return -E.eval(rows, r - 1 - cols)
+            return -E.eval(rows, r - 1 - cols, checked=False)
 
-    vals, args = tube_minima_pram(pram, MongeComposite(_FlipD(), _FlipE()))
+    vals, args = tube_minima_pram(pram, MongeComposite(_FlipD(), _FlipE()), scheme=scheme, cache=cache)
     return -vals[::-1, ::-1], args[::-1, ::-1].copy()
 
 
 # --------------------------------------------------------------------- #
 def _eval_candidates(pram: Pram, c: MongeComposite, ii, jj, kk) -> np.ndarray:
     """One synchronous round: each processor combines its d and e entry."""
-    out = c.D.eval(ii, jj) + c.E.eval(jj, kk)
+    out = c.D.eval(ii, jj, checked=False) + c.E.eval(jj, kk, checked=False)
     pram.charge_eval(out.size)
     return out
 

@@ -142,7 +142,7 @@ def _direct(pram, sub: SearchArray, lo, hi):
         return vals, cols
     cc = lo[owner] + local
     pram.charge(rounds=2, processors=max(1, m))
-    flat = sub.eval(owner, cc)
+    flat = sub.eval(owner, cc, checked=False)
     pram.charge_eval(flat.size)
     gv, gi = grouped_min(pram, flat, offsets)
     vals[:] = gv

@@ -18,6 +18,7 @@ on and are tested against:
 """
 
 from repro.monge.arrays import (
+    CachedArray,
     ExplicitArray,
     ImplicitArray,
     MongeComposite,
@@ -48,6 +49,7 @@ from repro.monge.composite import (
 )
 
 __all__ = [
+    "CachedArray",
     "ExplicitArray",
     "ImplicitArray",
     "StaircaseArray",

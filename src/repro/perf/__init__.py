@@ -1,0 +1,23 @@
+"""Wall-clock perf measurement (timers, throughput counters, JSON baselines).
+
+See :mod:`repro.perf.harness`; the consumer is
+``benchmarks/bench_regress.py``, which emits ``BENCH_hotpath.json``.
+"""
+
+from repro.perf.harness import (
+    Timer,
+    WorkloadRecord,
+    emit_json,
+    environment_fingerprint,
+    measure_best,
+    throughput,
+)
+
+__all__ = [
+    "Timer",
+    "WorkloadRecord",
+    "emit_json",
+    "environment_fingerprint",
+    "measure_best",
+    "throughput",
+]

@@ -1,0 +1,57 @@
+"""Wall-clock fast-path switch for the simulator hot paths.
+
+The simulator's measured quantities — synchronous rounds, work, peak
+processors — are *observations* of the algorithm being simulated, not
+of the Python code that simulates it.  That separation is what makes a
+wall-clock fast path legal: a primitive may compute its result with any
+vectorized kernel it likes, **provided it charges the ledger the exact
+sequence of charges the reference (round-by-round) execution would
+have issued**.  We call this the *fused-kernel invariant*:
+
+    ledger snapshots (rounds, work, peak processors, per-phase stats)
+    are bit-identical with the fast path on or off.
+
+``tests/test_fastpath_cache.py`` asserts the invariant end-to-end for
+the Table 1.1–1.3 algorithms; ``benchmarks/bench_regress.py`` measures
+the wall-clock gap the fast path buys.
+
+The switch is process-global (the simulator has no per-call config
+object threading through every primitive) and defaults to **on**; set
+``REPRO_FAST_PATH=0`` in the environment or use
+:func:`set_fast_path` / the :func:`fast_path` context manager to pin it
+either way — the reference path is kept alive precisely so the
+invariant stays testable.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["fast_path_enabled", "set_fast_path", "fast_path"]
+
+_ENABLED: bool = os.environ.get("REPRO_FAST_PATH", "1") not in ("0", "false", "no")
+
+
+def fast_path_enabled() -> bool:
+    """True when primitives should use the fused wall-clock kernels."""
+    return _ENABLED
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Set the global switch; returns the previous value."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = bool(enabled)
+    return prev
+
+
+@contextmanager
+def fast_path(enabled: bool) -> Iterator[None]:
+    """Temporarily force the fast path on or off."""
+    prev = set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(prev)

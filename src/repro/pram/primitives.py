@@ -13,6 +13,18 @@ Conventions
 - All argmin/argmax results break ties toward the *smallest index*,
   matching the paper's leftmost-minimum convention (§1.2).
 - Scans are inclusive unless stated otherwise.
+
+Fast path
+---------
+When :func:`repro.pram.fastpath.fast_path_enabled` is set (the
+default), the grouped-extremum strategies and
+:func:`replicate_by_counts` compute their results with fused NumPy
+reductions (:func:`_grouped_min_fused`, ``np.repeat``) and *replay* the
+reference execution's ledger charges arithmetically.  Results and
+ledger snapshots are bit-identical either way — only wall-clock
+changes.  The round-by-round reference path is kept for verification
+(``REPRO_FAST_PATH=0``) and for machines that execute genuinely on a
+network (they bypass these strategies entirely).
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from typing import Callable, Literal, Tuple
 import numpy as np
 
 from repro._util.bits import ceil_div, ceil_log2, ceil_sqrt
+from repro.pram.fastpath import fast_path_enabled
 from repro.pram.machine import Pram
 
 __all__ = [
@@ -164,7 +177,10 @@ def broadcast(pram: Pram, value: float, n: int) -> np.ndarray:
     """
     if n < 0:
         raise ValueError("n must be nonnegative")
-    out = np.full(max(n, 1), value, dtype=np.float64)[:n]
+    if n == 0:
+        out = np.empty(0, dtype=np.float64)
+    else:
+        out = np.full(n, value, dtype=np.float64)
     if pram.model.concurrent_read:
         pram.charge(rounds=1, processors=max(1, n))
     else:
@@ -223,6 +239,17 @@ def replicate_by_counts(pram: Pram, values: np.ndarray, counts: np.ndarray) -> n
     values = np.asarray(values, dtype=np.float64)
     if counts.shape != values.shape:
         raise ValueError("values and counts must have equal length")
+    if fast_path_enabled() and not hasattr(pram, "network_prefix_scan"):
+        # Fast path: one np.repeat instead of scatter + copy-scan, with
+        # the reference execution's charges replayed verbatim.
+        total = int(counts.sum())
+        _replay_prefix_scan_charges(pram, counts.size)
+        pram.charge(rounds=1, processors=max(1, counts.size))
+        if total == 0:
+            return np.empty(0, dtype=np.float64)
+        pram.charge(rounds=1, processors=max(1, int((counts > 0).sum())))
+        _replay_segmented_scan_charges(pram, total, total)
+        return np.repeat(values, counts)
     offsets = exclusive_prefix_sum(pram, counts)
     total = int(offsets[-1])
     if total == 0:
@@ -234,6 +261,40 @@ def replicate_by_counts(pram: Pram, values: np.ndarray, counts: np.ndarray) -> n
     seed[offsets[:-1][nonempty]] = values[nonempty]
     pram.charge(rounds=1, processors=max(1, int(nonempty.sum())))
     return segmented_scan(pram, seed, heads, op="max")
+
+
+# --------------------------------------------------------------------- #
+# Charge replay
+#
+# Fast-path kernels compute results with fused NumPy reductions but must
+# leave the ledger exactly as the reference round-by-round execution
+# would: same totals, same peak, and the same *sequence of charge calls*
+# (phases count charges).  These helpers replay a primitive's charge
+# pattern without its per-round array work.
+# --------------------------------------------------------------------- #
+def _replay_prefix_scan_charges(pram: Pram, n: int) -> None:
+    """The charges :func:`prefix_scan` issues on an ``n``-vector."""
+    if n <= 1:
+        pram.charge(rounds=1, processors=max(1, n))
+        return
+    d = 1
+    while d < n:
+        pram.charge(rounds=1, processors=n)
+        d <<= 1
+
+
+def _replay_segmented_scan_charges(pram: Pram, n: int, max_segment_length: int | None) -> None:
+    """The charges :func:`segmented_scan` issues on an ``n``-vector."""
+    if n == 0:
+        return
+    limit = n if max_segment_length is None else min(n, max(1, int(max_segment_length)))
+    if limit <= 1:
+        pram.charge(rounds=1, processors=n)
+        return
+    d = 1
+    while d < limit:
+        pram.charge(rounds=1, processors=n)
+        d <<= 1
 
 
 # --------------------------------------------------------------------- #
@@ -292,9 +353,9 @@ def _grouped_extremum(
     offsets = np.asarray(offsets, dtype=np.int64)
     if offsets.ndim != 1 or offsets.size == 0:
         raise ValueError("offsets must be a nonempty 1-D array")
-    if offsets[0] != 0 or offsets[-1] != values.size or (np.diff(offsets) < 0).any():
-        raise ValueError("offsets must start at 0, end at len(values), and be nondecreasing")
     widths = np.diff(offsets)
+    if offsets[0] != 0 or offsets[-1] != values.size or (widths < 0).any():
+        raise ValueError("offsets must start at 0, end at len(values), and be nondecreasing")
     n_groups = widths.size
     if n_groups == 0:
         return np.empty(0), np.empty(0, dtype=np.int64)
@@ -327,9 +388,47 @@ def _grouped_extremum(
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
+def _grouped_min_fused(values, offsets, widths):
+    """Leftmost minimum of every group in two ``reduceat`` passes.
+
+    The wall-clock workhorse of the fast path: one fused reduction for
+    the group minima and one for the leftmost witness, independent of
+    group widths (no per-width-class Python loop, no padded matrices).
+    Semantics match the reference strategies exactly: empty and all-∞
+    groups report ``(inf, -1)``; ties break to the smallest flat index.
+    """
+    n_groups = widths.size
+    out_v = np.full(n_groups, np.inf)
+    out_i = np.full(n_groups, -1, dtype=np.int64)
+    ne = np.nonzero(widths > 0)[0]
+    if ne.size == 0:
+        return out_v, out_i
+    # Consecutive nonempty groups are contiguous in the flat array
+    # (empty groups occupy zero width), so their starts segment it.
+    starts = offsets[:-1][ne]
+    gmin = np.minimum.reduceat(values, starts)
+    cand = np.where(values == np.repeat(gmin, widths[ne]),
+                    np.arange(values.size, dtype=np.int64), values.size)
+    argm = np.minimum.reduceat(cand, starts)
+    out_v[ne] = gmin
+    out_i[ne] = np.where(gmin < np.inf, argm, -1)
+    return out_v, out_i
+
+
 def _grouped_min_binary(pram, values, offsets, widths, max_w):
     """Segmented (value, index) min-scan; leftmost ties via index order."""
     n = values.size
+    if fast_path_enabled():
+        out_v, out_i = _grouped_min_fused(values, offsets, widths)
+        if max_w > 1:
+            d = 1
+            while d < max_w:
+                pram.charge(rounds=1, processors=n)
+                d <<= 1
+        else:
+            pram.charge(rounds=1, processors=max(1, n))
+        pram.charge(rounds=1, processors=max(1, int((widths > 0).sum())))
+        return out_v, out_i
     heads = np.zeros(n, dtype=bool)
     nonempty = widths > 0
     heads[offsets[:-1][nonempty]] = True
@@ -382,6 +481,22 @@ def _width_classes(widths: np.ndarray) -> list[tuple[int, np.ndarray]]:
     return out
 
 
+def _width_class_counts(widths: np.ndarray) -> list[tuple[int, int]]:
+    """``(padded_width, group_count)`` pairs, ascending by width.
+
+    Count-only companion of :func:`_width_classes` for charge replay:
+    the fast paths charge per class but never gather the members, so a
+    ``bincount`` over class labels replaces the ``unique`` sort.
+    """
+    w = widths[widths > 0]
+    if w.size == 0:
+        return []
+    classes = np.maximum(0, np.ceil(np.log2(np.maximum(w, 1))).astype(int))
+    classes[w == 1] = 0
+    counts = np.bincount(classes)
+    return [(1 << int(c), int(counts[c])) for c in np.nonzero(counts)[0]]
+
+
 def _padded_matrix(values, offsets, widths, group_ids, width):
     """Gather groups ``group_ids`` into a (G, width) matrix padded with inf."""
     starts = offsets[:-1][group_ids]
@@ -405,6 +520,12 @@ def _grouped_min_allpairs(pram, values, offsets, widths):
     n_groups = widths.size
     out_v = np.full(n_groups, np.inf)
     out_i = np.full(n_groups, -1, dtype=np.int64)
+    if fast_path_enabled():
+        out_v, out_i = _grouped_min_fused(values, offsets, widths)
+        total_pairs = sum(cnt * width * width for width, cnt in _width_class_counts(widths))
+        if total_pairs:
+            pram.charge(rounds=3, processors=total_pairs, work=3 * total_pairs)
+        return out_v, out_i
     total_pairs = 0
     for width, gids in _width_classes(widths):
         mat, starts = _padded_matrix(values, offsets, widths, gids, width)
@@ -430,6 +551,16 @@ def _grouped_min_doubly_log(pram, values, offsets, widths):
     n_groups = widths.size
     out_v = np.full(n_groups, np.inf)
     out_i = np.full(n_groups, -1, dtype=np.int64)
+    if fast_path_enabled() and not np.isneginf(values).any():
+        # Reference semantics here disqualify +inf entries (idx -1
+        # before the recursion), so all-∞ groups report (inf, -1); a
+        # -inf entry additionally eliminates candidates in a way that
+        # depends on the recursion's block structure, so such (degenerate)
+        # inputs take the reference path instead of being fused.
+        out_v, out_i = _grouped_min_fused(values, offsets, widths)
+        for width, cnt in _width_class_counts(widths):
+            _replay_doubly_log_charges(pram, cnt, width)
+        return out_v, out_i
     for width, gids in _width_classes(widths):
         mat, starts = _padded_matrix(values, offsets, widths, gids, width)
         idx = starts[:, None] + np.arange(width)[None, :]
@@ -439,6 +570,26 @@ def _grouped_min_doubly_log(pram, values, offsets, widths):
         out_v[gids[ok]] = v[ok]
         out_i[gids[ok]] = a[ok]
     return out_v, out_i
+
+
+def _replay_doubly_log_charges(pram: Pram, B: int, w: int) -> None:
+    """The charges :func:`_doubly_log_rowmin` issues on a ``(B, w)``
+    padded matrix — the recursion on *dimensions only*."""
+    if w <= 4:
+        _replay_allpairs_rows_charge(pram, B, w)
+        return
+    s = ceil_sqrt(w)
+    g = ceil_div(w, s)
+    _replay_doubly_log_charges(pram, B * g, s)
+    _replay_allpairs_rows_charge(pram, B, g)
+
+
+def _replay_allpairs_rows_charge(pram: Pram, B: int, w: int) -> None:
+    """The charge :func:`_allpairs_rows` issues on ``(B, w)`` candidates."""
+    if w == 1:
+        pram.charge(rounds=1, processors=max(1, B))
+    else:
+        pram.charge(rounds=3, processors=B * w * w, work=3 * B * w * w)
 
 
 def _doubly_log_rowmin(pram: Pram, mat: np.ndarray, idx: np.ndarray):

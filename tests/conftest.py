@@ -11,22 +11,12 @@ def rng():
 
 
 def pytest_addoption(parser):
+    # Kept for invocation compatibility: slow tests now run by default
+    # (the fused fast path made them cheap); deselect with -m "not slow"
+    # or `make test-fast`.
     parser.addoption(
         "--slow",
         action="store_true",
         default=False,
-        help="also run tests marked slow",
+        help="no-op (slow tests run by default; use -m 'not slow' to skip)",
     )
-
-
-def pytest_configure(config):
-    config.addinivalue_line("markers", "slow: long-running scaling tests")
-
-
-def pytest_collection_modifyitems(config, items):
-    if config.getoption("--slow"):
-        return
-    skip = pytest.mark.skip(reason="needs --slow")
-    for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip)

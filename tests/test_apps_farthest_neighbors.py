@@ -79,6 +79,7 @@ def test_all_farthest_requires_two_vertices():
         all_farthest_neighbors(np.zeros((1, 2)))
 
 
+@pytest.mark.slow
 def test_all_farthest_eval_count_near_linear():
     n = 512
     poly = convex_position_points(n, np.random.default_rng(0))

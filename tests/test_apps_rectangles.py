@@ -150,6 +150,7 @@ def test_empty_rectangle_parallel_accounting(rng):
     assert pram.ledger.rounds > 0
 
 
+@pytest.mark.slow
 @given(st.integers(0, 100_000))
 @settings(max_examples=25, deadline=None)
 def test_empty_rectangle_property(seed):

@@ -128,6 +128,7 @@ def test_far_apart_polygons_fully_visible(rng):
     assert (idx >= 0).all()
 
 
+@pytest.mark.slow
 @given(st.integers(0, 30_000))
 @settings(max_examples=20, deadline=None)
 def test_property_queries(seed):

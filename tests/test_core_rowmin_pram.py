@@ -97,6 +97,7 @@ def test_inverse_monge_maxima_random(rng):
     np.testing.assert_array_equal(c, a.data.argmax(axis=1))
 
 
+@pytest.mark.slow
 def test_crcw_round_growth_logarithmic():
     """Measured rounds grow ~ lg n on a CRCW machine with 8n procs."""
     rounds = {}

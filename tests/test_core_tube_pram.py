@@ -100,6 +100,7 @@ def test_crew_rounds_logarithmic_shape():
     assert r[128] <= 3.5 * r[16]
 
 
+@pytest.mark.slow
 def test_crcw_rounds_doubly_log_shape():
     r = {}
     for n in (16, 256):
