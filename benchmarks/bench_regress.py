@@ -33,9 +33,10 @@ runs and the invariant + T1.1 speedup are asserted.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -208,6 +209,64 @@ def run_matrix(smoke: bool, repeats: int) -> Dict:
     }
 
 
+def load_baseline(path: str) -> Optional[Dict]:
+    """Load a prior baseline JSON, fail-soft.
+
+    Returns ``None`` (with a one-line notice on stderr) when the file is
+    missing, unparsable, or doesn't carry the expected schema — a fresh
+    checkout or a schema bump must not crash the harness.
+    """
+    if not os.path.exists(path):
+        print(f"[bench] no baseline at {path}; skipping comparison", file=sys.stderr)
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[bench] unreadable baseline {path} ({exc}); skipping comparison",
+              file=sys.stderr)
+        return None
+    workloads = payload.get("workloads") if isinstance(payload, dict) else None
+    if not isinstance(payload.get("meta") if isinstance(payload, dict) else None, dict) \
+            or not isinstance(workloads, dict) \
+            or not all(isinstance(w, dict) and isinstance(w.get("wall_s"), dict)
+                       for w in workloads.values()):
+        print(f"[bench] baseline {path} has an unrecognised schema; skipping comparison",
+              file=sys.stderr)
+        return None
+    return payload
+
+
+def compare_to_baseline(payload: Dict, baseline: Optional[Dict]) -> None:
+    """Print per-workload wall-clock deltas against a prior baseline.
+
+    Purely informational: unknown workloads and missing configs are
+    skipped, never raised on.
+    """
+    if baseline is None:
+        return
+    rows = []
+    for name, w in payload["workloads"].items():
+        old = baseline["workloads"].get(name)
+        if not isinstance(old, dict) or not isinstance(old.get("wall_s"), dict):
+            continue
+        for config in w["wall_s"]:
+            new_s, old_s = w["wall_s"][config], old["wall_s"].get(config)
+            if not isinstance(old_s, (int, float)) or old_s <= 0:
+                continue
+            rows.append((name, config, old_s, new_s, new_s / old_s))
+    if not rows:
+        print("[bench] baseline shares no comparable workloads; nothing to compare",
+              file=sys.stderr)
+        return
+    print(f"\nvs baseline ({baseline['meta'].get('smoke', '?')!s} smoke, "
+          f"{len(rows)} comparable timings):")
+    print(f"{'workload':<28} {'config':<11} {'old(s)':>9} {'new(s)':>9} {'ratio':>7}")
+    for name, config, old_s, new_s, ratio in rows:
+        flag = "  <-- slower" if ratio > 1.25 else ""
+        print(f"{name:<28} {config:<11} {old_s:>9.4f} {new_s:>9.4f} {ratio:>7.2f}{flag}")
+
+
 def _print_table(payload: Dict) -> None:
     print(f"{'workload':<28} {'ref(s)':>9} {'fast(s)':>9} {'x':>6} "
           f"{'+cache':>9} {'x':>6} {'rounds':>8} {'evals':>10}")
@@ -223,10 +282,14 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true", help="small sizes, 1 repeat (CI smoke)")
     ap.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
     ap.add_argument("--out", default=None, help=f"output JSON path (default {DEFAULT_OUT})")
+    ap.add_argument("--baseline", default=None,
+                    help=f"prior baseline JSON to diff against (default {DEFAULT_OUT}; "
+                         "missing or schema-mismatched baselines are skipped, not fatal)")
     args = ap.parse_args(argv)
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 5)
     payload = run_matrix(args.smoke, repeats)
     _print_table(payload)
+    compare_to_baseline(payload, load_baseline(args.baseline or DEFAULT_OUT))
     if args.out is not None:
         out = args.out
     elif args.smoke:

@@ -9,6 +9,7 @@ from repro._util.bits import (
 )
 from repro._util.validation import (
     as_float_matrix,
+    as_float_tensor,
     check_axis_lengths,
     require,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "is_power_of_two",
     "next_power_of_two",
     "as_float_matrix",
+    "as_float_tensor",
     "check_axis_lengths",
     "require",
 ]

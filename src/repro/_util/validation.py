@@ -11,7 +11,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["require", "as_float_matrix", "check_axis_lengths"]
+__all__ = ["require", "as_float_matrix", "as_float_tensor", "check_axis_lengths"]
 
 
 def require(condition: bool, message: str) -> None:
@@ -30,6 +30,21 @@ def as_float_matrix(a: Any, name: str = "array") -> np.ndarray:
     arr = np.ascontiguousarray(a, dtype=np.float64)
     if arr.ndim != 2:
         raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size and np.isnan(arr).any():
+        raise ValueError(f"{name} contains NaN entries")
+    return arr
+
+
+def as_float_tensor(a: Any, name: str = "tensor") -> np.ndarray:
+    """Coerce ``a`` to a 3-D C-contiguous float64 tensor.
+
+    The 3-D analogue of :func:`as_float_matrix` for dense
+    Monge-composite cubes: ``inf`` entries are allowed, NaNs are
+    rejected (comparison-based searches silently misbehave on them).
+    """
+    arr = np.ascontiguousarray(a, dtype=np.float64)
+    if arr.ndim != 3:
+        raise ValueError(f"{name} must be 3-dimensional, got shape {arr.shape}")
     if arr.size and np.isnan(arr).any():
         raise ValueError(f"{name} contains NaN entries")
     return arr

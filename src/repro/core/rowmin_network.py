@@ -50,7 +50,9 @@ _TOPOLOGIES = {
 }
 
 
-def make_network(topology: Topology, nodes: int, ledger: CostLedger | None = None):
+def make_network(
+    topology: Topology, nodes: int, ledger: CostLedger | None = None, faults=None
+):
     """A topology instance with at least ``nodes`` logical nodes."""
     cls = _TOPOLOGIES.get(topology)
     if cls is None:
@@ -58,43 +60,49 @@ def make_network(topology: Topology, nodes: int, ledger: CostLedger | None = Non
             f"unknown topology {topology!r}; expected one of {sorted(_TOPOLOGIES)}"
         )
     dim = ceil_log2(max(2, nodes))
-    return cls(dim, ledger=ledger)
+    return cls(dim, ledger=ledger, faults=faults)
 
 
-def network_machine_for(topology: Topology, nodes: int) -> NetworkMachine:
+def network_machine_for(topology: Topology, nodes: int, faults=None) -> NetworkMachine:
     """A fresh :class:`NetworkMachine` sized for ``nodes`` processors."""
-    return NetworkMachine(make_network(topology, nodes, ledger=CostLedger()))
+    return NetworkMachine(make_network(topology, nodes, ledger=CostLedger(), faults=faults))
 
 
 def monge_row_minima_network(
-    array, topology: Topology = "hypercube"
+    array, topology: Topology = "hypercube", strict: bool = True, faults=None
 ) -> Tuple[np.ndarray, np.ndarray, CostLedger]:
     """Leftmost row minima of a Monge array on a network (§3).
 
     The network has ``max(m, n)`` logical nodes (the paper's input model
     stores ``v[i]``/``w[j]`` one per node).  Returns
-    ``(values, columns, ledger)``.
+    ``(values, columns, ledger)``.  ``strict``/``faults`` behave as in
+    :func:`~repro.core.rowmin_pram.monge_row_minima_pram` and
+    :class:`~repro.resilience.faults.FaultPlan`.
     """
     a = as_search_array(array)
     m, n = a.shape
-    machine = network_machine_for(topology, max(m, n, 2))
-    vals, cols = monge_row_minima_pram(machine, a, strategy="sqrt")
+    machine = network_machine_for(topology, max(m, n, 2), faults=faults)
+    vals, cols = monge_row_minima_pram(machine, a, strategy="sqrt", strict=strict)
     return vals, cols, machine.ledger
 
 
-def monge_row_maxima_network(array, topology: Topology = "hypercube"):
+def monge_row_maxima_network(
+    array, topology: Topology = "hypercube", strict: bool = True, faults=None
+):
     """Theorem 3.2's row maxima of a Monge array on a network."""
     a = as_search_array(array)
     m, n = a.shape
-    machine = network_machine_for(topology, max(m, n, 2))
-    vals, cols = monge_row_maxima_pram(machine, a, strategy="sqrt")
+    machine = network_machine_for(topology, max(m, n, 2), faults=faults)
+    vals, cols = monge_row_maxima_pram(machine, a, strategy="sqrt", strict=strict)
     return vals, cols, machine.ledger
 
 
-def inverse_monge_row_maxima_network(array, topology: Topology = "hypercube"):
+def inverse_monge_row_maxima_network(
+    array, topology: Topology = "hypercube", strict: bool = True, faults=None
+):
     """Row maxima of an inverse-Monge array (Fig. 1.1 form) on a network."""
     a = as_search_array(array)
     m, n = a.shape
-    machine = network_machine_for(topology, max(m, n, 2))
-    vals, cols = inverse_monge_row_maxima_pram(machine, a, strategy="sqrt")
+    machine = network_machine_for(topology, max(m, n, 2), faults=faults)
+    vals, cols = inverse_monge_row_maxima_pram(machine, a, strategy="sqrt", strict=strict)
     return vals, cols, machine.ledger

@@ -50,6 +50,7 @@ from repro._util.bits import ceil_sqrt_array
 from repro.monge.arrays import CachedArray, SearchArray, as_search_array
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
+from repro.resilience import degrade
 
 __all__ = [
     "monge_row_minima_pram",
@@ -104,7 +105,7 @@ def _ragged(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
 
 
 def monge_row_minima_pram(
-    pram: Pram, array, strategy: str = "sqrt", cache: bool = False
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Leftmost row minima of a Monge array, parallel.
 
@@ -117,8 +118,18 @@ def monge_row_minima_pram(
     :class:`~repro.monge.arrays.CachedArray` so entries revisited
     across recursion levels are computed once; results and ledger
     charges are identical either way (wall-clock only).
+
+    ``strict=False`` verifies the Monge precondition first (an
+    ``O(mn)`` dense scan) and degrades to a charged dense fallback —
+    with a :class:`~repro.resilience.degrade.DegradedResultWarning` —
+    when the input is not Monge, instead of returning garbage.
     """
     a = as_search_array(array)
+    if not strict:
+        reason = degrade.monge_reason(a)
+        if reason is not None:
+            degrade.warn_degraded("monge_row_minima_pram", reason, "dense row scan")
+            return degrade.brute_rows(pram, a.materialize(), mode="min")
     if cache:
         a = CachedArray(a)
     m, n = a.shape
@@ -141,14 +152,23 @@ def monge_row_minima_pram(
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
-def monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt", cache: bool = False):
+def monge_row_maxima_pram(
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
+):
     """Leftmost row maxima of a **Monge** array (Table 1.1 semantics).
 
     Row-flipping a Monge array yields an inverse-Monge array; negating
     that restores Monge.  Leftmost minima of the transform, read in
     reverse row order, are the leftmost maxima of the original.
+    ``strict=False`` degrades to a dense scan on non-Monge input (see
+    :func:`monge_row_minima_pram`).
     """
     a = as_search_array(array)
+    if not strict:
+        reason = degrade.monge_reason(a)
+        if reason is not None:
+            degrade.warn_degraded("monge_row_maxima_pram", reason, "dense row scan")
+            return degrade.brute_rows(pram, a.materialize(), mode="max")
     m, _ = a.shape
 
     class _Flip(SearchArray):
@@ -163,12 +183,22 @@ def monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt", cache: bool
     return -vals[::-1], cols[::-1].copy()
 
 
-def inverse_monge_row_maxima_pram(pram: Pram, array, strategy: str = "sqrt", cache: bool = False):
+def inverse_monge_row_maxima_pram(
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
+):
     """Leftmost row maxima of an **inverse-Monge** array (Fig. 1.1 use).
 
     The negation is Monge and leftmost minima coincide positionally.
+    ``strict=False`` degrades to a dense scan on non-inverse-Monge input.
     """
     a = as_search_array(array)
+    if not strict:
+        reason = degrade.inverse_monge_reason(a)
+        if reason is not None:
+            degrade.warn_degraded(
+                "inverse_monge_row_maxima_pram", reason, "dense row scan"
+            )
+            return degrade.brute_rows(pram, a.materialize(), mode="max")
     vals, cols = monge_row_minima_pram(pram, a.negate(), strategy=strategy, cache=cache)
     return -vals, cols
 

@@ -22,15 +22,20 @@ __all__ = ["staircase_row_minima_network"]
 
 
 def staircase_row_minima_network(
-    array, topology: Topology = "hypercube"
+    array, topology: Topology = "hypercube", strict: bool = True, faults=None
 ) -> Tuple[np.ndarray, np.ndarray, CostLedger]:
     """Leftmost row minima of a staircase-Monge array on a network.
 
     Returns ``(values, columns, ledger)``; all-``∞`` rows give
-    ``(inf, -1)``.
+    ``(inf, -1)``.  ``strict=False`` degrades on non-staircase-Monge
+    input (the machine is sized from the dense shape either way);
+    ``faults`` binds a :class:`~repro.resilience.faults.FaultPlan`.
     """
-    arr, _ = effective_boundary(array)
-    m, n = arr.shape
-    machine = network_machine_for(topology, max(m, n, 2))
-    vals, cols = staircase_row_minima_pram(machine, array)
+    from repro.monge.arrays import as_search_array
+
+    m, n = as_search_array(array).shape
+    if strict:
+        effective_boundary(array)  # fail fast, before building the machine
+    machine = network_machine_for(topology, max(m, n, 2), faults=faults)
+    vals, cols = staircase_row_minima_pram(machine, array, strict=strict)
     return vals, cols, machine.ledger

@@ -55,6 +55,7 @@ from repro.pram.ansv import nearest_smaller_left_threshold
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
 from repro.core.rowmin_pram import _Batch, _ragged, _solve_batch
+from repro.resilience import degrade
 
 __all__ = [
     "staircase_row_minima_pram",
@@ -63,7 +64,9 @@ __all__ = [
 ]
 
 
-def staircase_row_maxima_pram(pram: Pram, array, cache: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+def staircase_row_maxima_pram(
+    pram: Pram, array, cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
     """Row maxima of a staircase-Monge array over its finite prefixes —
     §1.2's *easy* direction, parallel.
 
@@ -72,11 +75,17 @@ def staircase_row_maxima_pram(pram: Pram, array, cache: bool = False) -> Tuple[n
     become nondecreasing too — a co-monotone band, solved by the
     Table 1.1-class banded search (no Theorem 2.3 machinery needed,
     which is exactly the paper's point).  All-``∞`` rows give
-    ``(-inf, -1)``.
+    ``(-inf, -1)``.  ``strict=False`` degrades to a dense scan on
+    non-staircase-Monge input.
     """
     from repro.core.banded import banded_row_maxima_pram
-    from repro.monge.arrays import SearchArray as _SA
+    from repro.monge.arrays import SearchArray as _SA, as_search_array as _asa
 
+    if not strict:
+        reason = degrade.staircase_reason(array)
+        if reason is not None:
+            degrade.warn_degraded("staircase_row_maxima_pram", reason, "dense row scan")
+            return degrade.brute_rows(pram, _asa(array).materialize(), mode="max")
     arr, f = effective_boundary(array)
     m, n = arr.shape
     if m == 0:
@@ -126,7 +135,7 @@ class _StairBatch:
 
 
 def staircase_row_minima_pram(
-    pram: Pram, array, cache: bool = False
+    pram: Pram, array, cache: bool = False, strict: bool = True
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Leftmost row minima of a staircase-Monge array, parallel.
 
@@ -134,7 +143,20 @@ def staircase_row_minima_pram(
     Returns ``(values, columns)``.  ``cache=True`` memoizes entry
     evaluations across recursion levels (wall-clock only; results and
     ledger charges are unchanged).
+
+    ``strict=False`` verifies the staircase-Monge precondition first
+    and degrades to a charged dense fallback — with a
+    :class:`~repro.resilience.degrade.DegradedResultWarning` — when the
+    ``∞`` pattern is not staircase-shaped or the finite part is not
+    Monge, instead of raising/misbehaving.
     """
+    if not strict:
+        reason = degrade.staircase_reason(array)
+        if reason is not None:
+            from repro.monge.arrays import as_search_array as _asa
+
+            degrade.warn_degraded("staircase_row_minima_pram", reason, "dense row scan")
+            return degrade.brute_rows(pram, _asa(array).materialize(), mode="min")
     arr, f = effective_boundary(array)
     m, n = arr.shape
     if m == 0:

@@ -31,20 +31,20 @@ def _machine_for(composite) -> "NetworkMachine":
 
 
 def tube_minima_network(
-    composite, topology: Topology = "hypercube"
+    composite, topology: Topology = "hypercube", strict: bool = True, faults=None
 ) -> Tuple[np.ndarray, np.ndarray, CostLedger]:
     """Tube minima on a ``p·r``-node network: ``(values, j_args, ledger)``."""
     composite, nodes = _machine_for(composite)
-    machine = network_machine_for(topology, nodes)
-    vals, args = tube_minima_pram(machine, composite, scheme="crew")
+    machine = network_machine_for(topology, nodes, faults=faults)
+    vals, args = tube_minima_pram(machine, composite, scheme="crew", strict=strict)
     return vals, args, machine.ledger
 
 
 def tube_maxima_network(
-    composite, topology: Topology = "hypercube"
+    composite, topology: Topology = "hypercube", strict: bool = True, faults=None
 ) -> Tuple[np.ndarray, np.ndarray, CostLedger]:
     """Theorem 3.4's tube maxima on a network: ``(values, j_args, ledger)``."""
     composite, nodes = _machine_for(composite)
-    machine = network_machine_for(topology, nodes)
-    vals, args = tube_maxima_pram(machine, composite, scheme="crew")
+    machine = network_machine_for(topology, nodes, faults=faults)
+    vals, args = tube_maxima_pram(machine, composite, scheme="crew", strict=strict)
     return vals, args, machine.ledger

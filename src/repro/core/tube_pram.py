@@ -39,9 +39,11 @@ from typing import Tuple
 import numpy as np
 
 from repro._util.bits import ceil_sqrt
+from repro._util.validation import as_float_tensor
 from repro.monge.arrays import CachedArray, MongeComposite, SearchArray
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
+from repro.resilience import degrade
 
 __all__ = ["tube_minima_pram", "tube_maxima_pram"]
 
@@ -54,8 +56,17 @@ def _as_composite(c) -> MongeComposite:
     raise TypeError("expected a MongeComposite or a (D, E) pair")
 
 
+def _degraded_tube(pram: Pram, c: MongeComposite, problem: str, mode: str):
+    """Dense-cube fallback for composites with untrusted factors."""
+    cube = as_float_tensor(
+        c.D.materialize()[:, :, None] + c.E.materialize()[None, :, :],
+        "composite cube",
+    )
+    return degrade.brute_tube(pram, cube, mode=mode)
+
+
 def tube_minima_pram(
-    pram: Pram, composite, scheme: str = "auto", cache: bool = False
+    pram: Pram, composite, scheme: str = "auto", cache: bool = False, strict: bool = True
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Tube (product) minima with witnesses: ``(values, j_args)``,
     both of shape ``(p, r)``.
@@ -63,8 +74,18 @@ def tube_minima_pram(
     ``scheme``: ``"crew"`` (halving), ``"crcw"`` (doubly-log sampling),
     or ``"auto"`` (pick by machine model).  ``cache=True`` memoizes
     the ``D`` and ``E`` factor evaluations (wall-clock only).
+
+    ``strict=False`` verifies that both factors are Monge (dense scans)
+    and degrades to a charged dense-cube fallback — with a
+    :class:`~repro.resilience.degrade.DegradedResultWarning` — when
+    they are not.
     """
     c = _as_composite(composite)
+    if not strict:
+        reason = degrade.composite_reason(c)
+        if reason is not None:
+            degrade.warn_degraded("tube_minima_pram", reason, "dense cube scan")
+            return _degraded_tube(pram, c, "tube_minima_pram", "min")
     if cache:
         c = MongeComposite(CachedArray(c.D), CachedArray(c.E))
     if scheme == "auto":
@@ -78,7 +99,7 @@ def tube_minima_pram(
 
 
 def tube_maxima_pram(
-    pram: Pram, composite, scheme: str = "auto", cache: bool = False
+    pram: Pram, composite, scheme: str = "auto", cache: bool = False, strict: bool = True
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Tube maxima with smallest-``j`` witnesses.
 
@@ -86,8 +107,15 @@ def tube_maxima_pram(
     both factors yields Monge factors again; minima of the transformed
     composite at ``(p-1-i, r-1-k)`` are the negated maxima at ``(i,k)``,
     with identical ``j`` order (so leftmost ties are preserved).
+    ``strict=False`` degrades to a dense cube scan when a factor is
+    not Monge.
     """
     c = _as_composite(composite)
+    if not strict:
+        reason = degrade.composite_reason(c)
+        if reason is not None:
+            degrade.warn_degraded("tube_maxima_pram", reason, "dense cube scan")
+            return _degraded_tube(pram, c, "tube_maxima_pram", "max")
     p, q, r = c.shape
     D, E = c.D, c.E
 

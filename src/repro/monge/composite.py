@@ -32,6 +32,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro._util.validation import as_float_tensor
 from repro.monge.arrays import ImplicitArray, MongeComposite
 from repro.monge.smawk import smawk
 
@@ -125,7 +126,7 @@ def product_argmin_brute(composite) -> Tuple[np.ndarray, np.ndarray]:
     p, q, r = c.shape
     d = c.D.materialize()
     e = c.E.materialize()
-    cube = d[:, :, None] + e[None, :, :]  # (p, q, r)
+    cube = as_float_tensor(d[:, :, None] + e[None, :, :], "composite cube")  # (p, q, r)
     args = cube.argmin(axis=1).astype(np.int64)
     values = np.take_along_axis(cube, args[:, None, :], axis=1)[:, 0, :]
     return values, args

@@ -16,7 +16,6 @@ __all__ = ["Hypercube"]
 class Hypercube(CubeLike):
     """A ``2**dim``-node hypercube with genuine per-edge movement."""
 
-    def exchange(self, values: np.ndarray, d: int) -> np.ndarray:
-        values = self._check_register(values, d)
+    def _exchange(self, values: np.ndarray, d: int) -> np.ndarray:
         self.charge()
         return values[self.ids ^ (1 << d)]

@@ -75,13 +75,18 @@ class PramModel:
     def is_crcw(self) -> bool:
         return self.concurrent_write
 
-    def check_reads(self, addresses: np.ndarray) -> None:
+    def check_reads(self, addresses: np.ndarray, round_index: int | None = None) -> None:
         """Raise if the per-step read address multiset is illegal."""
         if self.concurrent_read:
             return
         flat = np.asarray(addresses).ravel()
-        if flat.size != np.unique(flat).size:
-            raise ConcurrencyViolation(f"{self.name}: concurrent reads are forbidden")
+        uniq, counts = np.unique(flat, return_counts=True)
+        if flat.size != uniq.size:
+            raise ConcurrencyViolation(
+                f"{self.name}: concurrent reads are forbidden; colliding "
+                f"addresses {_format_addresses(uniq[counts > 1])}"
+                f"{_format_round(round_index)}"
+            )
 
     def __str__(self) -> str:
         return self.name
@@ -96,11 +101,24 @@ CRCW_ARBITRARY = PramModel(
 CRCW_PRIORITY = PramModel("CRCW-priority", concurrent_read=True, write_policy=WritePolicy.PRIORITY)
 
 
+def _format_addresses(collisions: np.ndarray, limit: int = 8) -> str:
+    """Readable listing of colliding addresses, truncated past ``limit``."""
+    shown = [repr(a.item() if hasattr(a, "item") else a) for a in collisions[:limit]]
+    suffix = f", … ({collisions.size} total)" if collisions.size > limit else ""
+    return "[" + ", ".join(shown) + suffix + "]"
+
+
+def _format_round(round_index: int | None) -> str:
+    return "" if round_index is None else f" in round {int(round_index)}"
+
+
 def resolve_concurrent_writes(
     policy: WritePolicy,
     addresses: np.ndarray,
     values: np.ndarray,
     processor_ids: np.ndarray | None = None,
+    model_name: str | None = None,
+    round_index: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Resolve one synchronous step's writes under ``policy``.
 
@@ -111,6 +129,9 @@ def resolve_concurrent_writes(
         ``addresses[t]``.
     processor_ids:
         Priorities for ``PRIORITY`` (defaults to position order).
+    model_name, round_index:
+        Optional context reported in :class:`ConcurrencyViolation`
+        messages (which model rejected the step, and when).
 
     Returns
     -------
@@ -135,9 +156,11 @@ def resolve_concurrent_writes(
 
     if policy is WritePolicy.EXCLUSIVE:
         if has_conflict:
-            dup = uniq[counts > 1][0]
+            label = model_name or "exclusive-write model"
             raise ConcurrencyViolation(
-                f"exclusive-write model: {int(counts.max())} processors wrote address {dup!r}"
+                f"{label}: {int(counts.max())} processors wrote the same address"
+                f"{_format_round(round_index)}; colliding addresses "
+                f"{_format_addresses(uniq[counts > 1])}"
             )
         return uniq, values[first_idx]
 
@@ -145,9 +168,12 @@ def resolve_concurrent_writes(
         # All writers of an address must agree with the first writer.
         rep = values[first_idx][inverse]
         if not np.array_equal(rep, values):
-            bad = uniq[np.unique(inverse[rep != values])][0]
+            label = model_name or "CRCW-common"
+            bad = uniq[np.unique(inverse[rep != values])]
             raise ConcurrencyViolation(
-                f"CRCW-common: writers disagree on the value at address {bad!r}"
+                f"{label}: writers disagree on the written value"
+                f"{_format_round(round_index)}; colliding addresses "
+                f"{_format_addresses(bad)}"
             )
         return uniq, values[first_idx]
 

@@ -202,14 +202,19 @@ class PramVM:
             self.reg(instr.dst)[act] = np.nonzero(act)[0].astype(np.float64)
         elif isinstance(instr, Load):
             addr = self._addresses(self.reg(instr.addr))
-            self.model.check_reads(addr)
+            self.model.check_reads(addr, round_index=self.ledger.rounds)
             self.reg(instr.dst)[act] = self.memory[addr]
         elif isinstance(instr, Store):
             addr = self._addresses(self.reg(instr.addr))
             vals = self.reg(instr.src)[act]
             pids = np.nonzero(act)[0]
             uniq, winners = resolve_concurrent_writes(
-                self.model.write_policy, addr, vals, processor_ids=pids
+                self.model.write_policy,
+                addr,
+                vals,
+                processor_ids=pids,
+                model_name=self.model.name,
+                round_index=self.ledger.rounds,
             )
             self.memory[uniq] = winners
         elif isinstance(instr, BinOp):

@@ -1,0 +1,169 @@
+"""Graceful degradation for non-(staircase-)Monge inputs.
+
+The core entry points hard-require their structural preconditions: the
+Table 1.1–1.3 algorithms are simply wrong on arbitrary arrays.  With
+``strict=False`` they instead *verify* the precondition (an ``O(mn)``
+dense scan — this mode trades speed for safety) and, when it fails,
+emit a structured :class:`DegradedResultWarning` and compute the answer
+by a dense fallback scan that is correct for any input.
+
+The fallback is still executed against the caller's machine: its rounds
+are time-sliced onto the machine's processor budget (Brent style) and
+charged under the ``"degraded-fallback"`` ledger phase, so cost
+accounting stays meaningful even in degraded mode.
+
+This module deliberately imports nothing from :mod:`repro.core` (the
+core entry points import *it*); the machine is always passed in.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._util.bits import ceil_div, ceil_log2
+from repro.monge.properties import (
+    is_inverse_monge,
+    is_monge,
+    is_staircase_monge,
+    monge_defect,
+    staircase_boundary,
+)
+
+__all__ = [
+    "DegradedResultWarning",
+    "warn_degraded",
+    "monge_reason",
+    "inverse_monge_reason",
+    "staircase_reason",
+    "composite_reason",
+    "brute_rows",
+    "brute_tube",
+]
+
+
+class DegradedResultWarning(UserWarning):
+    """A structured warning: an entry point fell back to a dense scan.
+
+    Attributes
+    ----------
+    problem:
+        The entry point that degraded (e.g. ``"monge_row_minima_pram"``).
+    reason:
+        Why the structured algorithm could not be trusted.
+    fallback:
+        The substitute computation used.
+    """
+
+    def __init__(self, problem: str, reason: str, fallback: str) -> None:
+        self.problem = problem
+        self.reason = reason
+        self.fallback = fallback
+        super().__init__(f"{problem}: {reason}; degrading to {fallback}")
+
+
+def warn_degraded(problem: str, reason: str, fallback: str) -> None:
+    warnings.warn(DegradedResultWarning(problem, reason, fallback), stacklevel=3)
+
+
+# --------------------------------------------------------------------- #
+# Precondition checks (each returns None when the input is fine).
+# --------------------------------------------------------------------- #
+def monge_reason(a) -> Optional[str]:
+    """Why ``a`` cannot be trusted as a Monge array, or ``None``."""
+    if is_monge(a):
+        return None
+    dense = np.asarray(a.materialize() if hasattr(a, "materialize") else a)
+    if not np.isfinite(dense).all():
+        return "input contains non-finite entries"
+    return f"input is not Monge (defect {monge_defect(a):+.3g} > 0)"
+
+
+def inverse_monge_reason(a) -> Optional[str]:
+    if is_inverse_monge(a):
+        return None
+    dense = np.asarray(a.materialize() if hasattr(a, "materialize") else a)
+    if not np.isfinite(dense).all():
+        return "input contains non-finite entries"
+    return "input is not inverse-Monge"
+
+
+def staircase_reason(a) -> Optional[str]:
+    """Why ``a`` is not staircase-Monge, or ``None``."""
+    if is_staircase_monge(a):
+        return None
+    if staircase_boundary(a) is None:
+        return "infinite entries are not staircase-shaped"
+    return "finite part violates the Monge condition"
+
+
+def composite_reason(c) -> Optional[str]:
+    """Why a composite's factors cannot be trusted as Monge, or ``None``."""
+    bad = [name for name, f in (("D", c.D), ("E", c.E)) if not is_monge(f)]
+    if not bad:
+        return None
+    return f"factor{'s' if len(bad) > 1 else ''} {', '.join(bad)} not Monge"
+
+
+# --------------------------------------------------------------------- #
+# Dense fallbacks, charged against the caller's machine.
+# --------------------------------------------------------------------- #
+def _charge_dense_scan(pram, cells: int, reduce_width: int) -> None:
+    """Time-slice a dense scan onto the machine's budget (Brent style):
+    one evaluation round plus a ``lg``-depth tournament reduction, each
+    sliced into ``⌈cells / p⌉`` rounds of width ``min(cells, p)``."""
+    p = max(1, pram.processors)
+    slices = ceil_div(max(1, cells), p)
+    width = min(max(1, cells), p)
+    pram.charge(rounds=slices, processors=width, work=cells)  # evaluation
+    depth = max(1, ceil_log2(max(2, reduce_width)))
+    pram.charge(rounds=depth * slices, processors=width, work=max(1, cells - 1))
+
+
+def brute_rows(pram, dense: np.ndarray, mode: str = "min") -> Tuple[np.ndarray, np.ndarray]:
+    """Leftmost row extrema of an arbitrary dense matrix.
+
+    Non-finite entries are treated as absent (matching the staircase
+    convention); rows with no finite entry report ``(±inf, -1)``.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    m, n = dense.shape
+    if mode == "min":
+        masked = np.where(np.isfinite(dense), dense, np.inf)
+        empty_value = np.inf
+    else:
+        masked = np.where(np.isfinite(dense), dense, -np.inf)
+        empty_value = -np.inf
+    with pram.phase("degraded-fallback"):
+        _charge_dense_scan(pram, m * n, n)
+        if n == 0 or m == 0:
+            return np.full(m, empty_value), np.full(m, -1, dtype=np.int64)
+        pick = masked.argmin(axis=1) if mode == "min" else masked.argmax(axis=1)
+        vals = masked[np.arange(m), pick]
+        cols = np.where(np.isfinite(vals), pick, -1).astype(np.int64)
+        vals = np.where(np.isfinite(vals), vals, empty_value)
+    return vals, cols
+
+
+def brute_tube(pram, cube: np.ndarray, mode: str = "min") -> Tuple[np.ndarray, np.ndarray]:
+    """Tube extrema over the middle axis of a dense ``(p, q, r)`` cube,
+    smallest-``j`` ties; cells with no finite candidate give ``(±inf, -1)``."""
+    cube = np.asarray(cube, dtype=np.float64)
+    p, q, r = cube.shape
+    if mode == "min":
+        masked = np.where(np.isfinite(cube), cube, np.inf)
+        empty_value = np.inf
+    else:
+        masked = np.where(np.isfinite(cube), cube, -np.inf)
+        empty_value = -np.inf
+    with pram.phase("degraded-fallback"):
+        _charge_dense_scan(pram, p * q * r, q)
+        if p == 0 or r == 0 or q == 0:
+            return (np.full((p, r), empty_value), np.full((p, r), -1, dtype=np.int64))
+        pick = masked.argmin(axis=1) if mode == "min" else masked.argmax(axis=1)
+        vals = np.take_along_axis(masked, pick[:, None, :], axis=1)[:, 0, :]
+        args = np.where(np.isfinite(vals), pick, -1).astype(np.int64)
+        vals = np.where(np.isfinite(vals), vals, empty_value)
+    return vals, args

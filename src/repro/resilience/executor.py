@@ -1,0 +1,149 @@
+"""Run-certify-retry orchestration.
+
+:func:`run_resilient` drives one computation under fault injection to a
+*certified* answer:
+
+1. run the attempt (a closure that builds its machine, binds the plan,
+   and returns a result);
+2. recoverable failures — injected transients that exhausted their
+   round-level retries, routing collisions or concurrency violations
+   provoked by corrupted registers, or index/value errors from
+   corrupted index arithmetic — count as a failed attempt and trigger
+   re-execution;
+3. a surviving result is certified (when a certifier is supplied); a
+   rejected certificate also triggers re-execution;
+4. the final attempt runs with the plan *disarmed* (fault-free), which
+   guarantees termination with the reference answer — the simulated
+   machines are deterministic, so a fault-free attempt is bit-equal to
+   the no-plan run.
+
+The report records every attempt, so chaos tests can assert both that
+faults actually fired and that the certified answer matched the
+reference path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.networks.primitives import RoutingCollision
+from repro.pram.models import ConcurrencyViolation
+from repro.resilience.certify import Certificate
+from repro.resilience.faults import FaultPlan, TransientFault
+
+__all__ = [
+    "run_resilient",
+    "AttemptRecord",
+    "ResilientReport",
+    "ResilienceExhausted",
+    "RECOVERABLE_ERRORS",
+]
+
+#: Exception types one attempt may raise that justify re-execution.
+#: IndexError/ValueError are included because corrupted registers feed
+#: index arithmetic downstream; a *clean* (disarmed) attempt re-raises
+#: them — with no faults injected they indicate a genuine bug.
+RECOVERABLE_ERRORS = (TransientFault, RoutingCollision, ConcurrencyViolation,
+                      IndexError, ValueError)
+
+
+class ResilienceExhausted(RuntimeError):
+    """No attempt produced a certified answer within ``max_attempts``."""
+
+
+@dataclass
+class AttemptRecord:
+    """What happened on one attempt."""
+
+    index: int
+    clean: bool                      # ran with the plan disarmed?
+    ok: bool = False
+    error: Optional[str] = None
+    certificate: Optional[Certificate] = None
+    faults_fired: int = 0            # plan firings during this attempt
+
+
+@dataclass
+class ResilientReport:
+    """Outcome of :func:`run_resilient`."""
+
+    result: object
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    certified: bool = False
+    forced_clean: bool = False       # answer came from the disarmed attempt
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+
+def run_resilient(
+    attempt: Callable[[], object],
+    certify: Optional[Callable[[object], Certificate]] = None,
+    plan: Optional[FaultPlan] = None,
+    max_attempts: int = 4,
+) -> ResilientReport:
+    """Execute ``attempt`` until its result certifies.
+
+    Parameters
+    ----------
+    attempt:
+        Zero-argument closure returning the result; it must construct
+        (or reset) its own machine state per call so a replay starts
+        from a clean checkpoint.
+    certify:
+        Maps the result to a :class:`Certificate`; ``None`` skips
+        certification (drop-only fault plans cannot corrupt results,
+        so retry alone suffices there).
+    plan:
+        The fault plan driving the attempt's machines, if any; it is
+        disarmed for the final attempt and re-armed before returning.
+    max_attempts:
+        Total attempts including the final fault-free one.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    report = ResilientReport(result=None)
+    was_armed = plan.armed if plan is not None else False
+    try:
+        for k in range(max_attempts):
+            clean = plan is not None and (k == max_attempts - 1)
+            if clean:
+                plan.disarm()
+            fired_before = plan.total_fired if plan is not None else 0
+            rec = AttemptRecord(index=k, clean=clean)
+            try:
+                result = attempt()
+            except RECOVERABLE_ERRORS as exc:
+                rec.error = f"{type(exc).__name__}: {exc}"
+                rec.faults_fired = (plan.total_fired - fired_before) if plan else 0
+                report.attempts.append(rec)
+                if clean or plan is None:
+                    # no faults were injected: this is a genuine bug
+                    raise
+                continue
+            rec.faults_fired = (plan.total_fired - fired_before) if plan else 0
+            cert = certify(result) if certify is not None else None
+            rec.certificate = cert
+            if cert is None or cert.ok:
+                rec.ok = True
+                report.attempts.append(rec)
+                report.result = result
+                report.certified = cert is not None and cert.ok
+                report.forced_clean = clean
+                return report
+            rec.error = f"certificate rejected: {'; '.join(cert.failures[:2])}"
+            report.attempts.append(rec)
+            if clean:
+                raise ResilienceExhausted(
+                    f"fault-free attempt failed certification: {rec.error} "
+                    "(algorithm bug or untrusted input; try strict=False)"
+                )
+        raise ResilienceExhausted(
+            f"no certified result in {max_attempts} attempts; last: "
+            f"{report.attempts[-1].error if report.attempts else 'none'}"
+        )
+    finally:
+        if plan is not None and was_armed:
+            plan.arm()

@@ -1,0 +1,199 @@
+"""Result certifiers: accept reference outputs, reject corrupted ones."""
+
+import numpy as np
+import pytest
+
+from repro.monge.composite import product_argmin_brute
+from repro.monge.generators import (
+    random_composite,
+    random_monge,
+    random_staircase_monge,
+)
+from repro.resilience import (
+    Certificate,
+    CertificationError,
+    certify_row_minima,
+    certify_staircase_row_minima,
+    certify_tube_minima,
+)
+
+
+def _brute_rows(dense):
+    finite = np.isfinite(dense)
+    masked = np.where(finite, dense, np.inf)
+    cols = masked.argmin(axis=1).astype(np.int64)
+    vals = masked[np.arange(dense.shape[0]), cols]
+    empty = ~finite.any(axis=1)
+    cols[empty] = -1
+    vals[empty] = np.inf
+    return vals, cols
+
+
+# --------------------------------------------------------------------- #
+# Full Monge arrays
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(6))
+def test_accepts_reference_row_minima(seed):
+    rng = np.random.default_rng(seed)
+    m, n = int(rng.integers(1, 50)), int(rng.integers(1, 50))
+    a = random_monge(m, n, rng, integer=bool(seed % 2))  # integer -> tie-heavy
+    vals, cols = _brute_rows(a.data)
+    cert = certify_row_minima(a, vals, cols)
+    assert cert.ok and bool(cert)
+    assert cert.require() is cert
+    assert cert.evals <= 3 * (m + n) + 8  # near-linear certificate cost
+
+
+def test_rejects_corrupted_value():
+    a = random_monge(20, 20, np.random.default_rng(0))
+    vals, cols = _brute_rows(a.data)
+    vals = vals.copy()
+    vals[7] -= 1.0
+    cert = certify_row_minima(a, vals, cols)
+    assert not cert.ok
+    assert any("row 7" in msg for msg in cert.failures)
+    with pytest.raises(CertificationError):
+        cert.require()
+
+
+def test_rejects_shifted_witness():
+    a = random_monge(20, 20, np.random.default_rng(1))
+    vals, cols = _brute_rows(a.data)
+    cols = cols.copy()
+    i = int(np.argmax(cols < 19))
+    cols[i] += 1  # consistent pair would need the matching value too
+    assert not certify_row_minima(a, vals, cols).ok
+
+
+def test_rejects_non_leftmost_tie():
+    a = np.zeros((6, 6))  # Monge, every column ties at 0
+    vals = np.zeros(6)
+    cols = np.zeros(6, dtype=np.int64)
+    assert certify_row_minima(a, vals, cols).ok
+    cols[3] = 2  # value still correct, but not the leftmost witness
+    cert = certify_row_minima(a, vals, cols)
+    assert not cert.ok
+    assert any("leftmost" in msg or "monotonicity" in msg for msg in cert.failures)
+
+
+def test_rejects_true_minimum_outside_window():
+    # consistent witnesses + monotone columns, but row 2's true minimum
+    # is elsewhere: the window check must catch it
+    a = random_monge(12, 12, np.random.default_rng(2))
+    vals, cols = _brute_rows(a.data)
+    vals, cols = vals.copy(), cols.copy()
+    wrong = (cols[2] + 1) % 12
+    cols[2] = wrong
+    vals[2] = a.data[2, wrong]
+    assert not certify_row_minima(a, vals, cols).ok
+
+
+def test_rejects_shape_mismatch():
+    a = random_monge(5, 5, np.random.default_rng(3))
+    vals, cols = _brute_rows(a.data)
+    assert not certify_row_minima(a, vals[:-1], cols[:-1]).ok
+
+
+# --------------------------------------------------------------------- #
+# Staircase-Monge arrays
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(6))
+def test_accepts_reference_staircase_minima(seed):
+    rng = np.random.default_rng(100 + seed)
+    m, n = int(rng.integers(1, 40)), int(rng.integers(1, 40))
+    a = random_staircase_monge(m, n, rng, integer=bool(seed % 2))
+    vals, cols = _brute_rows(a.materialize())
+    assert certify_staircase_row_minima(a, vals, cols).ok
+
+
+def test_staircase_rejects_witness_in_infinite_region():
+    rng = np.random.default_rng(7)
+    a = random_staircase_monge(10, 10, rng)
+    dense = a.materialize()
+    vals, cols = _brute_rows(dense)
+    # find a row whose finite prefix is a strict prefix
+    f = np.isfinite(dense).sum(axis=1)
+    candidates = np.nonzero((f > 0) & (f < 10))[0]
+    if candidates.size == 0:
+        pytest.skip("degenerate staircase draw")
+    i = int(candidates[0])
+    cols = cols.copy()
+    cols[i] = int(f[i])  # first infinite column
+    assert not certify_staircase_row_minima(a, vals, cols).ok
+
+
+def test_staircase_rejects_empty_row_misreport():
+    base = random_monge(4, 6, np.random.default_rng(8))
+    boundary = np.array([6, 4, 0, 0])
+    from repro.monge.arrays import StaircaseArray
+
+    a = StaircaseArray(base, boundary)
+    vals, cols = _brute_rows(a.materialize())
+    bad_vals = vals.copy()
+    bad_vals[2] = 0.0  # empty row must report inf
+    cert = certify_staircase_row_minima(a, bad_vals, cols)
+    assert not cert.ok
+    assert any("(inf, -1)" in msg for msg in cert.failures)
+
+
+def test_staircase_non_staircase_input_fails_soft():
+    dense = np.zeros((3, 3))
+    dense[0, 0] = np.inf  # infinite entry in the top-left: not a staircase
+    cert = certify_staircase_row_minima(dense, np.zeros(3), np.zeros(3, dtype=np.int64))
+    assert not cert.ok
+    assert any("not staircase-shaped" in msg for msg in cert.failures)
+
+
+def test_explicit_boundary_validation():
+    a = random_monge(4, 4, np.random.default_rng(9))
+    vals, cols = _brute_rows(a.data)
+    assert not certify_row_minima(a, vals, cols, boundary=np.array([2, 3, 4, 4])).ok
+    assert not certify_row_minima(a, vals, cols, boundary=np.array([4, 4, 4, 9])).ok
+
+
+# --------------------------------------------------------------------- #
+# Tube (Monge-composite) outputs
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(4))
+def test_accepts_reference_tube_minima(seed):
+    rng = np.random.default_rng(200 + seed)
+    p, q, r = (int(rng.integers(1, 14)) for _ in range(3))
+    c = random_composite(p, q, r, rng, integer=bool(seed % 2))
+    V, J = product_argmin_brute(c)
+    cert = certify_tube_minima(c, V, J)
+    assert cert.ok
+    assert cert.evals <= 4 * p * (q + r) + 16
+
+
+def test_tube_rejects_corrupted_cell():
+    c = random_composite(6, 7, 8, np.random.default_rng(10))
+    V, J = product_argmin_brute(c)
+    V = V.copy()
+    V[3, 4] -= 0.5
+    assert not certify_tube_minima(c, V, J).ok
+
+
+def test_tube_rejects_non_minimal_witness():
+    c = random_composite(6, 7, 8, np.random.default_rng(11))
+    V, J = product_argmin_brute(c)
+    V, J = V.copy(), J.copy()
+    j_wrong = (J[2, 2] + 1) % 7
+    J[2, 2] = j_wrong
+    V[2, 2] = c.D.data[2, j_wrong] + c.E.data[j_wrong, 2]  # consistent but wrong
+    assert not certify_tube_minima(c, V, J).ok
+
+
+def test_tube_rejects_out_of_range_witness():
+    c = random_composite(3, 4, 5, np.random.default_rng(12))
+    V, J = product_argmin_brute(c)
+    J = J.copy()
+    J[0, 0] = 4
+    assert not certify_tube_minima(c, V, J).ok
+
+
+def test_certificate_failure_cap():
+    cert = Certificate(True, "t")
+    for k in range(100):
+        cert.fail(f"failure {k}")
+    assert not cert.ok
+    assert len(cert.failures) == 32

@@ -1,0 +1,172 @@
+"""Acceptance sweep: seeded fault plans over the Table 1.1–1.3 paths.
+
+Every run must terminate with a certified answer bit-equal to the
+fault-free reference, with retry charges (if any) confined to the
+ledger's separate retry account.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    monge_row_minima_network,
+    monge_row_minima_pram,
+    staircase_row_minima_pram,
+    tube_minima_pram,
+)
+from repro.monge.generators import (
+    random_composite,
+    random_monge,
+    random_staircase_monge,
+)
+from repro.pram import CRCW_COMMON, CREW, CostLedger, Pram
+from repro.resilience import (
+    FaultPlan,
+    certify_row_minima,
+    certify_staircase_row_minima,
+    certify_tube_minima,
+    run_resilient,
+)
+
+RATES = [0.01, 0.1]
+SIZES = [64, 256]
+SMALL_SIZES = [16, 32]
+
+
+def _machine(model, n, faults=None):
+    return Pram(model, 1 << 32, ledger=CostLedger(), faults=faults, retry_limit=64)
+
+
+def _sweep(build_reference, build_attempt, certify, seed, rate, drop_kinds):
+    """Run the reference, then the faulted resilient run; compare."""
+    ref_result, ref_snapshot = build_reference()
+    plan = FaultPlan(seed=seed, **{k: rate for k in drop_kinds})
+    ledgers = []
+    report = run_resilient(
+        lambda: build_attempt(plan, ledgers),
+        certify=certify,
+        plan=plan,
+        max_attempts=6,
+    )
+    assert report.certified
+    for ref_arr, got_arr in zip(ref_result, report.result):
+        np.testing.assert_array_equal(np.asarray(got_arr), np.asarray(ref_arr))
+    # the winning attempt's paper-bound charges are bit-identical to the
+    # reference; any lost rounds sit under the separate retry key
+    final = ledgers[-1].snapshot()
+    retry = final.pop("retry", None)
+    assert final == ref_snapshot
+    if retry is not None:
+        assert retry["charges"] > 0
+    return report, plan
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("model", [CRCW_COMMON, CREW], ids=lambda m: m.name)
+def test_t11_rowmin_under_faults(model, n, rate):
+    a = random_monge(n, n, np.random.default_rng(n))
+
+    def reference():
+        m = _machine(model, n)
+        return monge_row_minima_pram(m, a), m.ledger.snapshot()
+
+    def attempt(plan, ledgers):
+        m = _machine(model, n, faults=plan)
+        ledgers.append(m.ledger)
+        return monge_row_minima_pram(m, a)
+
+    _sweep(reference, attempt,
+           lambda res: certify_row_minima(a, res[0], res[1]),
+           seed=n + int(rate * 1000), rate=rate,
+           drop_kinds=("processor_drop", "write_conflict"))
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("n", SIZES)
+def test_t12_staircase_under_faults(n, rate):
+    a = random_staircase_monge(n, n, np.random.default_rng(n + 1))
+
+    def reference():
+        m = _machine(CRCW_COMMON, n)
+        return staircase_row_minima_pram(m, a), m.ledger.snapshot()
+
+    def attempt(plan, ledgers):
+        m = _machine(CRCW_COMMON, n, faults=plan)
+        ledgers.append(m.ledger)
+        return staircase_row_minima_pram(m, a)
+
+    _sweep(reference, attempt,
+           lambda res: certify_staircase_row_minima(a, res[0], res[1]),
+           seed=2 * n + int(rate * 1000), rate=rate,
+           drop_kinds=("processor_drop",))
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_t13_tube_under_faults(n, rate):
+    c = random_composite(n, n, n, np.random.default_rng(n + 2))
+
+    def reference():
+        m = _machine(CRCW_COMMON, n * n)
+        return tube_minima_pram(m, c), m.ledger.snapshot()
+
+    def attempt(plan, ledgers):
+        m = _machine(CRCW_COMMON, n * n, faults=plan)
+        ledgers.append(m.ledger)
+        return tube_minima_pram(m, c)
+
+    _sweep(reference, attempt,
+           lambda res: certify_tube_minima(c, res[0], res[1]),
+           seed=3 * n + int(rate * 1000), rate=rate,
+           drop_kinds=("processor_drop",))
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_network_rowmin_under_link_faults(rate):
+    n = 64
+    a = random_monge(n, n, np.random.default_rng(n + 3))
+    v_ref, c_ref, _ = monge_row_minima_network(a)
+    plan = FaultPlan(seed=int(rate * 1000), link_drop=rate, message_corrupt=rate)
+    ledgers = []
+
+    def attempt():
+        v, c, ledger = monge_row_minima_network(a, faults=plan)
+        ledgers.append(ledger)
+        return v, c
+
+    report = run_resilient(
+        attempt,
+        certify=lambda res: certify_row_minima(a, res[0], res[1]),
+        plan=plan,
+        max_attempts=8,
+    )
+    assert report.certified
+    np.testing.assert_array_equal(report.result[0], v_ref)
+    np.testing.assert_array_equal(report.result[1], c_ref)
+    assert plan.total_fired > 0  # the sweep actually exercised the plan
+    assert plan.armed  # run_resilient re-armed it
+
+
+def test_plan_rearmed_even_on_failure():
+    plan = FaultPlan(seed=0, processor_drop=1.0)
+
+    def attempt():
+        m = Pram(CREW, 4, ledger=CostLedger(), faults=plan, retry_limit=2)
+        m.charge()
+        return "done"
+
+    report = run_resilient(attempt, plan=plan, max_attempts=3)
+    # the final (disarmed) attempt must succeed even at rate 1.0
+    assert report.result == "done"
+    assert report.forced_clean
+    assert report.attempts[-1].clean
+    assert plan.armed
+
+
+def test_clean_run_errors_propagate():
+    def attempt():
+        raise ValueError("genuine bug")
+
+    with pytest.raises(ValueError, match="genuine bug"):
+        run_resilient(attempt, plan=None, max_attempts=3)

@@ -1,0 +1,160 @@
+"""Graceful degradation: ``strict=False`` on structure-violating inputs."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    inverse_monge_row_maxima_pram,
+    monge_row_maxima_pram,
+    monge_row_minima_pram,
+    monge_row_minima_network,
+    staircase_row_minima_network,
+    staircase_row_minima_pram,
+    tube_minima_pram,
+)
+from repro.monge.arrays import MongeComposite
+from repro.monge.generators import random_monge, random_staircase_monge
+from repro.pram import CRCW_COMMON, CostLedger, Pram
+from repro.resilience import DegradedResultWarning
+
+
+def _machine(n=1 << 32):
+    return Pram(CRCW_COMMON, n, ledger=CostLedger())
+
+
+def _non_monge(n=8):
+    a = np.zeros((n, n))
+    a[0, 0] = a[1, 1] = 1.0  # a[0,0]+a[1,1] > a[0,1]+a[1,0]
+    return a
+
+
+# --------------------------------------------------------------------- #
+def test_rowmin_degrades_with_structured_warning():
+    a = _non_monge()
+    with pytest.warns(DegradedResultWarning) as rec:
+        vals, cols = monge_row_minima_pram(_machine(), a, strict=False)
+    np.testing.assert_array_equal(vals, a.min(axis=1))
+    np.testing.assert_array_equal(cols, a.argmin(axis=1))
+    w = rec[0].message
+    assert w.problem == "monge_row_minima_pram"
+    assert "Monge" in w.reason
+    assert w.fallback
+    assert w.problem in str(w) and w.reason in str(w)
+
+
+def test_rowmin_strict_false_is_silent_on_genuine_monge_input():
+    a = random_monge(12, 12, np.random.default_rng(0))
+    ref_m = _machine()
+    v_ref, c_ref = monge_row_minima_pram(ref_m, a)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any warning fails the test
+        m = _machine()
+        v, c = monge_row_minima_pram(m, a, strict=False)
+    np.testing.assert_array_equal(v, v_ref)
+    np.testing.assert_array_equal(c, c_ref)
+    assert m.ledger.snapshot() == ref_m.ledger.snapshot()
+
+
+def test_rowmax_and_inverse_degrade():
+    a = _non_monge()
+    with pytest.warns(DegradedResultWarning):
+        vals, cols = monge_row_maxima_pram(_machine(), a, strict=False)
+    np.testing.assert_array_equal(vals, a.max(axis=1))
+    np.testing.assert_array_equal(cols, a.argmax(axis=1))
+    # _non_monge is not inverse-Monge either (negate the quadruple)
+    with pytest.warns(DegradedResultWarning):
+        vals, cols = inverse_monge_row_maxima_pram(_machine(), -a, strict=False)
+    np.testing.assert_array_equal(vals, (-a).max(axis=1))
+
+
+def test_staircase_degrades_on_bad_infinity_pattern():
+    a = np.zeros((4, 4))
+    a[0, 0] = np.inf  # infinite entry with finite entries to its right
+    m = _machine()
+    with pytest.warns(DegradedResultWarning) as rec:
+        vals, cols = staircase_row_minima_pram(m, a, strict=False)
+    assert "staircase" in rec[0].message.reason
+    expect_cols = np.array([1, 0, 0, 0])
+    np.testing.assert_array_equal(cols, expect_cols)
+    np.testing.assert_array_equal(vals, np.zeros(4))
+    # the fallback's rounds are charged under a dedicated phase
+    assert "degraded-fallback" in m.ledger.snapshot()["phases"]
+
+
+def test_staircase_degrades_on_non_monge_finite_part():
+    f = np.array([8, 8, 6, 4, 2, 1, 1, 1])
+    base = _non_monge(8)
+    dense = base.copy()
+    for i, fi in enumerate(f):
+        dense[i, fi:] = np.inf
+    with pytest.warns(DegradedResultWarning) as rec:
+        vals, cols = staircase_row_minima_pram(_machine(), dense, strict=False)
+    assert "Monge" in rec[0].message.reason
+    masked = np.where(np.isfinite(dense), dense, np.inf)
+    np.testing.assert_array_equal(vals, masked.min(axis=1))
+    np.testing.assert_array_equal(cols, masked.argmin(axis=1))
+
+
+def test_staircase_strict_raises_unchanged():
+    a = np.zeros((4, 4))
+    a[0, 0] = np.inf
+    with pytest.raises(ValueError):
+        staircase_row_minima_pram(_machine(), a)
+
+
+def test_tube_degrades_on_non_monge_factor():
+    d = _non_monge(6)
+    e = np.zeros((6, 5))
+    c = MongeComposite(d, e)
+    with pytest.warns(DegradedResultWarning) as rec:
+        vals, jargs = tube_minima_pram(_machine(), c, strict=False)
+    assert rec[0].message.problem == "tube_minima_pram"
+    cube = d[:, :, None] + e[None, :, :]
+    np.testing.assert_array_equal(vals, cube.min(axis=1))
+    np.testing.assert_array_equal(jargs, cube.argmin(axis=1))
+
+
+def test_degraded_fallback_respects_processor_budget():
+    # 64 processors on a 32x32 dense scan: the Brent-sliced fallback must
+    # charge rounds without tripping the machine's processor check
+    a = _non_monge(32)
+    m = Pram(CRCW_COMMON, 64, ledger=CostLedger(processor_limit=64))
+    with pytest.warns(DegradedResultWarning):
+        vals, cols = monge_row_minima_pram(m, a, strict=False)
+    np.testing.assert_array_equal(vals, a.min(axis=1))
+    snap = m.ledger.snapshot()
+    assert snap["peak_processors"] <= 64
+    assert snap["rounds"] >= (32 * 32) // 64
+
+
+def test_network_entry_points_degrade():
+    a = _non_monge(8)
+    with pytest.warns(DegradedResultWarning):
+        vals, cols, ledger = monge_row_minima_network(a, strict=False)
+    np.testing.assert_array_equal(vals, a.min(axis=1))
+    np.testing.assert_array_equal(cols, a.argmin(axis=1))
+    assert "degraded-fallback" in ledger.snapshot()["phases"]
+
+    bad_stairs = np.zeros((4, 4))
+    bad_stairs[0, 0] = np.inf
+    with pytest.warns(DegradedResultWarning):
+        vals, cols, _ = staircase_row_minima_network(bad_stairs, strict=False)
+    np.testing.assert_array_equal(cols, np.array([1, 0, 0, 0]))
+
+
+def test_degraded_handles_all_infinite_rows():
+    dense = np.full((3, 4), np.inf)
+    dense[0, 2] = 5.0
+    with pytest.warns(DegradedResultWarning):
+        vals, cols = staircase_row_minima_pram(_machine(), dense, strict=False)
+    np.testing.assert_array_equal(vals, np.array([5.0, np.inf, np.inf]))
+    np.testing.assert_array_equal(cols, np.array([2, -1, -1]))
+
+
+def test_strict_true_never_warns_or_degrades():
+    a = random_staircase_monge(10, 10, np.random.default_rng(1))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        staircase_row_minima_pram(_machine(), a)
