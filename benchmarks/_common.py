@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
+from repro.engine import Session
 from repro.pram.ledger import CostLedger
 from repro.pram.models import CRCW_COMMON, CREW
 from repro.pram.scheduling import BrentPram
@@ -20,6 +19,16 @@ def crew_machine(n: int) -> BrentPram:
     """CREW machine at the Table budget n / lg lg n."""
     phys = max(1, int(n / math.log2(max(2.0, math.log2(max(2, n))))))
     return BrentPram(CREW, 1 << 44, phys, ledger=CostLedger())
+
+
+def crcw_session(n: int) -> Session:
+    """Engine session adopting the Table-budget CRCW machine."""
+    return Session(machine=crcw_machine(n))
+
+
+def crew_session(n: int) -> Session:
+    """Engine session adopting the Table-budget CREW machine."""
+    return Session(machine=crew_machine(n))
 
 
 def fmt_rows(title: str, header: str, rows) -> str:

@@ -42,14 +42,10 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _common import crcw_machine, crew_machine
+from _common import crcw_session, crew_session
 
 from repro.apps.string_edit import edit_distance_dag_parallel
-from repro.core import (
-    monge_row_minima_pram,
-    staircase_row_minima_pram,
-    tube_minima_pram,
-)
+from repro.engine import Session
 from repro.monge.generators import (
     random_composite,
     random_monge,
@@ -57,9 +53,6 @@ from repro.monge.generators import (
 )
 from repro.perf import Timer, WorkloadRecord, emit_json, environment_fingerprint
 from repro.pram.fastpath import fast_path
-from repro.pram.ledger import CostLedger
-from repro.pram.machine import Pram
-from repro.pram.models import CRCW_COMMON
 
 CONFIGS: Tuple[Tuple[str, bool, bool], ...] = (
     ("ref", False, False),
@@ -81,11 +74,10 @@ def _wl_rowmin_crcw(n: int):
 
     def run(cache: bool):
         before = a.eval_count
-        m = crcw_machine(n)
-        v, c = monge_row_minima_pram(m, a, cache=cache)
-        return (v, c), m.ledger.snapshot(), a.eval_count - before
+        r = crcw_session(n).solve("rowmin", a, cache=cache)
+        return (r.values, r.witnesses), r.snapshot, a.eval_count - before
 
-    return run, {"n": n, "model": "CRCW", "algorithm": "monge_row_minima_pram"}
+    return run, {"n": n, "model": "CRCW", "algorithm": "rowmin"}
 
 
 def _wl_rowmin_crew(n: int):
@@ -93,11 +85,10 @@ def _wl_rowmin_crew(n: int):
 
     def run(cache: bool):
         before = a.eval_count
-        m = crew_machine(n)
-        v, c = monge_row_minima_pram(m, a, cache=cache)
-        return (v, c), m.ledger.snapshot(), a.eval_count - before
+        r = crew_session(n).solve("rowmin", a, cache=cache)
+        return (r.values, r.witnesses), r.snapshot, a.eval_count - before
 
-    return run, {"n": n, "model": "CREW", "algorithm": "monge_row_minima_pram"}
+    return run, {"n": n, "model": "CREW", "algorithm": "rowmin"}
 
 
 def _wl_staircase_crcw(n: int):
@@ -105,11 +96,10 @@ def _wl_staircase_crcw(n: int):
 
     def run(cache: bool):
         before = a.eval_count
-        m = crcw_machine(n)
-        v, c = staircase_row_minima_pram(m, a, cache=cache)
-        return (v, c), m.ledger.snapshot(), a.eval_count - before
+        r = crcw_session(n).solve("staircase_min", a, cache=cache)
+        return (r.values, r.witnesses), r.snapshot, a.eval_count - before
 
-    return run, {"n": n, "model": "CRCW", "algorithm": "staircase_row_minima_pram"}
+    return run, {"n": n, "model": "CRCW", "algorithm": "staircase_min"}
 
 
 def _wl_tube_crcw(n: int):
@@ -117,11 +107,10 @@ def _wl_tube_crcw(n: int):
 
     def run(cache: bool):
         before = c.D.eval_count + c.E.eval_count
-        m = crcw_machine(n * n)
-        v, j = tube_minima_pram(m, c, cache=cache)
-        return (v, j), m.ledger.snapshot(), c.D.eval_count + c.E.eval_count - before
+        r = crcw_session(n * n).solve("tube_min", c, cache=cache)
+        return (r.values, r.witnesses), r.snapshot, c.D.eval_count + c.E.eval_count - before
 
-    return run, {"n": n, "model": "CRCW", "algorithm": "tube_minima_pram"}
+    return run, {"n": n, "model": "CRCW", "algorithm": "tube_min"}
 
 
 def _wl_string_edit(length: int):
@@ -133,9 +122,9 @@ def _wl_string_edit(length: int):
     def run(cache: bool):
         # the DAG combiner builds its own (ExplicitArray) strips, so the
         # cache config exercises the same path as fast
-        m = Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
-        d = edit_distance_dag_parallel(x, y, pram=m)
-        snap = m.ledger.snapshot()
+        s = Session("pram-crcw")
+        d = edit_distance_dag_parallel(x, y, session=s)
+        snap = s.ledger.snapshot()
         return (np.array([d]),), snap, snap["work"]
 
     return run, {"len": length, "model": "CRCW", "algorithm": "edit_distance_dag_parallel"}

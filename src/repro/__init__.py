@@ -3,6 +3,10 @@
 A production-grade reproduction of Aggarwal, Kravets, Park, and Sen
 (SPAA 1990).  The package provides:
 
+- :mod:`repro.engine` — the unified solver engine: a ``(problem,
+  backend)`` registry, :class:`ExecutionConfig`, reusable
+  :class:`Session` objects, and structured :class:`SearchResult`
+  outputs (see DESIGN.md §8);
 - :mod:`repro.pram` — cost-accounted CRCW/CREW PRAM simulators;
 - :mod:`repro.networks` — hypercube, cube-connected cycles, and
   shuffle-exchange simulators with genuine per-edge data movement;
@@ -20,21 +24,44 @@ A production-grade reproduction of Aggarwal, Kravets, Park, and Sen
 Quickstart::
 
     import numpy as np
-    from repro import monge, core, pram
+    import repro
 
     rng = np.random.default_rng(0)
-    a = monge.generators.random_monge(512, 512, rng)   # provably Monge
-    v, cols = monge.row_minima(a)                      # SMAWK, O(m+n)
+    a = repro.generators.random_monge(512, 512, rng)   # provably Monge
 
-    machine = pram.Pram(pram.CRCW_COMMON, 1 << 20, ledger=pram.CostLedger())
-    pv, pcols = core.monge_row_minima_pram(machine, a)
-    assert (pcols == cols).all()
-    print(machine.ledger.rounds, "simulated CRCW rounds")
+    result = repro.solve("rowmin", a)                  # CRCW PRAM engine
+    values, cols = result                              # tuple-compatible
+    print(result.rounds, "simulated CRCW rounds")
+
+    s = repro.Session("hypercube")                     # reusable machines
+    r = s.solve("rowmin", a, certify=True)
+    assert r.certified
 """
 
-from repro import analysis, apps, core, monge, networks, pram
+from repro import analysis, apps, core, engine, monge, networks, pram
+from repro.engine import (
+    CapabilityError,
+    ExecutionConfig,
+    SearchResult,
+    Session,
+    solve,
+)
 from repro.monge import generators
 
-__all__ = ["pram", "networks", "monge", "core", "apps", "analysis", "generators"]
+__all__ = [
+    "pram",
+    "networks",
+    "monge",
+    "core",
+    "apps",
+    "analysis",
+    "engine",
+    "generators",
+    "solve",
+    "Session",
+    "ExecutionConfig",
+    "SearchResult",
+    "CapabilityError",
+]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -7,6 +7,7 @@ from repro._util.bits import (
     is_power_of_two,
     next_power_of_two,
 )
+from repro._util.ragged import ragged
 from repro._util.validation import (
     as_float_matrix,
     as_float_tensor,
@@ -15,6 +16,7 @@ from repro._util.validation import (
 )
 
 __all__ = [
+    "ragged",
     "ceil_div",
     "ceil_log2",
     "ceil_sqrt",

@@ -1,0 +1,32 @@
+"""Ragged-range indexing shared by the batched searching recursions.
+
+Every level-synchronous algorithm in :mod:`repro.core` lays sibling
+subproblems out as concatenated variable-width ranges ("ragged" rows of
+one flat candidate buffer).  :func:`ragged` is the single decomposition
+helper they all share; it used to be copy-pasted per module.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ragged"]
+
+
+def ragged(counts) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(local_index, owner, offsets) for concatenated ranges of ``counts``.
+
+    For ``counts = [2, 0, 3]`` the flat layout has 5 slots; the return
+    triple is ``local = [0, 1, 0, 1, 2]``, ``owner = [0, 0, 2, 2, 2]``
+    and ``offsets = [0, 2, 2, 5]`` (one past-the-end per group plus the
+    leading zero).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    owner = np.repeat(np.arange(counts.size), counts)
+    local = np.arange(total) - offsets[:-1][owner]
+    return local, owner, offsets

@@ -37,7 +37,7 @@ random instances.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,9 @@ from repro.monge.arrays import ImplicitArray
 from repro.pram.ledger import CostLedger
 from repro.pram.machine import Pram
 from repro.pram.models import CRCW_COMMON
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Session
 
 __all__ = [
     "largest_empty_rectangle",
@@ -169,7 +172,7 @@ def _staircase_case_max(
 # the corner-rectangle staircase application
 # --------------------------------------------------------------------- #
 def largest_empty_corner_rectangle(
-    points, box: Box, pram: Optional[Pram] = None
+    points, box: Box, pram: Optional[Pram] = None, session: Optional["Session"] = None
 ) -> Tuple[float, float, float]:
     """Largest empty rectangle anchored at the box's SW corner.
 
@@ -179,6 +182,8 @@ def largest_empty_corner_rectangle(
     Monge, searched by the Theorem 2.3 solver.  Returns
     ``(area, width, height)``.
     """
+    if pram is None and session is not None:
+        pram = session.machine()
     xmin, ymin, xmax, ymax = _check_box(box)
     p = np.asarray(points, dtype=np.float64).reshape(-1, 2)
     X = np.unique(np.concatenate([p[:, 0], [xmax]]))  # candidate right edges, asc
@@ -213,13 +218,16 @@ def largest_empty_corner_rectangle(
 # the full divide-and-conquer solver
 # --------------------------------------------------------------------- #
 def largest_empty_rectangle(
-    points, box: Box, pram: Optional[Pram] = None
+    points, box: Box, pram: Optional[Pram] = None, session: Optional["Session"] = None
 ) -> Tuple[float, Box]:
     """Exact largest empty rectangle via D&C + staircase searching.
 
     Returns ``(area, (xl, yb, xr, yt))``.  Pass a machine to account the
-    staircase searches' parallel rounds.
+    staircase searches' parallel rounds, or ``session=`` to use an
+    engine :class:`~repro.engine.session.Session`'s machine and ledger.
     """
+    if pram is None and session is not None:
+        pram = session.machine()
     xmin, ymin, xmax, ymax = _check_box(box)
     p = np.asarray(points, dtype=np.float64).reshape(-1, 2)
     if p.size and (
@@ -235,7 +243,7 @@ def largest_empty_rectangle(
 def _branch_pair(pram, tasks):
     """Run independent D&C branches with parallel-composition accounting
     (rounds = max over branches)."""
-    from repro.core.accounting import charge_parallel, fresh_clone
+    from repro.engine import charge_parallel, fresh_clone
 
     results = []
     ledgers = []

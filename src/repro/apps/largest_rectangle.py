@@ -27,7 +27,7 @@ paper's ``Θ(lg n)`` assumes an AKS/Cole-class sort).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.apps.geometry import pareto_staircase
 from repro.core.banded import banded_row_maxima, banded_row_maxima_pram
 from repro.monge.arrays import ImplicitArray
 from repro.pram.machine import Pram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Session
 
 __all__ = ["largest_two_corner_rectangle", "largest_rectangle_brute"]
 
@@ -54,14 +57,18 @@ def largest_rectangle_brute(points) -> Tuple[float, int, int]:
 
 
 def largest_two_corner_rectangle(
-    points, pram: Optional[Pram] = None
+    points, pram: Optional[Pram] = None, session: Optional["Session"] = None
 ) -> Tuple[float, int, int]:
     """Largest axis-parallel rectangle with two input points as opposite
     corners: ``(area, i, j)``.
 
     Sequential by default; pass a machine (PRAM or NetworkMachine) to
-    run the two banded searches in parallel and account rounds.
+    run the two banded searches in parallel and account rounds, or
+    ``session=`` to use an engine
+    :class:`~repro.engine.session.Session`'s machine and ledger.
     """
+    if pram is None and session is not None:
+        pram = session.machine()
     p = np.asarray(points, dtype=np.float64)
     n = p.shape[0]
     if n < 2:

@@ -37,10 +37,9 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.core.tube_pram import tube_minima_pram
+from repro.engine import Session, fresh_clone
 from repro.monge.arrays import ExplicitArray
-from repro.pram.ledger import CostLedger
 from repro.pram.machine import Pram
-from repro.pram.models import CRCW_COMMON
 
 __all__ = [
     "EditCosts",
@@ -183,13 +182,16 @@ def _min_plus(pram: Pram, A: np.ndarray, B: np.ndarray) -> np.ndarray:
     return vals
 
 
-def _fresh_clone(machine: Pram) -> Pram:
-    """A same-configuration machine with an independent ledger, used to
-    measure one sibling's rounds so concurrent siblings can be charged
-    as the level maximum."""
-    from repro.core.accounting import fresh_clone
+def _machine_from(pram: Optional[Pram], session: Optional[Session]) -> Pram:
+    """Resolve the machine an application runs on.
 
-    return fresh_clone(machine)
+    Explicit ``pram`` wins; otherwise the ``session`` (a private
+    throwaway one when neither is given) provides its machine, so the
+    app's rounds accumulate into the session's ledger.
+    """
+    if pram is not None:
+        return pram
+    return (session if session is not None else Session("pram-crcw")).machine()
 
 
 def edit_distance_dag_parallel(
@@ -198,18 +200,21 @@ def edit_distance_dag_parallel(
     costs: Optional[EditCosts] = None,
     pram: Optional[Pram] = None,
     return_dist: bool = False,
+    session: Optional[Session] = None,
 ):
     """Edit distance via hierarchical DIST combination (parallel).
 
     Splits ``x`` recursively; each level combines sibling strips with a
     tube-minima product on the supplied machine (PRAM by default; pass
     a :class:`~repro.core.network_machine.NetworkMachine` for the
-    hypercube variant).  Returns the distance, or the full DIST matrix
-    when ``return_dist`` is set.
+    hypercube variant, or ``session=`` to reuse an engine
+    :class:`~repro.engine.session.Session`'s machine and ledger).
+    Returns the distance, or the full DIST matrix when ``return_dist``
+    is set.
     """
     costs = costs or EditCosts()
     costs.validate(x, y)
-    machine = pram if pram is not None else Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
+    machine = _machine_from(pram, session)
     t = len(y)
     if len(x) == 0:
         pref = np.concatenate([[0.0], np.cumsum([costs.insert(b) for b in y])])
@@ -228,7 +233,7 @@ def edit_distance_dag_parallel(
             level_work = 0
             level_peak = 0
             for k in range(0, len(strips) - 1, 2):
-                sub = _fresh_clone(machine)
+                sub = fresh_clone(machine)
                 nxt.append(_min_plus(sub, strips[k], strips[k + 1]))
                 level_rounds = max(level_rounds, sub.ledger.rounds)
                 level_work += sub.ledger.work
@@ -249,7 +254,7 @@ def edit_distance_dag_parallel(
 
 
 def longest_common_subsequence(
-    x: str, y: str, pram: Optional[Pram] = None
+    x: str, y: str, pram: Optional[Pram] = None, session: Optional[Session] = None
 ) -> int:
     """LCS length via the standard edit-distance reduction.
 
@@ -263,6 +268,6 @@ def longest_common_subsequence(
         insert=lambda b: 1.0,
         substitute=lambda a, b: 0.0 if a == b else 2.0,
     )
-    d = edit_distance_dag_parallel(x, y, costs, pram=pram)
+    d = edit_distance_dag_parallel(x, y, costs, pram=pram, session=session)
     lcs2 = len(x) + len(y) - d
     return int(round(lcs2 / 2.0))

@@ -35,15 +35,16 @@ test-suite):
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro._util.bits import ceil_log2
 from repro.apps.geometry import ensure_ccw, visible_arc
-from repro.pram.ledger import CostLedger
 from repro.pram.machine import Pram
-from repro.pram.models import CRCW_COMMON
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Session
 
 __all__ = ["neighbor_queries_brute", "visible_neighbor_queries"]
 
@@ -122,17 +123,24 @@ def _slot_windows(masks: np.ndarray):
 
 
 def visible_neighbor_queries(
-    P, Q, pram: Optional[Pram] = None
+    P, Q, pram: Optional[Pram] = None, session: Optional["Session"] = None
 ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
     """Monge-accelerated solver for all four neighbor queries.
 
     Returns the same structure as :func:`neighbor_queries_brute`.
-    Pass a machine (PRAM or NetworkMachine) to account parallel rounds.
+    Pass a machine (PRAM or NetworkMachine) to account parallel rounds,
+    or ``session=`` to charge an engine
+    :class:`~repro.engine.session.Session`'s shared ledger.
     """
+    from repro.engine import Session
+
     P = ensure_ccw(np.asarray(P, dtype=np.float64))
     Q = ensure_ccw(np.asarray(Q, dtype=np.float64))
     m, n = P.shape[0], Q.shape[0]
-    machine = pram if pram is not None else Pram(CRCW_COMMON, 1 << 40, ledger=CostLedger())
+    if pram is not None:
+        machine = pram
+    else:
+        machine = (session if session is not None else Session("pram-crcw")).machine()
 
     # masks (charged as the standard per-vertex tangent binary searches)
     vis = np.array([visible_arc(P[i], P, Q) for i in range(m)])

@@ -1,4 +1,4 @@
-"""Parallel-composition accounting helpers.
+"""Parallel-composition accounting helpers (moved to :mod:`repro.engine`).
 
 Algorithms that spawn *independent* subcomputations (D&C branches,
 sibling products) should pay the round cost of the slowest branch, not
@@ -7,44 +7,14 @@ machine of the same configuration with a private ledger;
 :func:`charge_parallel` folds a set of sibling ledgers back into the
 parent as ``rounds = max``, ``work = sum``, ``processors = sum of
 peaks`` (they run concurrently).
+
+The implementations now live in :mod:`repro.engine.machines`, next to
+the engine's machine builders; this module re-exports them so existing
+import sites keep working.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
-
-from repro.pram.ledger import CostLedger
-from repro.pram.machine import Pram
+from repro.engine.machines import charge_parallel, fresh_clone
 
 __all__ = ["fresh_clone", "charge_parallel"]
-
-
-def fresh_clone(machine: Pram) -> Pram:
-    """A same-configuration machine with an independent ledger."""
-    from repro.core.network_machine import NetworkMachine
-    from repro.pram.scheduling import BrentPram
-
-    if isinstance(machine, NetworkMachine):
-        net = type(machine.network)(machine.network.dim, ledger=CostLedger())
-        return NetworkMachine(net)
-    if isinstance(machine, BrentPram):
-        return BrentPram(
-            machine.model,
-            machine.processors,
-            machine.physical_processors,
-            ledger=CostLedger(),
-        )
-    return Pram(machine.model, machine.processors, ledger=CostLedger())
-
-
-def charge_parallel(machine: Pram, ledgers: Iterable[CostLedger]) -> None:
-    """Fold sibling ledgers into ``machine`` as one concurrent phase."""
-    rounds = 0
-    work = 0
-    peak = 0
-    for led in ledgers:
-        rounds = max(rounds, led.rounds)
-        work += led.work
-        peak += led.peak_processors
-    if rounds:
-        machine.ledger.charge(rounds=rounds, processors=max(1, peak), work=work)

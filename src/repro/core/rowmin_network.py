@@ -24,11 +24,6 @@ import numpy as np
 
 from repro._util.bits import ceil_log2
 from repro.core.network_machine import NetworkMachine
-from repro.core.rowmin_pram import (
-    inverse_monge_row_maxima_pram,
-    monge_row_maxima_pram,
-    monge_row_minima_pram,
-)
 from repro.monge.arrays import as_search_array
 from repro.networks import CubeConnectedCycles, Hypercube, ShuffleExchange
 from repro.pram.ledger import CostLedger
@@ -65,7 +60,13 @@ def make_network(
 
 def network_machine_for(topology: Topology, nodes: int, faults=None) -> NetworkMachine:
     """A fresh :class:`NetworkMachine` sized for ``nodes`` processors."""
-    return NetworkMachine(make_network(topology, nodes, ledger=CostLedger(), faults=faults))
+    from repro.engine import build_machine
+
+    if topology not in _TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {topology!r}; expected one of {sorted(_TOPOLOGIES)}"
+        )
+    return build_machine(topology, nodes, faults=faults)
 
 
 def monge_row_minima_network(
@@ -79,10 +80,13 @@ def monge_row_minima_network(
     :func:`~repro.core.rowmin_pram.monge_row_minima_pram` and
     :class:`~repro.resilience.faults.FaultPlan`.
     """
+    from repro.engine import ExecutionConfig, dispatch_on
+
     a = as_search_array(array)
     m, n = a.shape
     machine = network_machine_for(topology, max(m, n, 2), faults=faults)
-    vals, cols = monge_row_minima_pram(machine, a, strategy="sqrt", strict=strict)
+    cfg = ExecutionConfig(strategy="sqrt", strict=strict)
+    vals, cols = dispatch_on(machine, "rowmin", a, cfg)
     return vals, cols, machine.ledger
 
 
@@ -90,10 +94,13 @@ def monge_row_maxima_network(
     array, topology: Topology = "hypercube", strict: bool = True, faults=None
 ):
     """Theorem 3.2's row maxima of a Monge array on a network."""
+    from repro.engine import ExecutionConfig, dispatch_on
+
     a = as_search_array(array)
     m, n = a.shape
     machine = network_machine_for(topology, max(m, n, 2), faults=faults)
-    vals, cols = monge_row_maxima_pram(machine, a, strategy="sqrt", strict=strict)
+    cfg = ExecutionConfig(strategy="sqrt", strict=strict)
+    vals, cols = dispatch_on(machine, "rowmax", a, cfg)
     return vals, cols, machine.ledger
 
 
@@ -101,8 +108,11 @@ def inverse_monge_row_maxima_network(
     array, topology: Topology = "hypercube", strict: bool = True, faults=None
 ):
     """Row maxima of an inverse-Monge array (Fig. 1.1 form) on a network."""
+    from repro.engine import ExecutionConfig, dispatch_on
+
     a = as_search_array(array)
     m, n = a.shape
     machine = network_machine_for(topology, max(m, n, 2), faults=faults)
-    vals, cols = inverse_monge_row_maxima_pram(machine, a, strategy="sqrt", strict=strict)
+    cfg = ExecutionConfig(strategy="sqrt", strict=strict)
+    vals, cols = dispatch_on(machine, "rowmax_inverse", a, cfg)
     return vals, cols, machine.ledger

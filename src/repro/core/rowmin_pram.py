@@ -47,6 +47,7 @@ from typing import Tuple
 import numpy as np
 
 from repro._util.bits import ceil_sqrt_array
+from repro._util.ragged import ragged as _ragged
 from repro.monge.arrays import CachedArray, SearchArray, as_search_array
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
@@ -93,17 +94,6 @@ class _Batch:
                       self.cs[mask], self.ccount[mask])
 
 
-def _ragged(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(local_index, owner, offsets) for concatenated ranges of ``counts``."""
-    counts = np.asarray(counts, dtype=np.int64)
-    offsets = np.zeros(counts.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    total = int(offsets[-1])
-    owner = np.repeat(np.arange(counts.size), counts)
-    local = np.arange(total) - offsets[:-1][owner]
-    return local, owner, offsets
-
-
 def monge_row_minima_pram(
     pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -123,7 +113,51 @@ def monge_row_minima_pram(
     ``O(mn)`` dense scan) and degrades to a charged dense fallback —
     with a :class:`~repro.resilience.degrade.DegradedResultWarning` —
     when the input is not Monge, instead of returning garbage.
+
+    Thin wrapper over the engine registry (``("rowmin", <backend of
+    pram>)``); the algorithm body is :func:`_row_minima_impl`.
     """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(strategy=strategy, cache=cache, strict=strict)
+    return dispatch_on(pram, "rowmin", array, cfg)
+
+
+def monge_row_maxima_pram(
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Leftmost row maxima of a **Monge** array (Table 1.1 semantics).
+
+    Row-flipping a Monge array yields an inverse-Monge array; negating
+    that restores Monge.  Leftmost minima of the transform, read in
+    reverse row order, are the leftmost maxima of the original.
+    ``strict=False`` degrades to a dense scan on non-Monge input (see
+    :func:`monge_row_minima_pram`).
+    """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(strategy=strategy, cache=cache, strict=strict)
+    return dispatch_on(pram, "rowmax", array, cfg)
+
+
+def inverse_monge_row_maxima_pram(
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Leftmost row maxima of an **inverse-Monge** array (Fig. 1.1 use).
+
+    The negation is Monge and leftmost minima coincide positionally.
+    ``strict=False`` degrades to a dense scan on non-inverse-Monge input.
+    """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(strategy=strategy, cache=cache, strict=strict)
+    return dispatch_on(pram, "rowmax_inverse", array, cfg)
+
+
+def _row_minima_impl(
+    pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm body behind :func:`monge_row_minima_pram`."""
     a = as_search_array(array)
     if not strict:
         reason = degrade.monge_reason(a)
@@ -152,17 +186,10 @@ def monge_row_minima_pram(
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
-def monge_row_maxima_pram(
+def _row_maxima_impl(
     pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
-):
-    """Leftmost row maxima of a **Monge** array (Table 1.1 semantics).
-
-    Row-flipping a Monge array yields an inverse-Monge array; negating
-    that restores Monge.  Leftmost minima of the transform, read in
-    reverse row order, are the leftmost maxima of the original.
-    ``strict=False`` degrades to a dense scan on non-Monge input (see
-    :func:`monge_row_minima_pram`).
-    """
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm body behind :func:`monge_row_maxima_pram`."""
     a = as_search_array(array)
     if not strict:
         reason = degrade.monge_reason(a)
@@ -179,18 +206,14 @@ def monge_row_maxima_pram(
         def _eval(self, rows, cols):
             return -self.base.eval(m - 1 - rows, cols, checked=False)
 
-    vals, cols = monge_row_minima_pram(pram, _Flip(a), strategy=strategy, cache=cache)
+    vals, cols = _row_minima_impl(pram, _Flip(a), strategy=strategy, cache=cache)
     return -vals[::-1], cols[::-1].copy()
 
 
-def inverse_monge_row_maxima_pram(
+def _inverse_row_maxima_impl(
     pram: Pram, array, strategy: str = "sqrt", cache: bool = False, strict: bool = True
-):
-    """Leftmost row maxima of an **inverse-Monge** array (Fig. 1.1 use).
-
-    The negation is Monge and leftmost minima coincide positionally.
-    ``strict=False`` degrades to a dense scan on non-inverse-Monge input.
-    """
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm body behind :func:`inverse_monge_row_maxima_pram`."""
     a = as_search_array(array)
     if not strict:
         reason = degrade.inverse_monge_reason(a)
@@ -199,7 +222,7 @@ def inverse_monge_row_maxima_pram(
                 "inverse_monge_row_maxima_pram", reason, "dense row scan"
             )
             return degrade.brute_rows(pram, a.materialize(), mode="max")
-    vals, cols = monge_row_minima_pram(pram, a.negate(), strategy=strategy, cache=cache)
+    vals, cols = _row_minima_impl(pram, a.negate(), strategy=strategy, cache=cache)
     return -vals, cols
 
 

@@ -14,7 +14,6 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.rowmin_network import Topology, network_machine_for
-from repro.core.staircase_pram import staircase_row_minima_pram
 from repro.monge.staircase_seq import effective_boundary
 from repro.pram.ledger import CostLedger
 
@@ -31,11 +30,12 @@ def staircase_row_minima_network(
     input (the machine is sized from the dense shape either way);
     ``faults`` binds a :class:`~repro.resilience.faults.FaultPlan`.
     """
+    from repro.engine import ExecutionConfig, dispatch_on
     from repro.monge.arrays import as_search_array
 
     m, n = as_search_array(array).shape
     if strict:
         effective_boundary(array)  # fail fast, before building the machine
     machine = network_machine_for(topology, max(m, n, 2), faults=faults)
-    vals, cols = staircase_row_minima_pram(machine, array, strict=strict)
+    vals, cols = dispatch_on(machine, "staircase_min", array, ExecutionConfig(strict=strict))
     return vals, cols, machine.ledger

@@ -49,12 +49,13 @@ from typing import Tuple
 import numpy as np
 
 from repro._util.bits import ceil_sqrt_array
+from repro._util.ragged import ragged as _ragged
 from repro.monge.arrays import CachedArray, SearchArray
 from repro.monge.staircase_seq import effective_boundary
 from repro.pram.ansv import nearest_smaller_left_threshold
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
-from repro.core.rowmin_pram import _Batch, _ragged, _solve_batch
+from repro.core.rowmin_pram import _Batch, _solve_batch
 from repro.resilience import degrade
 
 __all__ = [
@@ -77,7 +78,20 @@ def staircase_row_maxima_pram(
     which is exactly the paper's point).  All-``∞`` rows give
     ``(-inf, -1)``.  ``strict=False`` degrades to a dense scan on
     non-staircase-Monge input.
+
+    Thin wrapper over the engine registry (``("staircase_max", <backend
+    of pram>)``); the algorithm body is :func:`_staircase_maxima_impl`.
     """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(cache=cache, strict=strict)
+    return dispatch_on(pram, "staircase_max", array, cfg)
+
+
+def _staircase_maxima_impl(
+    pram: Pram, array, cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm body behind :func:`staircase_row_maxima_pram`."""
     from repro.core.banded import banded_row_maxima_pram
     from repro.monge.arrays import SearchArray as _SA, as_search_array as _asa
 
@@ -149,7 +163,20 @@ def staircase_row_minima_pram(
     :class:`~repro.resilience.degrade.DegradedResultWarning` — when the
     ``∞`` pattern is not staircase-shaped or the finite part is not
     Monge, instead of raising/misbehaving.
+
+    Thin wrapper over the engine registry (``("staircase_min", <backend
+    of pram>)``); the algorithm body is :func:`_staircase_minima_impl`.
     """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(cache=cache, strict=strict)
+    return dispatch_on(pram, "staircase_min", array, cfg)
+
+
+def _staircase_minima_impl(
+    pram: Pram, array, cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm body behind :func:`staircase_row_minima_pram`."""
     if not strict:
         reason = degrade.staircase_reason(array)
         if reason is not None:

@@ -16,7 +16,6 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.rowmin_network import Topology, network_machine_for
-from repro.core.tube_pram import tube_maxima_pram, tube_minima_pram
 from repro.monge.arrays import MongeComposite
 from repro.pram.ledger import CostLedger
 
@@ -34,9 +33,12 @@ def tube_minima_network(
     composite, topology: Topology = "hypercube", strict: bool = True, faults=None
 ) -> Tuple[np.ndarray, np.ndarray, CostLedger]:
     """Tube minima on a ``p·r``-node network: ``(values, j_args, ledger)``."""
+    from repro.engine import ExecutionConfig, dispatch_on
+
     composite, nodes = _machine_for(composite)
     machine = network_machine_for(topology, nodes, faults=faults)
-    vals, args = tube_minima_pram(machine, composite, scheme="crew", strict=strict)
+    cfg = ExecutionConfig(strategy="crew", strict=strict)
+    vals, args = dispatch_on(machine, "tube_min", composite, cfg)
     return vals, args, machine.ledger
 
 
@@ -44,7 +46,10 @@ def tube_maxima_network(
     composite, topology: Topology = "hypercube", strict: bool = True, faults=None
 ) -> Tuple[np.ndarray, np.ndarray, CostLedger]:
     """Theorem 3.4's tube maxima on a network: ``(values, j_args, ledger)``."""
+    from repro.engine import ExecutionConfig, dispatch_on
+
     composite, nodes = _machine_for(composite)
     machine = network_machine_for(topology, nodes, faults=faults)
-    vals, args = tube_maxima_pram(machine, composite, scheme="crew", strict=strict)
+    cfg = ExecutionConfig(strategy="crew", strict=strict)
+    vals, args = dispatch_on(machine, "tube_max", composite, cfg)
     return vals, args, machine.ledger

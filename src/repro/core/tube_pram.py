@@ -39,6 +39,7 @@ from typing import Tuple
 import numpy as np
 
 from repro._util.bits import ceil_sqrt
+from repro._util.ragged import ragged as _ragged
 from repro._util.validation import as_float_tensor
 from repro.monge.arrays import CachedArray, MongeComposite, SearchArray
 from repro.pram.machine import Pram
@@ -79,7 +80,38 @@ def tube_minima_pram(
     and degrades to a charged dense-cube fallback — with a
     :class:`~repro.resilience.degrade.DegradedResultWarning` — when
     they are not.
+
+    Thin wrapper over the engine registry (``("tube_min", <backend of
+    pram>)``); the algorithm body is :func:`_tube_minima_impl`.
     """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(strategy=scheme, cache=cache, strict=strict)
+    return dispatch_on(pram, "tube_min", composite, cfg)
+
+
+def tube_maxima_pram(
+    pram: Pram, composite, scheme: str = "auto", cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tube maxima with smallest-``j`` witnesses.
+
+    Reduction: flipping ``D``'s rows and ``E``'s columns and negating
+    both factors yields Monge factors again; minima of the transformed
+    composite at ``(p-1-i, r-1-k)`` are the negated maxima at ``(i,k)``,
+    with identical ``j`` order (so leftmost ties are preserved).
+    ``strict=False`` degrades to a dense cube scan when a factor is
+    not Monge.
+    """
+    from repro.engine import ExecutionConfig, dispatch_on
+
+    cfg = ExecutionConfig(strategy=scheme, cache=cache, strict=strict)
+    return dispatch_on(pram, "tube_max", composite, cfg)
+
+
+def _tube_minima_impl(
+    pram: Pram, composite, scheme: str = "auto", cache: bool = False, strict: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm body behind :func:`tube_minima_pram`."""
     c = _as_composite(composite)
     if not strict:
         reason = degrade.composite_reason(c)
@@ -98,18 +130,10 @@ def tube_minima_pram(
     raise ValueError(f"unknown scheme {scheme!r}")
 
 
-def tube_maxima_pram(
+def _tube_maxima_impl(
     pram: Pram, composite, scheme: str = "auto", cache: bool = False, strict: bool = True
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Tube maxima with smallest-``j`` witnesses.
-
-    Reduction: flipping ``D``'s rows and ``E``'s columns and negating
-    both factors yields Monge factors again; minima of the transformed
-    composite at ``(p-1-i, r-1-k)`` are the negated maxima at ``(i,k)``,
-    with identical ``j`` order (so leftmost ties are preserved).
-    ``strict=False`` degrades to a dense cube scan when a factor is
-    not Monge.
-    """
+    """Algorithm body behind :func:`tube_maxima_pram`."""
     c = _as_composite(composite)
     if not strict:
         reason = degrade.composite_reason(c)
@@ -133,7 +157,9 @@ def tube_maxima_pram(
         def _eval(self, rows, cols):
             return -E.eval(rows, r - 1 - cols, checked=False)
 
-    vals, args = tube_minima_pram(pram, MongeComposite(_FlipD(), _FlipE()), scheme=scheme, cache=cache)
+    vals, args = _tube_minima_impl(
+        pram, MongeComposite(_FlipD(), _FlipE()), scheme=scheme, cache=cache
+    )
     return -vals[::-1, ::-1], args[::-1, ::-1].copy()
 
 
@@ -143,15 +169,6 @@ def _eval_candidates(pram: Pram, c: MongeComposite, ii, jj, kk) -> np.ndarray:
     out = c.D.eval(ii, jj, checked=False) + c.E.eval(jj, kk, checked=False)
     pram.charge_eval(out.size)
     return out
-
-
-def _ragged(counts):
-    counts = np.asarray(counts, dtype=np.int64)
-    offsets = np.zeros(counts.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    owner = np.repeat(np.arange(counts.size), counts)
-    local = np.arange(int(offsets[-1])) - offsets[:-1][owner]
-    return local, owner, offsets
 
 
 def _fill_rows(pram, c, rows, lo, hi, J, V):

@@ -1,0 +1,67 @@
+"""The unified solver engine (DESIGN.md §8).
+
+Layering: the :mod:`~repro.engine.registry` declares what can run where
+(``(problem, backend)`` → :class:`SolverSpec` with capabilities and
+Table-1.x bound predicates); an :class:`ExecutionConfig` says how to run
+it; a :class:`Session` owns machines and per-query ledger sub-accounts;
+every query returns a structured :class:`SearchResult` that still
+unpacks as ``(values, witnesses)``.
+
+Quick start::
+
+    import repro
+
+    result = repro.solve("rowmin", array)                 # CRCW PRAM
+    values, cols = result                                  # tuple-compat
+    result.rounds, result.snapshot                         # this query's cost
+
+    from repro import ExecutionConfig, Session
+    s = Session("hypercube")
+    r = s.solve("tube_min", comp, config=ExecutionConfig(certify=True))
+    r.certified, s.ledger                                  # verdict + totals
+"""
+
+from repro.engine.config import ROW_STRATEGIES, TUBE_STRATEGIES, ExecutionConfig
+from repro.engine.machines import (
+    backend_of,
+    build_machine,
+    charge_parallel,
+    fresh_clone,
+)
+from repro.engine.registry import (
+    BACKENDS,
+    NETWORK_BACKENDS,
+    PRAM_BACKENDS,
+    PROBLEMS,
+    CapabilityError,
+    SolverRegistry,
+    SolverSpec,
+    register,
+    registry,
+)
+from repro.engine.result import SearchResult
+from repro.engine.session import QueryRecord, Session, dispatch_on, solve
+
+__all__ = [
+    "solve",
+    "Session",
+    "QueryRecord",
+    "ExecutionConfig",
+    "SearchResult",
+    "SolverRegistry",
+    "SolverSpec",
+    "CapabilityError",
+    "registry",
+    "register",
+    "dispatch_on",
+    "backend_of",
+    "build_machine",
+    "fresh_clone",
+    "charge_parallel",
+    "PROBLEMS",
+    "BACKENDS",
+    "PRAM_BACKENDS",
+    "NETWORK_BACKENDS",
+    "ROW_STRATEGIES",
+    "TUBE_STRATEGIES",
+]

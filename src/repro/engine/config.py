@@ -1,0 +1,108 @@
+"""The :class:`ExecutionConfig` — every cross-cutting solver knob in one place.
+
+Before the engine existed, each of the 12+ core entry points re-threaded
+``strategy=``/``scheme=``, ``cache=``, ``strict=``, and fault plumbing by
+hand, and the retry/certify loop of :mod:`repro.resilience.executor` had
+to be wired up manually around every call.  ``ExecutionConfig``
+consolidates all of it:
+
+``strategy``
+    The algorithmic variant.  ``"auto"`` (default) resolves per problem
+    and backend: the row-extremum family picks the paper's ``"sqrt"``
+    sampling recursion, the tube family picks ``"crcw"`` (doubly-log)
+    on CRCW machines and ``"crew"`` (halving) otherwise.  The legacy
+    per-function ``strategy=``/``scheme=`` arguments map onto this one
+    field.
+``cache``
+    Wrap inputs in a :class:`~repro.monge.arrays.CachedArray` entry
+    memoizer (wall-clock only; results and ledger charges unchanged).
+``strict``
+    ``True`` (default) trusts the declared (staircase-)Monge structure;
+    ``False`` verifies it first and degrades to a charged dense fallback
+    with a :class:`~repro.resilience.degrade.DegradedResultWarning`.
+``checked``
+    Run the machine in validating mode (checked gather/scatter
+    concurrency legality) where the backend supports it.
+``faults``
+    An optional seeded :class:`~repro.resilience.faults.FaultPlan` bound
+    to every machine the engine constructs for this query.
+``retries``
+    Additional attempts beyond the first.  ``retries > 0`` routes the
+    query through :func:`repro.resilience.executor.run_resilient`
+    (``max_attempts = retries + 1``, final attempt fault-free).
+``certify``
+    Self-certify the answer with the matching
+    :mod:`repro.resilience.certify` certificate.  Only the minima
+    problems carry certifiers; requesting certification elsewhere is a
+    declared-capability error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+
+__all__ = ["ExecutionConfig", "ROW_STRATEGIES", "TUBE_STRATEGIES"]
+
+#: Strategies understood by the row-extremum family (Table 1.1/1.2).
+ROW_STRATEGIES = ("auto", "sqrt", "halving")
+#: Schemes understood by the tube family (Table 1.3).
+TUBE_STRATEGIES = ("auto", "crew", "crcw")
+
+_ALL_STRATEGIES = tuple(dict.fromkeys(ROW_STRATEGIES + TUBE_STRATEGIES))
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Cross-cutting execution policy for one (or many) engine queries.
+
+    Immutable; use :meth:`with_overrides` to derive variants.  Field
+    semantics are documented in the module docstring.
+    """
+
+    strategy: str = "auto"
+    cache: bool = False
+    strict: bool = True
+    checked: bool = False
+    faults: Optional["FaultPlan"] = None
+    retries: int = 0
+    certify: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise ``ValueError`` on internally inconsistent settings."""
+        if self.strategy not in _ALL_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of {_ALL_STRATEGIES}"
+            )
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool):
+            raise ValueError(f"retries must be an int, got {self.retries!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    def with_overrides(self, **kw) -> "ExecutionConfig":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------------ #
+    def resolve_strategy(self, problem: str, crcw: bool) -> str:
+        """The concrete strategy ``"auto"`` stands for.
+
+        ``problem`` is an engine problem key; ``crcw`` says whether the
+        resolved machine supports concurrent writes.  Non-``auto``
+        strategies pass through unchanged (the registry validates them
+        against the solver's declared capabilities).
+        """
+        if self.strategy != "auto":
+            return self.strategy
+        if problem.startswith("tube"):
+            return "crcw" if crcw else "crew"
+        if problem in ("rowmin", "rowmax"):
+            return "sqrt"
+        return "auto"  # strategy-free problems (staircase, banded)

@@ -1,0 +1,431 @@
+"""The solver registry: ``(problem, backend)`` → implementation + capabilities.
+
+The paper's Tables 1.1–1.3 define one logical problem family instantiated
+on three machine classes.  The registry makes that structure executable:
+each :class:`SolverSpec` binds a problem key
+
+    ``rowmin | rowmax | staircase_min | staircase_max | tube_min | tube_max``
+
+and a backend key
+
+    ``pram-crcw | pram-crew | hypercube | ccc | shuffle-exchange | sequential``
+
+to an implementation, together with its *declared capabilities*: which
+strategies it accepts, what machine it needs, whether a self-certifier
+exists for its output, and a Table-1.x-shaped round-bound predicate that
+tests (and sessions) can check measured ledgers against.
+
+Pairs that are not registered raise :class:`CapabilityError` — a
+``LookupError`` so callers can distinguish "the engine cannot do this"
+from an input error.  Solver callables are late-bound (they import the
+core implementation lazily), so this module stays import-cycle-free: the
+core modules import the engine, never the other way around at import
+time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "PROBLEMS",
+    "BACKENDS",
+    "PRAM_BACKENDS",
+    "NETWORK_BACKENDS",
+    "CapabilityError",
+    "SolverSpec",
+    "SolverRegistry",
+    "registry",
+    "register",
+]
+
+#: Canonical problem keys (the Tables 1.1–1.3 rows).
+PROBLEMS = (
+    "rowmin",
+    "rowmax",
+    "staircase_min",
+    "staircase_max",
+    "tube_min",
+    "tube_max",
+)
+
+PRAM_BACKENDS = ("pram-crcw", "pram-crew")
+NETWORK_BACKENDS = ("hypercube", "ccc", "shuffle-exchange")
+
+#: Canonical backend keys (the Tables' machine columns + the SMAWK-class
+#: sequential baselines).
+BACKENDS = PRAM_BACKENDS + NETWORK_BACKENDS + ("sequential",)
+
+
+class CapabilityError(LookupError):
+    """The engine has no solver (or no requested capability) for this query."""
+
+
+def _lg(x: float) -> float:
+    return math.log2(max(2.0, float(x)))
+
+
+def _lglg(x: float) -> float:
+    return _lg(_lg(x))
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solver and its declared capabilities.
+
+    ``fn(machine, data, config, strategy)`` returns ``(values,
+    witnesses)``; ``machine`` is ``None`` for the sequential backend.
+    ``strategies`` lists the concrete strategy names the solver accepts
+    (``()`` for strategy-free solvers).  ``bound_rounds(shape)`` is the
+    Table-1.x-shaped round budget (generous constants) that
+    :meth:`within_bound` checks measured snapshots against; sequential
+    solvers have none.
+    """
+
+    problem: str
+    backend: str
+    fn: Callable
+    strategies: Tuple[str, ...] = ()
+    machine: str = "pram"  # "pram" | "network" | "none"
+    certifier: Optional[Callable] = None
+    bound_hint: str = ""
+    bound_rounds: Optional[Callable[[Tuple[int, ...]], float]] = None
+    nodes_for: Optional[Callable[[Tuple[int, ...]], int]] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.problem, self.backend)
+
+    @property
+    def certifiable(self) -> bool:
+        return self.certifier is not None
+
+    def check_strategy(self, strategy: str) -> None:
+        """Raise :class:`CapabilityError` on an undeclared strategy."""
+        if strategy == "auto" or not self.strategies:
+            return
+        if strategy not in self.strategies:
+            raise CapabilityError(
+                f"solver ({self.problem}, {self.backend}) does not support "
+                f"strategy {strategy!r}; declared: {self.strategies or ('<none>',)}"
+            )
+
+    def within_bound(self, snapshot: Optional[dict], shape: Tuple[int, ...]) -> bool:
+        """Does a measured ledger snapshot respect the declared bound?
+
+        Vacuously true for solvers with no declared bound (sequential
+        baselines charge no simulated rounds).
+        """
+        if self.bound_rounds is None or snapshot is None:
+            return True
+        return snapshot["rounds"] <= self.bound_rounds(shape)
+
+
+class SolverRegistry:
+    """A mapping of ``(problem, backend)`` keys to :class:`SolverSpec`."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[Tuple[str, str], SolverSpec] = {}
+
+    def add(self, spec: SolverSpec) -> None:
+        self._specs[spec.key] = spec
+
+    def lookup(self, problem: str, backend: str) -> SolverSpec:
+        spec = self._specs.get((problem, backend))
+        if spec is None:
+            known_problems = sorted({p for p, _ in self._specs})
+            known_backends = sorted({b for _, b in self._specs})
+            if problem not in known_problems:
+                raise CapabilityError(
+                    f"unknown problem {problem!r}; known: {known_problems}"
+                )
+            if backend not in known_backends:
+                raise CapabilityError(
+                    f"unknown backend {backend!r}; known: {known_backends}"
+                )
+            raise CapabilityError(
+                f"no solver registered for problem {problem!r} on backend {backend!r}"
+            )
+        return spec
+
+    def supports(self, problem: str, backend: str) -> bool:
+        return (problem, backend) in self._specs
+
+    def keys(self):
+        return self._specs.keys()
+
+    def specs(self):
+        return self._specs.values()
+
+    def problems(self) -> Tuple[str, ...]:
+        return tuple(sorted({p for p, _ in self._specs}))
+
+    def backends(self) -> Tuple[str, ...]:
+        return tuple(sorted({b for _, b in self._specs}))
+
+
+#: The process-wide registry used by :func:`repro.engine.solve`.
+registry = SolverRegistry()
+
+
+def register(spec: SolverSpec) -> SolverSpec:
+    """Add a spec to the global registry (and return it)."""
+    registry.add(spec)
+    return spec
+
+
+# --------------------------------------------------------------------- #
+# Late-bound adapters over the core implementations.  Imports happen at
+# call time: the core modules import the engine for dispatch, so the
+# engine must not import them at module scope.
+# --------------------------------------------------------------------- #
+def _rowmin(machine, data, cfg, strategy):
+    from repro.core.rowmin_pram import _row_minima_impl
+
+    s = "sqrt" if strategy == "auto" else strategy
+    return _row_minima_impl(machine, data, strategy=s, cache=cfg.cache, strict=cfg.strict)
+
+
+def _rowmax(machine, data, cfg, strategy):
+    from repro.core.rowmin_pram import _row_maxima_impl
+
+    s = "sqrt" if strategy == "auto" else strategy
+    return _row_maxima_impl(machine, data, strategy=s, cache=cfg.cache, strict=cfg.strict)
+
+
+def _rowmax_inverse(machine, data, cfg, strategy):
+    from repro.core.rowmin_pram import _inverse_row_maxima_impl
+
+    s = "sqrt" if strategy == "auto" else strategy
+    return _inverse_row_maxima_impl(
+        machine, data, strategy=s, cache=cfg.cache, strict=cfg.strict
+    )
+
+
+def _staircase_min(machine, data, cfg, strategy):
+    from repro.core.staircase_pram import _staircase_minima_impl
+
+    return _staircase_minima_impl(machine, data, cache=cfg.cache, strict=cfg.strict)
+
+
+def _staircase_max(machine, data, cfg, strategy):
+    from repro.core.staircase_pram import _staircase_maxima_impl
+
+    return _staircase_maxima_impl(machine, data, cache=cfg.cache, strict=cfg.strict)
+
+
+def _tube_min(machine, data, cfg, strategy):
+    from repro.core.tube_pram import _tube_minima_impl
+
+    return _tube_minima_impl(machine, data, scheme=strategy, cache=cfg.cache, strict=cfg.strict)
+
+
+def _tube_max(machine, data, cfg, strategy):
+    from repro.core.tube_pram import _tube_maxima_impl
+
+    return _tube_maxima_impl(machine, data, scheme=strategy, cache=cfg.cache, strict=cfg.strict)
+
+
+# -- sequential baselines (SMAWK and friends; no simulated machine) ----- #
+def _require_sequential_capable(cfg, problem):
+    if not cfg.strict:
+        raise CapabilityError(
+            f"({problem}, sequential) has no charged degradation path; "
+            "strict=False needs a simulated machine backend"
+        )
+    if cfg.faults is not None:
+        raise CapabilityError(
+            f"({problem}, sequential) cannot inject faults: there is no "
+            "simulated machine to drive the plan"
+        )
+
+
+def _seq_rowmin(machine, data, cfg, strategy):
+    from repro.monge.smawk import row_minima
+
+    _require_sequential_capable(cfg, "rowmin")
+    return row_minima(data)
+
+
+def _seq_rowmax(machine, data, cfg, strategy):
+    import numpy as np
+
+    from repro.monge.arrays import ImplicitArray, as_search_array
+    from repro.monge.smawk import row_minima
+
+    _require_sequential_capable(cfg, "rowmax")
+    a = as_search_array(data)
+    m, n = a.shape
+    if m == 0:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    # Monge row-flipped is inverse-Monge; its negation is Monge again and
+    # leftmost minima in reversed row order are the leftmost maxima.
+    flip = ImplicitArray(lambda r, c: -a.eval(m - 1 - r, c, checked=False), (m, n))
+    vals, cols = row_minima(flip)
+    return -vals[::-1], cols[::-1].copy()
+
+
+def _seq_rowmax_inverse(machine, data, cfg, strategy):
+    from repro.monge.arrays import as_search_array
+    from repro.monge.smawk import row_minima
+
+    _require_sequential_capable(cfg, "rowmax_inverse")
+    vals, cols = row_minima(as_search_array(data).negate())
+    return -vals, cols
+
+
+def _seq_staircase_min(machine, data, cfg, strategy):
+    from repro.monge.staircase_seq import row_minima_staircase_blocks
+
+    _require_sequential_capable(cfg, "staircase_min")
+    return row_minima_staircase_blocks(data)
+
+
+def _seq_staircase_max(machine, data, cfg, strategy):
+    from repro.monge.staircase_seq import row_maxima_staircase
+
+    _require_sequential_capable(cfg, "staircase_max")
+    return row_maxima_staircase(data)
+
+
+def _seq_tube_min(machine, data, cfg, strategy):
+    from repro.monge.composite import tube_minima_sequential
+
+    _require_sequential_capable(cfg, "tube_min")
+    return tube_minima_sequential(data)
+
+
+def _seq_tube_max(machine, data, cfg, strategy):
+    from repro.monge.composite import tube_maxima_sequential
+
+    _require_sequential_capable(cfg, "tube_max")
+    return tube_maxima_sequential(data)
+
+
+# -- certifiers (minima problems only; see resilience.certify) ---------- #
+def _certify_rowmin(data, values, witnesses):
+    from repro.resilience.certify import certify_row_minima
+
+    return certify_row_minima(data, values, witnesses)
+
+
+def _certify_staircase_min(data, values, witnesses):
+    from repro.resilience.certify import certify_staircase_row_minima
+
+    return certify_staircase_row_minima(data, values, witnesses)
+
+
+def _certify_tube_min(data, values, witnesses):
+    from repro.resilience.certify import certify_tube_minima
+
+    return certify_tube_minima(data, values, witnesses)
+
+
+# -- machine sizing + Table-1.x bound shapes ---------------------------- #
+def _row_shape_nodes(shape) -> int:
+    m, n = shape
+    return max(m, n, 2)
+
+
+def _tube_shape_nodes(shape) -> int:
+    p, q, r = shape
+    return max(p * r, q, 2)
+
+
+def _row_bound_crcw(shape):  # Table 1.1/1.2 row: O(lg n) CRCW rounds
+    m, n = shape
+    return 48.0 * _lg(m * n) + 48.0
+
+
+def _row_bound_crew(shape):  # O(lg n lg lg n) CREW rounds
+    m, n = shape
+    return 32.0 * _lg(m * n) * _lglg(m * n) + 48.0
+
+
+def _tube_bound_crcw(shape):  # O((lg lg n)^2)-shaped doubly-log recursion
+    p, q, r = shape
+    return 32.0 * (_lglg(p * q * r) + 2.0) ** 2 + 32.0
+
+
+def _tube_bound_crew(shape):  # O(lg p · lg q)-shaped halving scheme
+    p, q, r = shape
+    return 24.0 * _lg(p) * _lg(q) + 48.0
+
+
+def _net_bound(shape):  # measured O(lg² n)-shaped network rounds (§3 note)
+    nodes = _row_shape_nodes(shape) if len(shape) == 2 else _tube_shape_nodes(shape)
+    return 512.0 * _lg(nodes) ** 2 + 512.0
+
+
+# --------------------------------------------------------------------- #
+# Populate the registry.
+# --------------------------------------------------------------------- #
+_PRAM_FAMILY = (
+    ("rowmin", _rowmin, ("sqrt", "halving"), _certify_rowmin,
+     "T1.1: O(lg n) CRCW / O(lg n lg lg n) CREW"),
+    ("rowmax", _rowmax, ("sqrt", "halving"), None,
+     "T1.1: O(lg n) CRCW / O(lg n lg lg n) CREW"),
+    ("rowmax_inverse", _rowmax_inverse, ("sqrt", "halving"), None,
+     "T1.1 via negation (Fig. 1.1 inverse-Monge form)"),
+    ("staircase_min", _staircase_min, (), _certify_staircase_min,
+     "T1.2 / Thm 2.3: O(lg n) CRCW / O(lg n lg lg n) CREW"),
+    ("staircase_max", _staircase_max, (), None,
+     "T1.2 easy direction: banded search round class"),
+    ("tube_min", _tube_min, ("crew", "crcw"), _certify_tube_min,
+     "T1.3: O(lg lg n) CRCW / O(lg n) CREW shaped"),
+    ("tube_max", _tube_max, ("crew", "crcw"), None,
+     "T1.3: O(lg lg n) CRCW / O(lg n) CREW shaped"),
+)
+
+for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
+    _tube = _problem.startswith("tube")
+    _nodes = _tube_shape_nodes if _tube else _row_shape_nodes
+    register(SolverSpec(
+        problem=_problem, backend="pram-crcw", fn=_fn, strategies=_strats,
+        machine="pram", certifier=_cert, bound_hint=_hint,
+        bound_rounds=_tube_bound_crcw if _tube else _row_bound_crcw,
+        nodes_for=_nodes,
+    ))
+    register(SolverSpec(
+        problem=_problem, backend="pram-crew", fn=_fn,
+        # "crcw" stays declared: the solver itself raises the model
+        # ConcurrencyViolation, preserving the legacy error contract
+        strategies=_strats,
+        machine="pram", certifier=_cert, bound_hint=_hint,
+        bound_rounds=_tube_bound_crew if _tube else _row_bound_crew,
+        nodes_for=_nodes,
+    ))
+    for _net in NETWORK_BACKENDS:
+        register(SolverSpec(
+            problem=_problem, backend=_net, fn=_fn,
+            # networks run the CREW-derived algorithms (§3)
+            strategies=tuple(s for s in _strats if s != "crcw"),
+            machine="network", certifier=_cert,
+            bound_hint="Thm 3.2–3.4 (measured O(lg² n)-shaped; see DESIGN.md)",
+            bound_rounds=_net_bound,
+            nodes_for=_nodes,
+        ))
+
+_SEQUENTIAL = (
+    ("rowmin", _seq_rowmin, _certify_rowmin, "SMAWK: O(m+n) evaluations"),
+    ("rowmax", _seq_rowmax, None, "SMAWK on the flipped array: O(m+n) evaluations"),
+    ("rowmax_inverse", _seq_rowmax_inverse, None,
+     "SMAWK on the negated array: O(m+n) evaluations"),
+    ("staircase_min", _seq_staircase_min, _certify_staircase_min,
+     "boundary-block SMAWK decomposition"),
+    ("staircase_max", _seq_staircase_max, None,
+     "prefix-maxima divide and conquer: O((m+n) lg m) evaluations"),
+    ("tube_min", _seq_tube_min, _certify_tube_min, "per-row SMAWK: O(p(q+r)) evaluations"),
+    ("tube_max", _seq_tube_max, None, "per-row SMAWK: O(p(q+r)) evaluations"),
+)
+
+for _problem, _fn, _cert, _hint in _SEQUENTIAL:
+    register(SolverSpec(
+        problem=_problem, backend="sequential", fn=_fn, strategies=(),
+        machine="none", certifier=_cert, bound_hint=_hint,
+        bound_rounds=None, nodes_for=None,
+    ))
+
+del _PRAM_FAMILY, _SEQUENTIAL, _problem, _fn, _strats, _cert, _hint, _net, _tube, _nodes

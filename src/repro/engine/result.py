@@ -1,0 +1,105 @@
+"""Structured solver output that still unpacks like the legacy tuple.
+
+Every engine query returns a :class:`SearchResult` carrying the answer
+(values + witnesses) together with everything the legacy entry points
+used to scatter across return conventions and side channels: the ledger
+snapshot of exactly this query, the self-certification verdict, any
+degradation events, the retry count, and the backend the query actually
+ran on.  ``values, witnesses = result`` keeps pre-engine call sites
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pram.ledger import CostLedger
+    from repro.resilience.certify import Certificate
+    from repro.resilience.degrade import DegradedResultWarning
+
+__all__ = ["SearchResult"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one engine query.
+
+    Attributes
+    ----------
+    values, witnesses:
+        The extrema and their witness indices — shapes follow the
+        problem family (``(m,)`` row vectors for the row problems,
+        ``(p, r)`` grids for the tube problems).
+    problem, backend, strategy:
+        The registry key the query resolved to and the concrete
+        strategy that ran (``backend`` is the *resolved* one — an
+        ``"auto"`` request records what it picked).
+    snapshot:
+        This query's own ledger snapshot (``None`` for the sequential
+        backend, which charges no simulated rounds).
+    ledger:
+        The per-query :class:`~repro.pram.ledger.CostLedger`
+        sub-account the snapshot was taken from, when one exists.
+    certificate:
+        The :class:`~repro.resilience.certify.Certificate` when
+        ``certify=True`` was requested, else ``None``.
+    degradation:
+        Structured :class:`DegradedResultWarning` events captured while
+        solving (non-empty only under ``strict=False`` on untrusted
+        input).
+    retries:
+        Failed attempts that preceded the returned answer (0 when the
+        first attempt succeeded).
+    """
+
+    values: np.ndarray
+    witnesses: np.ndarray
+    problem: str = ""
+    backend: str = ""
+    strategy: str = ""
+    snapshot: Optional[dict] = None
+    ledger: Optional["CostLedger"] = None
+    certificate: Optional["Certificate"] = None
+    degradation: List["DegradedResultWarning"] = field(default_factory=list)
+    retries: int = 0
+
+    # -- tuple back-compat ---------------------------------------------- #
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Unpack as the legacy ``(values, witnesses)`` pair."""
+        yield self.values
+        yield self.witnesses
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, index):
+        return (self.values, self.witnesses)[index]
+
+    # -- conveniences ----------------------------------------------------#
+    @property
+    def certified(self) -> bool:
+        """True iff a certificate was produced and passed."""
+        return self.certificate is not None and bool(self.certificate.ok)
+
+    @property
+    def degraded(self) -> bool:
+        """True iff the structured algorithm fell back to a dense scan."""
+        return bool(self.degradation)
+
+    @property
+    def rounds(self) -> Optional[int]:
+        """Simulated rounds this query charged (``None`` if sequential)."""
+        return None if self.snapshot is None else self.snapshot["rounds"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shape = getattr(self.values, "shape", None)
+        return (
+            f"SearchResult(problem={self.problem!r}, backend={self.backend!r}, "
+            f"strategy={self.strategy!r}, shape={shape}, rounds={self.rounds}, "
+            f"certified={self.certified}, degraded={self.degraded}, "
+            f"retries={self.retries})"
+        )

@@ -1,0 +1,320 @@
+"""Sessions and the ``solve`` front door.
+
+A :class:`Session` owns machine construction and reuse for one backend
+and answers repeated :meth:`~Session.solve` calls.  Each query runs on a
+private :class:`~repro.pram.ledger.CostLedger` sub-account (the session
+swaps the machine's ledger in for the duration of the query and merges
+the sub-account back afterwards), so callers get both the per-query
+snapshot on the :class:`~repro.engine.result.SearchResult` and a running
+session total on :attr:`Session.ledger`.
+
+:func:`solve` is the one-shot module-level entry: it resolves a backend
+(``"auto"`` picks the CRCW PRAM, the Tables' best bounds), spins up a
+throwaway session, and returns the single result.
+
+:func:`dispatch_on` is the zero-overhead path the legacy
+:mod:`repro.core` wrappers use: it resolves the registry solver for an
+*existing* machine and calls straight through — no ledger swap, no
+warning capture, no added charges — so pre-engine call sites keep
+bit-identical ledgers.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.config import ExecutionConfig
+from repro.engine.machines import backend_of, build_machine
+from repro.engine.registry import (
+    BACKENDS,
+    CapabilityError,
+    SolverSpec,
+    registry,
+)
+from repro.engine.result import SearchResult
+from repro.pram.ledger import CostLedger
+
+__all__ = ["Session", "QueryRecord", "solve", "dispatch_on"]
+
+
+def _shape_of(problem: str, data) -> Tuple[int, ...]:
+    """The problem-family shape key used for machine sizing and bounds."""
+    if problem.startswith("tube"):
+        from repro.core.tube_pram import _as_composite
+
+        return tuple(_as_composite(data).shape)
+    from repro.monge.arrays import as_search_array
+
+    return tuple(as_search_array(data).shape)
+
+
+def dispatch_on(machine, problem: str, data, config: ExecutionConfig):
+    """Run ``problem`` on an existing machine through the registry.
+
+    This is pure indirection: the solver is called with the machine as
+    given — same ledger, same faults, same strict/degrade semantics —
+    so it charges exactly what the pre-engine entry point charged.
+    Returns the raw ``(values, witnesses)`` pair.
+    """
+    backend = backend_of(machine)
+    spec = registry.lookup(problem, backend)
+    crcw = machine is not None and machine.model.is_crcw
+    strategy = config.resolve_strategy(problem, crcw)
+    spec.check_strategy(strategy)
+    return spec.fn(machine, data, config, strategy)
+
+
+@dataclass
+class QueryRecord:
+    """One row of a session's query log."""
+
+    index: int
+    problem: str
+    backend: str
+    strategy: str
+    shape: Tuple[int, ...]
+    snapshot: Optional[dict]
+    certified: Optional[bool]
+    degraded: bool
+    retries: int
+    within_bound: bool
+
+
+class Session:
+    """A reusable solving context bound to one backend.
+
+    Parameters
+    ----------
+    backend:
+        An engine backend key (``"auto"`` resolves to ``"pram-crcw"``),
+        or pass ``machine=`` to adopt an existing machine and infer the
+        backend from it.
+    processors, physical_processors, validate, retry_limit:
+        Machine-construction knobs forwarded to
+        :func:`repro.engine.machines.build_machine`.  A
+        ``physical_processors`` budget yields a Brent-scheduled PRAM.
+    faults:
+        Session-wide default fault plan; a query config's ``faults``
+        overrides it for that query.
+    config:
+        Session-default :class:`ExecutionConfig` (per-query configs /
+        keyword overrides derive from it).
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        *,
+        machine=None,
+        processors: Optional[int] = None,
+        physical_processors: Optional[int] = None,
+        validate: bool = False,
+        faults=None,
+        retry_limit: int = 8,
+        config: Optional[ExecutionConfig] = None,
+    ) -> None:
+        if machine is not None:
+            backend = backend_of(machine)
+        elif backend == "auto":
+            backend = "pram-crcw"
+        if backend not in BACKENDS:
+            raise CapabilityError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS} or 'auto'"
+            )
+        self.backend = backend
+        self.config = config if config is not None else ExecutionConfig()
+        self.processors = processors
+        self.physical_processors = physical_processors
+        self.validate = validate
+        self.faults = faults
+        self.retry_limit = retry_limit
+        #: Session-lifetime aggregate of every query's sub-account.
+        self.ledger = CostLedger()
+        #: One :class:`QueryRecord` per completed query.
+        self.queries: List[QueryRecord] = []
+        self._machine = machine
+        self._adopted = machine is not None
+
+    # ------------------------------------------------------------------ #
+    def machine(self, nodes: int = 2):
+        """The session's machine, (re)built to cover ``nodes`` logical nodes.
+
+        PRAM machines are unbounded by default and built once; network
+        machines are rebuilt only when a query needs a larger cube
+        dimension (growing preserves the session ledger — sub-accounts
+        are swapped in per query regardless).  Sequential sessions have
+        no machine (returns ``None``).
+        """
+        if self.backend == "sequential":
+            return None
+        if self._adopted:
+            return self._machine
+        if self._machine is not None and self.backend in ("pram-crcw", "pram-crew"):
+            return self._machine
+        if self._machine is not None and self._machine.network.size >= max(2, nodes):
+            return self._machine
+        self._machine = build_machine(
+            self.backend,
+            nodes,
+            processors=self.processors,
+            physical_processors=self.physical_processors,
+            validate=self.validate,
+            faults=self.faults,
+            retry_limit=self.retry_limit,
+            ledger=self.ledger,
+        )
+        return self._machine
+
+    # ------------------------------------------------------------------ #
+    def _capability_check(self, spec: SolverSpec, cfg: ExecutionConfig) -> None:
+        if cfg.certify and spec.certifier is None:
+            raise CapabilityError(
+                f"({spec.problem}, {spec.backend}) declares no certifier; "
+                "only the minima problems self-certify (certify.py derives "
+                "its witnesses from leftmost-minimum structure)"
+            )
+        if spec.machine == "none" and cfg.retries > 0:
+            raise CapabilityError(
+                f"({spec.problem}, sequential) has no fault surface to retry over"
+            )
+
+    def solve(
+        self,
+        problem: str,
+        data,
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> SearchResult:
+        """Solve one query and return a :class:`SearchResult`.
+
+        ``config`` (default: the session config) may be refined with
+        keyword overrides, e.g. ``session.solve("rowmin", a,
+        strategy="halving", certify=True)``.
+        """
+        cfg = config if config is not None else self.config
+        if overrides:
+            cfg = cfg.with_overrides(**overrides)
+        spec = registry.lookup(problem, self.backend)
+        self._capability_check(spec, cfg)
+        shape = _shape_of(problem, data)
+        nodes = spec.nodes_for(shape) if spec.nodes_for is not None else 2
+        machine = self.machine(nodes)
+        crcw = machine is not None and machine.model.is_crcw
+        strategy = cfg.resolve_strategy(problem, crcw)
+        spec.check_strategy(strategy)
+
+        plan = cfg.faults if cfg.faults is not None else self.faults
+        limit = machine.ledger.processor_limit if machine is not None else None
+        qledger = CostLedger(processor_limit=limit) if machine is not None else None
+        caught: List[warnings.WarningMessage] = []
+
+        def attempt():
+            caught.clear()
+            if qledger is not None:
+                # reset the sub-account so a replayed attempt starts clean
+                qledger.__init__(processor_limit=limit)
+            with warnings.catch_warnings(record=True) as rec:
+                warnings.simplefilter("always")
+                out = spec.fn(machine, data, cfg, strategy)
+            caught.extend(rec)
+            return out
+
+        swapped = machine is not None
+        if swapped:
+            saved = (machine.ledger, machine.faults)
+            machine.ledger = qledger
+            machine.faults = plan
+            if hasattr(machine, "network"):
+                saved_net = (machine.network.ledger, machine.network.faults)
+                machine.network.ledger = qledger
+                machine.network.faults = plan
+        try:
+            certificate = None
+            retries = 0
+            if cfg.retries > 0 and spec.machine != "none":
+                from repro.resilience.executor import run_resilient
+
+                certifier = (
+                    (lambda out: spec.certifier(data, out[0], out[1]))
+                    if cfg.certify
+                    else None
+                )
+                report = run_resilient(
+                    attempt,
+                    certify=certifier,
+                    plan=plan,
+                    max_attempts=cfg.retries + 1,
+                )
+                values, witnesses = report.result
+                certificate = report.attempts[-1].certificate
+                retries = report.n_attempts - 1
+            else:
+                values, witnesses = attempt()
+                if cfg.certify:
+                    certificate = spec.certifier(data, values, witnesses)
+                    certificate.require()
+        finally:
+            if swapped:
+                machine.ledger, machine.faults = saved
+                if hasattr(machine, "network"):
+                    machine.network.ledger, machine.network.faults = saved_net
+
+        snapshot = qledger.snapshot() if qledger is not None else None
+        if qledger is not None:
+            self.ledger.merge(qledger)
+        # record degradation events; re-emit everything captured so
+        # ambient filters (pytest.warns, -W error) still see the warnings
+        from repro.resilience.degrade import DegradedResultWarning
+
+        degradation = [
+            w.message for w in caught if issubclass(w.category, DegradedResultWarning)
+        ]
+        for w in caught:
+            warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
+
+        result = SearchResult(
+            values=values,
+            witnesses=witnesses,
+            problem=problem,
+            backend=self.backend,
+            strategy=strategy,
+            snapshot=snapshot,
+            ledger=qledger,
+            certificate=certificate,
+            degradation=degradation,
+            retries=retries,
+        )
+        self.queries.append(QueryRecord(
+            index=len(self.queries),
+            problem=problem,
+            backend=self.backend,
+            strategy=strategy,
+            shape=shape,
+            snapshot=snapshot,
+            certified=None if certificate is None else bool(certificate.ok),
+            degraded=result.degraded,
+            retries=retries,
+            within_bound=spec.within_bound(snapshot, shape),
+        ))
+        return result
+
+
+def solve(
+    problem: str,
+    data,
+    backend: str = "auto",
+    config: Optional[ExecutionConfig] = None,
+    *,
+    machine=None,
+    **overrides,
+) -> SearchResult:
+    """One-shot front door: solve ``problem`` over ``data`` on ``backend``.
+
+    Equivalent to ``Session(backend).solve(problem, data, config,
+    **overrides)``; pass ``machine=`` to run on an existing machine (its
+    model/topology decides the backend).
+    """
+    session = Session(backend, machine=machine)
+    return session.solve(problem, data, config, **overrides)

@@ -1,0 +1,39 @@
+"""Public API-surface snapshot (CI gate).
+
+``tests/data/api_surface.json`` pins the declared public names of the
+three user-facing namespaces.  An accidental export (or a dropped one)
+fails here before it ships; deliberate API changes update the JSON in
+the same commit that changes ``__all__``.
+"""
+
+import importlib
+import json
+import os
+
+import pytest
+
+DATA = os.path.join(os.path.dirname(__file__), "data", "api_surface.json")
+NAMESPACES = ("repro", "repro.core", "repro.engine")
+
+
+def _pinned():
+    with open(DATA, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_snapshot_covers_all_namespaces():
+    assert sorted(_pinned()) == sorted(NAMESPACES)
+
+
+@pytest.mark.parametrize("namespace", NAMESPACES)
+def test_public_surface_matches_snapshot(namespace):
+    module = importlib.import_module(namespace)
+    assert sorted(module.__all__) == _pinned()[namespace]
+
+
+@pytest.mark.parametrize("namespace", NAMESPACES)
+def test_declared_names_resolve(namespace):
+    """Everything in ``__all__`` actually exists on the module."""
+    module = importlib.import_module(namespace)
+    missing = [name for name in module.__all__ if not hasattr(module, name)]
+    assert not missing
