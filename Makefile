@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast bench-smoke bench
+.PHONY: test test-fast lint bench-smoke bench bench-batch-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -14,6 +14,10 @@ test:
 test-fast:
 	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q -m "not slow"
 
+## lint: mirrors the CI ruff step (requires ruff on PATH)
+lint:
+	ruff check src tests benchmarks
+
 ## bench-smoke: perf-regression smoke (small sizes, verifies the
 ## fused-kernel invariant; does not overwrite BENCH_hotpath.json)
 bench-smoke:
@@ -22,3 +26,8 @@ bench-smoke:
 ## bench: full pinned workload matrix -> BENCH_hotpath.json
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_regress.py
+
+## bench-batch-smoke: batched-vs-serial equivalence smoke; refuses to
+## pass if solve_many diverges from the serial path bit-for-bit
+bench-batch-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_batch.py --smoke --out /tmp/BENCH_batch_smoke.json

@@ -40,11 +40,13 @@ Quickstart::
 
 from repro import analysis, apps, core, engine, monge, networks, pram
 from repro.engine import (
+    BatchResult,
     CapabilityError,
     ExecutionConfig,
     SearchResult,
     Session,
     solve,
+    solve_many,
 )
 from repro.monge import generators
 
@@ -58,10 +60,12 @@ __all__ = [
     "engine",
     "generators",
     "solve",
+    "solve_many",
     "Session",
     "ExecutionConfig",
     "SearchResult",
+    "BatchResult",
     "CapabilityError",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

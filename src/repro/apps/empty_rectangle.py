@@ -117,6 +117,90 @@ def largest_empty_corner_rectangle_brute(points, box: Box) -> Tuple[float, float
 # --------------------------------------------------------------------- #
 # staircase search plumbing
 # --------------------------------------------------------------------- #
+def _staircase_cases_max(pram: Optional[Pram], cases) -> list:
+    """Run several staircase-inverse-Monge max searches as ONE batch.
+
+    Each case is a ``(value_fn, nrows, ncols, boundary, start)`` tuple
+    with the semantics of :func:`_staircase_case_max`.  The cases'
+    staircase instances are concatenated — per-case row offsets into one
+    combined implicit array, one combined global boundary — and solved
+    by a single :func:`staircase_row_minima_batch` call, so sibling
+    cases share level-synchronous rounds instead of looping.  Returns a
+    ``(best, i, j)`` triple per case, in input order.
+    """
+    results = [(-np.inf, -1, -1)] * len(cases)
+    entries = []  # (case, row offset, value_fn, instance windows)
+    total_rows = 0
+    max_cols = 0
+    f_parts = []
+    for ci, (value_fn, nrows, ncols, boundary, start) in enumerate(cases):
+        if nrows == 0 or ncols == 0:
+            continue
+        boundary = np.minimum.accumulate(np.clip(boundary, 0, ncols))
+        if start is None:
+            start = np.zeros(nrows, dtype=np.int64)
+        else:
+            start = np.minimum.accumulate(np.clip(start, 0, ncols))
+        # batch: one staircase instance per run of equal `start`
+        change = np.nonzero(np.diff(start))[0] + 1
+        starts_at = np.concatenate([[0], change, [nrows]])
+        rs = starts_at[:-1].astype(np.int64)
+        rcount = np.diff(starts_at).astype(np.int64)
+        cs = start[rs]
+        ccount = np.maximum(0, ncols - cs)
+        keep = (rcount > 0) & (ccount > 0)
+        if not keep.any():
+            continue
+        entries.append((ci, total_rows, value_fn, rs[keep], rcount[keep], cs[keep], ccount[keep]))
+        f_parts.append(boundary)
+        total_rows += nrows
+        max_cols = max(max_cols, ncols)
+    if not entries:
+        return results
+    machine = pram if pram is not None else _scratch_pram()
+
+    offs = np.array([e[1] for e in entries], dtype=np.int64)
+    fns = [e[2] for e in entries]
+
+    def _eval(rr, cc):
+        rr = np.asarray(rr)
+        cc = np.asarray(cc)
+        out = np.empty(rr.shape, dtype=np.float64)
+        which = np.searchsorted(offs, rr, side="right") - 1
+        for k in range(len(entries)):
+            m = which == k
+            if m.any():
+                out[m] = -fns[k](rr[m] - offs[k], cc[m])
+        return out
+
+    neg = ImplicitArray(_eval, (total_rows, max_cols))
+    f_global = np.concatenate(f_parts)
+    rs_g = np.concatenate([e[3] + e[1] for e in entries])
+    rcount_g = np.concatenate([e[4] for e in entries])
+    cs_g = np.concatenate([e[5] for e in entries])
+    ccount_g = np.concatenate([e[6] for e in entries])
+    vals, cols = staircase_row_minima_batch(
+        machine, neg, f_global, rs_g, rcount_g, cs_g, ccount_g
+    )
+    # map flat batch rows back to global rows, then split per case
+    owner_rows = np.concatenate(
+        [np.arange(r, r + c) for r, c in zip(rs_g, rcount_g)]
+    )
+    for ci, off, _fn, _rs, _rc, _cs, _cc in entries:
+        in_case = (owner_rows >= off) & (owner_rows < off + cases[ci][1])
+        finite = in_case & (cols >= 0)
+        if not finite.any():
+            continue
+        areas = -vals[finite]
+        k = int(np.argmax(areas))
+        results[ci] = (
+            float(areas[k]),
+            int(owner_rows[finite][k] - off),
+            int(cols[finite][k]),
+        )
+    return results
+
+
 def _staircase_case_max(
     pram: Optional[Pram],
     value_fn,
@@ -131,41 +215,10 @@ def _staircase_case_max(
     staircase-inverse-Monge row-maxima problem, solved as row minima of
     the negation via Theorem 2.3.  ``start`` groups rows into batch
     instances sharing a column offset.  Returns ``(best, i, j)`` with
-    ``best = -inf`` when the region is empty.
+    ``best = -inf`` when the region is empty.  A thin single-case
+    wrapper over :func:`_staircase_cases_max`.
     """
-    if nrows == 0 or ncols == 0:
-        return (-np.inf, -1, -1)
-    boundary = np.minimum.accumulate(np.clip(boundary, 0, ncols))
-    if start is None:
-        start = np.zeros(nrows, dtype=np.int64)
-    else:
-        start = np.minimum.accumulate(np.clip(start, 0, ncols))
-    machine = pram if pram is not None else _scratch_pram()
-
-    neg = ImplicitArray(lambda rr, cc: -value_fn(rr, cc), (nrows, ncols))
-    # batch: one staircase instance per run of equal `start`
-    change = np.nonzero(np.diff(start))[0] + 1
-    starts_at = np.concatenate([[0], change, [nrows]])
-    rs = starts_at[:-1].astype(np.int64)
-    rcount = np.diff(starts_at).astype(np.int64)
-    cs = start[rs]
-    ccount = np.maximum(0, ncols - cs)
-    keep = (rcount > 0) & (ccount > 0)
-    if not keep.any():
-        return (-np.inf, -1, -1)
-    vals, cols = staircase_row_minima_batch(
-        machine, neg, boundary, rs[keep], rcount[keep], cs[keep], ccount[keep]
-    )
-    # map flat batch rows back to global rows
-    owner_rows = np.concatenate(
-        [np.arange(r, r + c) for r, c in zip(rs[keep], rcount[keep])]
-    )
-    finite = cols >= 0
-    if not finite.any():
-        return (-np.inf, -1, -1)
-    areas = -vals[finite]
-    k = int(np.argmax(areas))
-    return (float(areas[k]), int(owner_rows[finite][k]), int(cols[finite][k]))
+    return _staircase_cases_max(pram, [(value_fn, nrows, ncols, boundary, start)])[0]
 
 
 # --------------------------------------------------------------------- #
@@ -352,6 +405,13 @@ def _center_case(p: np.ndarray, box: Box, X: float, Y: float, pram) -> Tuple[flo
         if area > best[0]:
             best = (area, rect)
 
+    # The four case searches are collected first and solved as ONE
+    # combined staircase batch (all cases share level-synchronous
+    # rounds); each case carries a post-processor that maps its local
+    # (best, i, j) back to a candidate rectangle.
+    cases = []
+    posts = []
+
     # ---- pure case LL: top and bottom both from the left --------------- #
     h = TL - BL
     ok = h > 0
@@ -360,16 +420,19 @@ def _center_case(p: np.ndarray, box: Box, X: float, Y: float, pram) -> Tuple[flo
         e1 = np.searchsorted(-TR, -TL[r0:], side="right")  # TR_j >= TL_i
         e2 = np.searchsorted(BR, BL[r0:], side="right")    # BR_j <= BL_i
         e = np.minimum(e1, e2).astype(np.int64)
-        a, i, j = _staircase_case_max(
-            pram,
+        cases.append((
             lambda rr, cc, r0=r0: (xr[cc] - xl[r0 + rr]) * (TL[r0 + rr] - BL[r0 + rr]),
             nl - r0,
             nr,
             e,
-        )
-        if i >= 0:
+            None,
+        ))
+
+        def _post_ll(a, i, j, r0=r0):
             gi = r0 + i
             consider(a, (xl[gi], BL[gi], xr[j], TL[gi]))
+
+        posts.append(_post_ll)
 
     # ---- pure case RR: top and bottom both from the right -------------- #
     # transpose: rows = right supports in xr DESC, cols = left in xl DESC
@@ -386,31 +449,37 @@ def _center_case(p: np.ndarray, box: Box, X: float, Y: float, pram) -> Tuple[flo
         e1 = np.searchsorted(-TLd, -TR[sel], side="right")  # TL_i >= TR_j
         e2 = np.searchsorted(BLd, BR[sel], side="right")    # BL_i <= BR_j
         e = np.minimum(e1, e2).astype(np.int64)
-        a, jj, ii = _staircase_case_max(
-            pram,
-            lambda rr, cc, sel=sel: (xr[sel[rr]] - xld[cc]) * (TR[sel[rr]] - BR[sel[rr]]),
+        cases.append((
+            lambda rr, cc, sel=sel, xld=xld: (xr[sel[rr]] - xld[cc]) * (TR[sel[rr]] - BR[sel[rr]]),
             sel.size,
             nl,
             e,
-        )
-        if jj >= 0:
+            None,
+        ))
+
+        def _post_rr(a, jj, ii, sel=sel, xld=xld):
             gj = sel[jj]
             consider(a, (xld[ii], BR[gj], xr[gj], TR[gj]))
+
+        posts.append(_post_rr)
 
     # ---- mixed case LR: top from left, bottom from right --------------- #
     # valid: TL_i <= TR_j (prefix e) and BR_j >= BL_i (suffix start s)
     e = np.searchsorted(-TR, -TL, side="right").astype(np.int64)
     s = np.searchsorted(BR, BL, side="left").astype(np.int64)
-    a, i, j = _staircase_case_max(
-        pram,
+    cases.append((
         lambda rr, cc: (xr[cc] - xl[rr]) * (TL[rr] - BR[cc]),
         nl,
         nr,
         e,
-        start=s,
-    )
-    if i >= 0 and TL[i] - BR[j] > 0:
-        consider(a, (xl[i], BR[j], xr[j], TL[i]))
+        s,
+    ))
+
+    def _post_lr(a, i, j):
+        if TL[i] - BR[j] > 0:
+            consider(a, (xl[i], BR[j], xr[j], TL[i]))
+
+    posts.append(_post_lr)
 
     # ---- mixed case RL: top from right, bottom from left --------------- #
     # transpose: rows = right supports xr desc, cols = left supports xl desc
@@ -420,17 +489,24 @@ def _center_case(p: np.ndarray, box: Box, X: float, Y: float, pram) -> Tuple[flo
     # valid when TR_j <= TL_i (cols prefix eT, nonincreasing) and
     # BL_i >= BR_j (BLd nondecreasing along cols: suffix start sL)
     sL = np.searchsorted(BLd, BR[rows], side="left").astype(np.int64)
-    a, jj, ii = _staircase_case_max(
-        pram,
+    cases.append((
         lambda rr, cc, rows=rows: (xr[rows[rr]] - xld[cc]) * (TR[rows[rr]] - BLd[cc]),
         rows.size,
         nl,
         eT,
-        start=sL,
-    )
-    if jj >= 0 and TR[rows[jj]] - BLd[ii] > 0:
-        gj = rows[jj]
-        consider(a, (xld[ii], BLd[ii], xr[gj], TR[gj]))
+        sL,
+    ))
+
+    def _post_rl(a, jj, ii, rows=rows, BLd=BLd, xld=xld):
+        if TR[rows[jj]] - BLd[ii] > 0:
+            gj = rows[jj]
+            consider(a, (xld[ii], BLd[ii], xr[gj], TR[gj]))
+
+    posts.append(_post_rl)
+
+    for (a, i, j), post in zip(_staircase_cases_max(pram, cases), posts):
+        if i >= 0:
+            post(a, i, j)
 
     if best[1] is None or best[0] <= 0:
         return (0.0, box)

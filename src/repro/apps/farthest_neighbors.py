@@ -17,7 +17,7 @@ inverse-Monge by the quadrangle inequality, so
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.core.rowmin_pram import inverse_monge_row_maxima_pram
 from repro.monge.generators import chain_distance_array
 from repro.monge.smawk import row_maxima
 from repro.pram.machine import Pram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Session
 
 __all__ = [
     "farthest_between_chains",
@@ -52,11 +55,32 @@ def farthest_between_chains(P, Q) -> Tuple[np.ndarray, np.ndarray]:
     return row_maxima(a)
 
 
-def farthest_between_chains_pram(pram: Pram, P, Q) -> Tuple[np.ndarray, np.ndarray]:
-    """Parallel variant of :func:`farthest_between_chains`."""
+def _machine_from(pram: Optional[Pram], session: Optional["Session"]):
+    """Resolve the machine an application runs on.
+
+    Explicit ``pram`` wins; otherwise the ``session`` (a private
+    throwaway one when neither is given) provides its machine, so the
+    app's rounds accumulate into the session's ledger.
+    """
+    from repro.engine import Session
+
+    if pram is not None:
+        return pram
+    return (session if session is not None else Session("pram-crcw")).machine()
+
+
+def farthest_between_chains_pram(
+    pram: Optional[Pram], P, Q, session: Optional["Session"] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parallel variant of :func:`farthest_between_chains`.
+
+    Pass a machine, or ``session=`` to run on (and charge) an engine
+    :class:`~repro.engine.session.Session`'s machine and shared ledger.
+    """
+    machine = _machine_from(pram, session)
     P, Q = _check_chains(P, Q)
     a = chain_distance_array(P, Q)
-    return inverse_monge_row_maxima_pram(pram, a)
+    return inverse_monge_row_maxima_pram(machine, a)
 
 
 def all_farthest_neighbors_brute(polygon) -> Tuple[np.ndarray, np.ndarray]:
@@ -69,13 +93,22 @@ def all_farthest_neighbors_brute(polygon) -> Tuple[np.ndarray, np.ndarray]:
     return d[np.arange(n), idx], idx.astype(np.int64)
 
 
-def all_farthest_neighbors(polygon) -> Tuple[np.ndarray, np.ndarray]:
+def all_farthest_neighbors(
+    polygon, pram: Optional[Pram] = None, session: Optional["Session"] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Farthest other vertex for every vertex of a convex polygon.
 
     Recursive chain splitting: the cross-chain searches are Monge
     (Fig. 1.1); within-chain pairs are handled by recursing on each
-    half.  ``O(n lg n)`` distance evaluations.
+    half.  ``O(n lg n)`` distance evaluations.  With a ``pram`` or
+    ``session=`` the cross searches run on the machine (charging its
+    ledger — the session's shared one when adopted from ``session=``);
+    sequential SMAWK otherwise.  Leftmost-maxima tie-breaking matches
+    in both modes, so results are identical.
     """
+    machine = None
+    if pram is not None or session is not None:
+        machine = _machine_from(pram, session)
     p = np.asarray(polygon, dtype=np.float64)
     n = p.shape[0]
     if n < 2:
@@ -87,6 +120,11 @@ def all_farthest_neighbors(polygon) -> Tuple[np.ndarray, np.ndarray]:
         better = dists > best_d[rows]
         best_d[rows[better]] = dists[better]
         best_i[rows[better]] = idx[better]
+
+    def cross_maxima(arr):
+        if machine is not None:
+            return inverse_monge_row_maxima_pram(machine, arr)
+        return row_maxima(arr)
 
     def solve(indices: np.ndarray) -> None:
         k = indices.size
@@ -106,9 +144,9 @@ def all_farthest_neighbors(polygon) -> Tuple[np.ndarray, np.ndarray]:
         A, B = indices[:half], indices[half:]
         # cross searches — both chains are contiguous arcs of a convex
         # polygon, so the distance arrays are inverse-Monge
-        dv, dc = row_maxima(chain_distance_array(p[A], p[B]))
+        dv, dc = cross_maxima(chain_distance_array(p[A], p[B]))
         merge(A, dv, B[dc])
-        dv, dc = row_maxima(chain_distance_array(p[B], p[A]))
+        dv, dc = cross_maxima(chain_distance_array(p[B], p[A]))
         merge(B, dv, A[dc])
         solve(A)
         solve(B)

@@ -30,9 +30,12 @@ Correctness is hypothesis-tested against the brute DP.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Session
 
 __all__ = [
     "least_weight_subsequence",
@@ -61,7 +64,7 @@ def least_weight_subsequence_brute(
 
 
 def least_weight_subsequence(
-    n: int, w: Callable[[int, int], float]
+    n: int, w: Callable[[int, int], float], session: Optional["Session"] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """O(n lg n) LWS for Monge weights (leftmost-champion ties).
 
@@ -69,13 +72,29 @@ def least_weight_subsequence(
     meaning "for targets ``j >= from`` (until the next entry), ``i`` is
     the best predecessor found so far".  Monge-ness makes takeover
     points monotone, so each new row binary-searches its insertion.
+
+    Pass ``session=`` to charge the weight evaluations (this solver's
+    unit of sequential time) to the engine session's shared ledger.
     """
     if n < 0:
         raise ValueError("n must be nonnegative")
+    evals = [0]
+    if session is not None:
+        base_w = w
+
+        def w(i: int, j: int) -> float:
+            evals[0] += 1
+            return base_w(i, j)
+
+    def _account() -> None:
+        if session is not None:
+            session.ledger.charge(rounds=max(1, evals[0]), processors=1)
+
     E = np.full(n + 1, np.inf)
     prev = np.full(n + 1, -1, dtype=np.int64)
     E[0] = 0.0
     if n == 0:
+        _account()
         return E, prev
     # stack of (row, from_index); invariant: from strictly increasing
     stack: List[Tuple[int, int]] = [(0, 1)]
@@ -109,6 +128,7 @@ def least_weight_subsequence(
                 lo = mid + 1
         if lo <= n:
             stack.append((j, lo))
+    _account()
     return E, prev
 
 
@@ -148,17 +168,21 @@ def lot_size_weight(
 
 
 def wagner_whitin(
-    demands: Sequence[float], setup_cost: float, holding_cost: float
+    demands: Sequence[float],
+    setup_cost: float,
+    holding_cost: float,
+    session: Optional["Session"] = None,
 ) -> Tuple[float, List[int]]:
     """Optimal lot-sizing: ``(total_cost, production_periods)``.
 
     ``production_periods`` are 0-based periods in which a run starts.
-    Periods with zero demand never force a run.
+    Periods with zero demand never force a run.  ``session=`` forwards
+    to :func:`least_weight_subsequence` for shared-ledger accounting.
     """
     d = list(demands)
     n = len(d)
     if n == 0:
         return 0.0, []
     w = lot_size_weight(d, setup_cost, holding_cost)
-    E, prev = least_weight_subsequence(n, w)
+    E, prev = least_weight_subsequence(n, w, session=session)
     return float(E[n]), _traceback(prev)

@@ -36,8 +36,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.core.tube_pram import tube_minima_pram
-from repro.engine import Session, fresh_clone
+from repro.engine import Session
 from repro.monge.arrays import ExplicitArray
 from repro.pram.machine import Pram
 
@@ -176,12 +175,6 @@ def strip_dist_matrix(row_char: str, y: str, costs: EditCosts, big: float) -> np
     return _snap(out)
 
 
-def _min_plus(pram: Pram, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-    """(min,+) product of two ramped Monge DIST matrices via tube minima."""
-    vals, _ = tube_minima_pram(pram, (ExplicitArray(A), ExplicitArray(B)))
-    return vals
-
-
 def _machine_from(pram: Optional[Pram], session: Optional[Session]) -> Pram:
     """Resolve the machine an application runs on.
 
@@ -226,24 +219,26 @@ def edit_distance_dag_parallel(
         strips = [strip_dist_matrix(ch, y, costs, big) for ch in x]
         # balanced binary combining tree; sibling products at one level
         # run concurrently, so the level's round cost is the MAX over
-        # siblings (work still sums) — realized with per-sibling ledgers
+        # siblings (work still sums) — realized by batching each level's
+        # tube products through ``solve_many`` on a session that adopts
+        # the app's machine, then composing the per-query sub-account
+        # snapshots as one concurrent phase
+        sess = Session(machine=machine)
         while len(strips) > 1:
-            nxt = []
-            level_rounds = 0
-            level_work = 0
-            level_peak = 0
-            for k in range(0, len(strips) - 1, 2):
-                sub = fresh_clone(machine)
-                nxt.append(_min_plus(sub, strips[k], strips[k + 1]))
-                level_rounds = max(level_rounds, sub.ledger.rounds)
-                level_work += sub.ledger.work
-                level_peak += sub.ledger.peak_processors
+            batch = sess.solve_many(
+                [
+                    ("tube_min", (ExplicitArray(strips[k]), ExplicitArray(strips[k + 1])))
+                    for k in range(0, len(strips) - 1, 2)
+                ]
+            )
+            nxt = [res.values for res in batch]
             if len(strips) % 2:
                 nxt.append(strips[-1])
+            snaps = batch.snapshots
             machine.ledger.charge(
-                rounds=max(1, level_rounds),
-                processors=max(1, level_peak),
-                work=level_work,
+                rounds=max(1, max(s["rounds"] for s in snaps)),
+                processors=max(1, sum(s["peak_processors"] for s in snaps)),
+                work=sum(s["work"] for s in snaps),
             )
             strips = nxt
         dist = strips[0]

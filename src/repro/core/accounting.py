@@ -9,12 +9,23 @@ parent as ``rounds = max``, ``work = sum``, ``processors = sum of
 peaks`` (they run concurrently).
 
 The implementations now live in :mod:`repro.engine.machines`, next to
-the engine's machine builders; this module re-exports them so existing
-import sites keep working.
+the engine's machine builders; this module is a deprecated shim that
+re-exports them (with a :class:`DeprecationWarning`) so existing import
+sites keep working for one more release.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.engine.machines import charge_parallel, fresh_clone
+
+warnings.warn(
+    "repro.core.accounting is deprecated: import fresh_clone and "
+    "charge_parallel from repro.engine.machines (or repro.engine), and "
+    "CostLedger from repro.pram.ledger",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["fresh_clone", "charge_parallel"]

@@ -42,13 +42,19 @@ recursive calls per level add depth).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro._util.bits import ceil_sqrt_array
 from repro._util.ragged import ragged as _ragged
-from repro.monge.arrays import CachedArray, SearchArray, as_search_array
+from repro.monge.arrays import (
+    CachedArray,
+    ImplicitArray,
+    SearchArray,
+    as_search_array,
+)
+from repro.pram.fastpath import ChargeFan
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
 from repro.resilience import degrade
@@ -68,7 +74,10 @@ class _Batch:
 
     Subproblem ``i`` covers rows ``rs[i] + t·rstride[i]`` for
     ``t < rcount[i]`` and columns ``[cs[i], cs[i] + ccount[i])`` of the
-    original array.
+    original array.  ``owner`` (optional, nondecreasing) tags each
+    subproblem with the query it belongs to in a fused multi-query
+    sweep; every batch construction preserves relative order, so owners
+    stay contiguous throughout the recursion.
     """
 
     rs: np.ndarray
@@ -76,6 +85,7 @@ class _Batch:
     rcount: np.ndarray
     cs: np.ndarray
     ccount: np.ndarray
+    owner: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return self.rs.size
@@ -91,7 +101,8 @@ class _Batch:
 
     def select(self, mask: np.ndarray) -> "_Batch":
         return _Batch(self.rs[mask], self.rstride[mask], self.rcount[mask],
-                      self.cs[mask], self.ccount[mask])
+                      self.cs[mask], self.ccount[mask],
+                      None if self.owner is None else self.owner[mask])
 
 
 def monge_row_minima_pram(
@@ -229,8 +240,15 @@ def _inverse_row_maxima_impl(
 # --------------------------------------------------------------------- #
 # sqrt strategy
 # --------------------------------------------------------------------- #
-def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
-    """Solve every subproblem in ``batch``; results flat in batch-row order."""
+def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch, fan: Optional[ChargeFan] = None):
+    """Solve every subproblem in ``batch``; results flat in batch-row order.
+
+    When ``fan`` is given the batch is a fused multi-query sweep:
+    alongside every global ``pram.charge`` the same site's per-owner
+    unit counts are charged to each owner's sub-account, reproducing
+    each query's serial charge sequence exactly (see
+    :class:`~repro.pram.fastpath.ChargeFan`).
+    """
     B = len(batch)
     total_rows = batch.total_rows
     vals = np.full(total_rows, np.inf)
@@ -256,15 +274,24 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
         cols_flat = sb.cs[owner_prob][owner_rowgrp] + local_col
         # allocation is uniform-per-subproblem: O(1) rounds
         pram.charge(rounds=1, processors=max(1, widths.size))
+        if fan is not None:
+            group_counts = fan.counts(sb.owner, sb.rcount)
+            fan.charge(group_counts)
         values_flat = arr.eval(rows_flat, cols_flat, checked=False)
         pram.charge_eval(values_flat.size)
+        if fan is not None:
+            fan.charge(fan.counts(sb.owner, sb.rcount * sb.ccount))
         gv, gi = grouped_min(pram, values_flat, offsets)
+        if fan is not None:
+            fan.grouped_min(widths, np.repeat(sb.owner, sb.rcount))
         got_cols = np.where(gi >= 0, cols_flat[np.maximum(gi, 0)], -1)
         # scatter back into the global output layout
         dest = _dest_positions(row_off, small, sb.rcount)
         vals[dest] = gv
         cols[dest] = got_cols
         pram.charge(rounds=1, processors=max(1, gv.size))
+        if fan is not None:
+            fan.charge(group_counts)
 
     if not big.any():
         return vals, cols
@@ -285,9 +312,12 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
         rcount=u[ch_owner],
         cs=bb.cs[ch_owner] + ch_local * v[ch_owner],
         ccount=np.minimum(v[ch_owner], bb.ccount[ch_owner] - ch_local * v[ch_owner]),
+        owner=None if bb.owner is None else bb.owner[ch_owner],
     )
     pram.charge(rounds=2, processors=max(1, len(child_b)))  # O(1) spawn/allocation
-    vb, cb = _solve_batch(pram, arr, child_b)
+    if fan is not None:
+        fan.charge(fan.counts(bb.owner, nchunk), rounds=2)
+    vb, cb = _solve_batch(pram, arr, child_b, fan)
     child_rowoff = child_b.row_offsets()
 
     # combine: per (subproblem, sampled row), min over its chunk winners
@@ -303,7 +333,11 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
     cand_child = child_start[:-1][g_prob[cand_group]] + cand_local_chunk
     cand_flat = child_rowoff[cand_child] + g_localrow[cand_group]
     pram.charge(rounds=2, processors=max(1, cand_flat.size))  # gather winners
+    if fan is not None:
+        fan.charge(fan.counts(bb.owner, u * nchunk), rounds=2)
     sv, si = grouped_min(pram, vb[cand_flat], cand_offsets)
+    if fan is not None:
+        fan.grouped_min(cand_counts, np.repeat(bb.owner, u))
     sampled_cols = np.where(si >= 0, cb[cand_flat[np.maximum(si, 0)]], -1)
     sampled_vals = sv
 
@@ -316,6 +350,8 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
     vals[dest_sampled] = sampled_vals
     cols[dest_sampled] = sampled_cols
     pram.charge(rounds=1, processors=max(1, dest_sampled.size))
+    if fan is not None:
+        fan.charge(fan.counts(bb.owner, u))
 
     # ---- phase (c): interior blocks ----------------------------------- #
     # Block k of a subproblem: local rows (k·s - s + 1 + s-1-boundary)…
@@ -346,15 +382,19 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
         _safe_take(sampled_cols, next_idx),
     )
     keep = rows_in_block > 0
+    kept_qowner = None if bb.owner is None else bb.owner[blk_owner][keep]
     child_c = _Batch(
         rs=(bb.rs[blk_owner] + r0 * bb.rstride[blk_owner])[keep],
         rstride=bb.rstride[blk_owner][keep],
         rcount=rows_in_block[keep],
         cs=c_lo[keep],
         ccount=(c_hi - c_lo + 1)[keep],
+        owner=kept_qowner,
     )
     pram.charge(rounds=2, processors=max(1, len(child_c)))  # telescoped allocation
-    vc, cc = _solve_batch(pram, arr, child_c)
+    if fan is not None:
+        fan.charge(fan.counts(kept_qowner), rounds=2)
+    vc, cc = _solve_batch(pram, arr, child_c, fan)
 
     # scatter interior results back: destination rows are contiguous runs
     kept_owner = blk_owner[keep]
@@ -364,6 +404,8 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch):
     vals[dest_interior] = vc
     cols[dest_interior] = cc
     pram.charge(rounds=1, processors=max(1, dest_interior.size))
+    if fan is not None:
+        fan.charge(fan.counts(kept_qowner, rows_in_block[keep]))
     return vals, cols
 
 
@@ -380,6 +422,117 @@ def _dest_positions(row_off, mask, rcounts) -> np.ndarray:
     starts = row_off[:-1][mask]
     local, owner, _ = _ragged(rcounts)
     return starts[owner] + local
+
+
+# --------------------------------------------------------------------- #
+# fused multi-query sweep (engine solve_many fast path)
+# --------------------------------------------------------------------- #
+class _StackedArray(SearchArray):
+    """``B`` same-shape arrays stacked along rows: global row
+    ``q·m + r`` evaluates part ``q`` at local row ``r``."""
+
+    def __init__(self, parts: List[SearchArray]) -> None:
+        self.parts = list(parts)
+        self.m = parts[0].shape[0]
+        super().__init__((self.m * len(parts), parts[0].shape[1]))
+
+    def _eval(self, rows, cols):
+        owner = rows // self.m
+        out = np.empty(rows.shape, dtype=np.float64)
+        # split into runs of equal owner: evaluation sites visit parts
+        # in batch order, so runs are whole per-part segments and the
+        # slices below cost O(parts) python work, not O(parts)·masks
+        bounds = np.concatenate(
+            [[0], np.nonzero(np.diff(owner))[0] + 1, [rows.size]]
+        )
+        for k in range(bounds.size - 1):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            if lo == hi:
+                continue
+            q = int(owner[lo])
+            out[lo:hi] = self.parts[q].eval(
+                rows[lo:hi] - q * self.m, cols[lo:hi], checked=False
+            )
+        return out
+
+
+def _extremum_view(a: SearchArray, problem: str) -> SearchArray:
+    """The Monge-minima view whose leftmost row minima solve ``problem``.
+
+    Mirrors the per-query transforms of the serial implementations
+    (row-flip negation for ``rowmax``, plain negation for
+    ``rowmax_inverse``), applied lazily — no per-part copies.  Float
+    negation is exact, so values stay bit-identical to the serial views.
+    """
+    if problem == "rowmin":
+        return a
+    m = a.shape[0]
+    if problem == "rowmax":
+        return ImplicitArray(
+            lambda rows, cols, a=a, m=m: -a.eval(m - 1 - rows, cols, checked=False),
+            a.shape,
+        )
+    if problem == "rowmax_inverse":
+        return a.negate()
+    raise ValueError(f"unknown batched problem {problem!r}")
+
+
+def _stack_same_shape(parts: List[SearchArray]) -> SearchArray:
+    # a zero-copy view: materializing B explicit parts into one
+    # contiguous matrix costs a full batch-sized copy + re-validation,
+    # which dominates the fused sweep's wall-clock at large n
+    return _StackedArray(parts)
+
+
+def batched_row_extrema(
+    pram: Pram,
+    arrays,
+    problem: str = "rowmin",
+    cache: bool = False,
+    fan: Optional[ChargeFan] = None,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """One fused ``sqrt``-recursion sweep over ``B`` same-shape queries.
+
+    The queries become the ``B`` top-level subproblems of a single
+    :func:`_solve_batch` call over the row-stacked array, each tagged
+    with its owner index.  Values and witnesses are bit-identical to the
+    ``B`` serial runs (subproblems never interact: grouped minima only
+    combine candidates of one (subproblem, row) group), and the optional
+    ``fan`` reproduces each query's serial ledger charges.  Returns one
+    ``(values, witnesses)`` pair per query, in input order.
+    """
+    views = [_extremum_view(as_search_array(a), problem) for a in arrays]
+    m, n = views[0].shape
+    if any(v.shape != (m, n) for v in views):
+        raise ValueError("batched queries must share one shape")
+    if n == 0:
+        raise ValueError("cannot take row minima of a zero-column array")
+    B = len(views)
+    if m == 0:
+        return [(np.empty(0), np.empty(0, dtype=np.int64)) for _ in range(B)]
+    stacked = _stack_same_shape(views)
+    if cache:
+        stacked = CachedArray(stacked)
+    batch = _Batch(
+        rs=np.arange(B, dtype=np.int64) * m,
+        rstride=np.ones(B, dtype=np.int64),
+        rcount=np.full(B, m, dtype=np.int64),
+        cs=np.zeros(B, dtype=np.int64),
+        ccount=np.full(B, n, dtype=np.int64),
+        owner=np.arange(B, dtype=np.int64),
+    )
+    vals, cols = _solve_batch(pram, stacked, batch, fan=fan)
+    out: List[Tuple[np.ndarray, np.ndarray]] = []
+    for q in range(B):
+        v = vals[q * m:(q + 1) * m]
+        c = cols[q * m:(q + 1) * m]
+        if problem == "rowmax":
+            out.append((-v[::-1], c[::-1].copy()))
+        elif problem == "rowmax_inverse":
+            out.append((-v, c.copy()))
+        else:
+            out.append((v.copy(), c.copy()))
+    return out
 
 
 # --------------------------------------------------------------------- #

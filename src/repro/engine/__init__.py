@@ -5,7 +5,12 @@ Layering: the :mod:`~repro.engine.registry` declares what can run where
 Table-1.x bound predicates); an :class:`ExecutionConfig` says how to run
 it; a :class:`Session` owns machines and per-query ledger sub-accounts;
 every query returns a structured :class:`SearchResult` that still
-unpacks as ``(values, witnesses)``.
+unpacks as ``(values, witnesses)``.  Batches of queries go through
+the plan → group → execute pipeline (DESIGN.md §9):
+:meth:`Session.solve_many` lowers each query to a
+:class:`~repro.engine.planner.QueryPlan`, groups compatible plans,
+and serves fused buckets with one stacked sweep, returning a
+:class:`BatchResult` in input order.
 
 Quick start::
 
@@ -39,13 +44,19 @@ from repro.engine.registry import (
     register,
     registry,
 )
-from repro.engine.result import SearchResult
-from repro.engine.session import QueryRecord, Session, dispatch_on, solve
+from repro.engine.planner import QueryPlan, group_plans, plan_query
+from repro.engine.result import BatchResult, SearchResult
+from repro.engine.session import QueryRecord, Session, dispatch_on, solve, solve_many
 
 __all__ = [
     "solve",
+    "solve_many",
     "Session",
     "QueryRecord",
+    "QueryPlan",
+    "plan_query",
+    "group_plans",
+    "BatchResult",
     "ExecutionConfig",
     "SearchResult",
     "SolverRegistry",

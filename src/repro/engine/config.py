@@ -90,6 +90,16 @@ class ExecutionConfig:
         """A copy with the given fields replaced (and re-validated)."""
         return replace(self, **kw)
 
+    def fingerprint(self) -> tuple:
+        """The batch-compatibility fingerprint (DESIGN.md §9).
+
+        Two queries may share one fused sweep only when these fields
+        agree; strategy and shape are keyed separately by the planner,
+        and ``faults``/``retries`` disqualify fusion outright (so they
+        never appear here).
+        """
+        return (self.cache, self.strict, self.checked, self.certify)
+
     # ------------------------------------------------------------------ #
     def resolve_strategy(self, problem: str, crcw: bool) -> str:
         """The concrete strategy ``"auto"`` stands for.
@@ -103,6 +113,6 @@ class ExecutionConfig:
             return self.strategy
         if problem.startswith("tube"):
             return "crcw" if crcw else "crew"
-        if problem in ("rowmin", "rowmax"):
+        if problem in ("rowmin", "rowmax", "rowmax_inverse"):
             return "sqrt"
         return "auto"  # strategy-free problems (staircase, banded)

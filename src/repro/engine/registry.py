@@ -63,6 +63,19 @@ class CapabilityError(LookupError):
     """The engine has no solver (or no requested capability) for this query."""
 
 
+#: Backend closeness used to suggest the nearest supported alternative in
+#: unregistered-pair errors: same machine family first, then the other
+#: simulated machines, sequential last (and vice versa for sequential).
+_BACKEND_PROXIMITY = {
+    "pram-crcw": ("pram-crew", "hypercube", "ccc", "shuffle-exchange", "sequential"),
+    "pram-crew": ("pram-crcw", "hypercube", "ccc", "shuffle-exchange", "sequential"),
+    "hypercube": ("ccc", "shuffle-exchange", "pram-crew", "pram-crcw", "sequential"),
+    "ccc": ("hypercube", "shuffle-exchange", "pram-crew", "pram-crcw", "sequential"),
+    "shuffle-exchange": ("hypercube", "ccc", "pram-crew", "pram-crcw", "sequential"),
+    "sequential": ("pram-crew", "pram-crcw", "hypercube", "ccc", "shuffle-exchange"),
+}
+
+
 def _lg(x: float) -> float:
     return math.log2(max(2.0, float(x)))
 
@@ -93,6 +106,11 @@ class SolverSpec:
     bound_hint: str = ""
     bound_rounds: Optional[Callable[[Tuple[int, ...]], float]] = None
     nodes_for: Optional[Callable[[Tuple[int, ...]], int]] = None
+    #: May several same-shape queries share one fused stacked sweep?
+    #: Only the row-extremum family on simulated PRAMs qualifies: its
+    #: ``sqrt`` recursion has data-independent row structure, which is
+    #: what makes per-query charge replay exact (planner.py).
+    batchable: bool = False
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -145,8 +163,16 @@ class SolverRegistry:
                 raise CapabilityError(
                     f"unknown backend {backend!r}; known: {known_backends}"
                 )
+            supported = tuple(b for b in BACKENDS if (problem, b) in self._specs)
+            nearest = next(
+                (b for b in _BACKEND_PROXIMITY.get(backend, supported) if b in supported),
+                supported[0] if supported else None,
+            )
             raise CapabilityError(
-                f"no solver registered for problem {problem!r} on backend {backend!r}"
+                f"no solver registered for problem {problem!r} on backend "
+                f"{backend!r}; nearest supported alternative: "
+                f"({problem!r}, {nearest!r}) — {problem!r} is available on "
+                f"backends {list(supported)}"
             )
         return spec
 
@@ -304,6 +330,72 @@ def _seq_tube_max(machine, data, cfg, strategy):
     return tube_maxima_sequential(data)
 
 
+# -- banded / windowed variants (§2 restricted column ranges) ----------- #
+def _window_args(data, problem):
+    """Unpack the ``(array, lo, hi)`` triple the window family takes."""
+    if not isinstance(data, (tuple, list)) or len(data) != 3:
+        raise TypeError(
+            f"{problem!r} data must be an (array, lo, hi) triple: the search "
+            "array plus per-row column windows"
+        )
+    return data[0], data[1], data[2]
+
+
+def _require_window_strict(cfg, problem, backend):
+    if not cfg.strict:
+        raise CapabilityError(
+            f"({problem}, {backend}) declares no degradation path; the "
+            "windows already confine the search — run with strict=True"
+        )
+
+
+def _windowed_array(array, cfg):
+    from repro.monge.arrays import CachedArray, as_search_array
+
+    a = as_search_array(array)
+    return CachedArray(a) if cfg.cache else a
+
+
+def _banded_min(machine, data, cfg, strategy):
+    from repro.core.banded import banded_row_minima_pram
+
+    array, lo, hi = _window_args(data, "banded_min")
+    _require_window_strict(cfg, "banded_min", "pram")
+    return banded_row_minima_pram(machine, _windowed_array(array, cfg), lo, hi)
+
+
+def _banded_max(machine, data, cfg, strategy):
+    from repro.core.banded import banded_row_maxima_pram
+
+    array, lo, hi = _window_args(data, "banded_max")
+    _require_window_strict(cfg, "banded_max", "pram")
+    return banded_row_maxima_pram(machine, _windowed_array(array, cfg), lo, hi)
+
+
+def _windowed_min(machine, data, cfg, strategy):
+    from repro.core.windowed import windowed_monge_row_minima
+
+    array, lo, hi = _window_args(data, "windowed_min")
+    _require_window_strict(cfg, "windowed_min", "pram")
+    return windowed_monge_row_minima(machine, _windowed_array(array, cfg), lo, hi)
+
+
+def _seq_banded_min(machine, data, cfg, strategy):
+    from repro.core.banded import banded_row_minima
+
+    array, lo, hi = _window_args(data, "banded_min")
+    _require_sequential_capable(cfg, "banded_min")
+    return banded_row_minima(_windowed_array(array, cfg), lo, hi)
+
+
+def _seq_banded_max(machine, data, cfg, strategy):
+    from repro.core.banded import banded_row_maxima
+
+    array, lo, hi = _window_args(data, "banded_max")
+    _require_sequential_capable(cfg, "banded_max")
+    return banded_row_maxima(_windowed_array(array, cfg), lo, hi)
+
+
 # -- certifiers (minima problems only; see resilience.certify) ---------- #
 def _certify_rowmin(data, values, witnesses):
     from repro.resilience.certify import certify_row_minima
@@ -359,6 +451,16 @@ def _net_bound(shape):  # measured O(lg² n)-shaped network rounds (§3 note)
     return 512.0 * _lg(nodes) ** 2 + 512.0
 
 
+def _banded_bound_crcw(shape):  # halving levels x doubly-log grouped min
+    m, n = shape
+    return 64.0 * _lg(m) * (_lglg(m * n) + 4.0) + 64.0
+
+
+def _banded_bound_crew(shape):  # halving levels x binary grouped min
+    m, n = shape
+    return 48.0 * _lg(m) * _lg(m * n) + 64.0
+
+
 # --------------------------------------------------------------------- #
 # Populate the registry.
 # --------------------------------------------------------------------- #
@@ -379,14 +481,19 @@ _PRAM_FAMILY = (
      "T1.3: O(lg lg n) CRCW / O(lg n) CREW shaped"),
 )
 
+#: The problems whose pram solvers may fuse same-shape queries into one
+#: stacked sweep (see the ``batchable`` field and planner.py).
+_BATCHABLE_PROBLEMS = ("rowmin", "rowmax", "rowmax_inverse")
+
 for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
     _tube = _problem.startswith("tube")
     _nodes = _tube_shape_nodes if _tube else _row_shape_nodes
+    _batch = _problem in _BATCHABLE_PROBLEMS
     register(SolverSpec(
         problem=_problem, backend="pram-crcw", fn=_fn, strategies=_strats,
         machine="pram", certifier=_cert, bound_hint=_hint,
         bound_rounds=_tube_bound_crcw if _tube else _row_bound_crcw,
-        nodes_for=_nodes,
+        nodes_for=_nodes, batchable=_batch,
     ))
     register(SolverSpec(
         problem=_problem, backend="pram-crew", fn=_fn,
@@ -395,7 +502,7 @@ for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
         strategies=_strats,
         machine="pram", certifier=_cert, bound_hint=_hint,
         bound_rounds=_tube_bound_crew if _tube else _row_bound_crew,
-        nodes_for=_nodes,
+        nodes_for=_nodes, batchable=_batch,
     ))
     for _net in NETWORK_BACKENDS:
         register(SolverSpec(
@@ -428,4 +535,44 @@ for _problem, _fn, _cert, _hint in _SEQUENTIAL:
         bound_rounds=None, nodes_for=None,
     ))
 
-del _PRAM_FAMILY, _SEQUENTIAL, _problem, _fn, _strats, _cert, _hint, _net, _tube, _nodes
+# Banded / windowed variants: the §2 restricted-column-range searches.
+# The banded search runs on every simulated machine (its grouped-minimum
+# core dispatches to the network primitive on NetworkMachines) plus the
+# sequential D&C; the windowed composite decomposes into staircase
+# machinery that only the PRAMs carry, so network/sequential lookups
+# raise CapabilityError naming the nearest supported pair.
+_WINDOW_FAMILY = (
+    ("banded_min", _banded_min, _seq_banded_min,
+     "banded halving: O(lg m) grouped-minimum levels"),
+    ("banded_max", _banded_max, _seq_banded_max,
+     "banded halving on the negated band"),
+    ("windowed_min", _windowed_min, None,
+     "window runs split into banded / staircase / direct cases"),
+)
+
+for _problem, _fn, _seqfn, _hint in _WINDOW_FAMILY:
+    register(SolverSpec(
+        problem=_problem, backend="pram-crcw", fn=_fn, strategies=(),
+        machine="pram", bound_hint=_hint,
+        bound_rounds=_banded_bound_crcw, nodes_for=_row_shape_nodes,
+    ))
+    register(SolverSpec(
+        problem=_problem, backend="pram-crew", fn=_fn, strategies=(),
+        machine="pram", bound_hint=_hint,
+        bound_rounds=_banded_bound_crew, nodes_for=_row_shape_nodes,
+    ))
+    if _seqfn is not None:
+        for _net in NETWORK_BACKENDS:
+            register(SolverSpec(
+                problem=_problem, backend=_net, fn=_fn, strategies=(),
+                machine="network", bound_hint=_hint,
+                bound_rounds=_net_bound, nodes_for=_row_shape_nodes,
+            ))
+        register(SolverSpec(
+            problem=_problem, backend="sequential", fn=_seqfn, strategies=(),
+            machine="none", bound_hint=_hint,
+            bound_rounds=None, nodes_for=None,
+        ))
+
+del (_PRAM_FAMILY, _SEQUENTIAL, _WINDOW_FAMILY, _problem, _fn, _seqfn,
+     _strats, _cert, _hint, _net, _tube, _nodes, _batch)

@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.certify import Certificate
     from repro.resilience.degrade import DegradedResultWarning
 
-__all__ = ["SearchResult"]
+__all__ = ["SearchResult", "BatchResult"]
 
 
 @dataclass
@@ -102,4 +102,60 @@ class SearchResult:
             f"strategy={self.strategy!r}, shape={shape}, rounds={self.rounds}, "
             f"certified={self.certified}, degraded={self.degraded}, "
             f"retries={self.retries})"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Results of one ``solve_many`` call, **always in input order**.
+
+    ``results[i]`` answers query ``i`` exactly as a serial
+    :meth:`~repro.engine.session.Session.solve` call would — values and
+    witnesses bit-identical, and each result still carries its *own*
+    ledger sub-account snapshot, certificate, and degradation events,
+    whether the query ran inside a fused bucket or serially.
+
+    ``groups`` records the execution buckets the planner formed: one
+    ``dict`` per bucket with ``problem``, ``backend``, ``strategy``,
+    ``shape``, ``count`` (queries in the bucket), and ``fused`` (did it
+    run as one stacked sweep).
+    """
+
+    results: List[SearchResult]
+    groups: List[dict] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index) -> SearchResult:
+        return self.results[index]
+
+    # -- conveniences ----------------------------------------------------#
+    @property
+    def values(self) -> List[np.ndarray]:
+        """Per-query value arrays, in input order."""
+        return [r.values for r in self.results]
+
+    @property
+    def witnesses(self) -> List[np.ndarray]:
+        """Per-query witness arrays, in input order."""
+        return [r.witnesses for r in self.results]
+
+    @property
+    def snapshots(self) -> List[Optional[dict]]:
+        """Per-query ledger snapshots, in input order."""
+        return [r.snapshot for r in self.results]
+
+    @property
+    def fused_queries(self) -> int:
+        """How many of the queries executed inside fused buckets."""
+        return sum(g["count"] for g in self.groups if g.get("fused"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BatchResult(n={len(self.results)}, buckets={len(self.groups)}, "
+            f"fused_queries={self.fused_queries})"
         )

@@ -1,4 +1,4 @@
-"""Sessions and the ``solve`` front door.
+"""Sessions and the ``solve`` / ``solve_many`` front doors.
 
 A :class:`Session` owns machine construction and reuse for one backend
 and answers repeated :meth:`~Session.solve` calls.  Each query runs on a
@@ -8,9 +8,20 @@ the sub-account back afterwards), so callers get both the per-query
 snapshot on the :class:`~repro.engine.result.SearchResult` and a running
 session total on :attr:`Session.ledger`.
 
-:func:`solve` is the one-shot module-level entry: it resolves a backend
-(``"auto"`` picks the CRCW PRAM, the Tables' best bounds), spins up a
-throwaway session, and returns the single result.
+Queries execute through a three-stage pipeline (DESIGN.md §9):
+:func:`~repro.engine.planner.plan_query` lowers each request to a
+declarative :class:`~repro.engine.planner.QueryPlan`,
+:func:`~repro.engine.planner.group_plans` buckets compatible plans, and
+the session executes each bucket — fused buckets as one stacked
+multi-query sweep (:func:`repro.core.rowmin_pram.batched_row_extrema`
+with a :class:`~repro.pram.fastpath.ChargeFan` replaying each query's
+serial charges), everything else through the unchanged serial path.
+:meth:`Session.solve` is simply a one-plan pipeline.
+
+:func:`solve` / :func:`solve_many` are the one-shot module-level
+entries: they resolve a backend (``"auto"`` picks the CRCW PRAM, the
+Tables' best bounds), spin up a throwaway session, and return the
+result(s).
 
 :func:`dispatch_on` is the zero-overhead path the legacy
 :mod:`repro.core` wrappers use: it resolves the registry solver for an
@@ -23,31 +34,24 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.engine.config import ExecutionConfig
 from repro.engine.machines import backend_of, build_machine
+from repro.engine.planner import QueryPlan, group_plans, plan_query, shape_of
 from repro.engine.registry import (
     BACKENDS,
     CapabilityError,
     SolverSpec,
     registry,
 )
-from repro.engine.result import SearchResult
+from repro.engine.result import BatchResult, SearchResult
 from repro.pram.ledger import CostLedger
 
-__all__ = ["Session", "QueryRecord", "solve", "dispatch_on"]
+__all__ = ["Session", "QueryRecord", "solve", "solve_many", "dispatch_on"]
 
-
-def _shape_of(problem: str, data) -> Tuple[int, ...]:
-    """The problem-family shape key used for machine sizing and bounds."""
-    if problem.startswith("tube"):
-        from repro.core.tube_pram import _as_composite
-
-        return tuple(_as_composite(data).shape)
-    from repro.monge.arrays import as_search_array
-
-    return tuple(as_search_array(data).shape)
+# Back-compat alias: the shape key now lives in the planner.
+_shape_of = shape_of
 
 
 def dispatch_on(machine, problem: str, data, config: ExecutionConfig):
@@ -180,32 +184,27 @@ class Session:
                 f"({spec.problem}, sequential) has no fault surface to retry over"
             )
 
-    def solve(
-        self,
-        problem: str,
-        data,
-        config: Optional[ExecutionConfig] = None,
-        **overrides,
-    ) -> SearchResult:
-        """Solve one query and return a :class:`SearchResult`.
-
-        ``config`` (default: the session config) may be refined with
-        keyword overrides, e.g. ``session.solve("rowmin", a,
-        strategy="halving", certify=True)``.
-        """
+    def _derive_config(self, config, overrides) -> ExecutionConfig:
         cfg = config if config is not None else self.config
         if overrides:
             cfg = cfg.with_overrides(**overrides)
-        spec = registry.lookup(problem, self.backend)
-        self._capability_check(spec, cfg)
-        shape = _shape_of(problem, data)
-        nodes = spec.nodes_for(shape) if spec.nodes_for is not None else 2
-        machine = self.machine(nodes)
-        crcw = machine is not None and machine.model.is_crcw
-        strategy = cfg.resolve_strategy(problem, crcw)
-        spec.check_strategy(strategy)
+        return cfg
 
-        plan = cfg.faults if cfg.faults is not None else self.faults
+    # -- stage 1: plan -------------------------------------------------- #
+    def _plan(self, problem: str, data, cfg: ExecutionConfig, index: int = 0) -> QueryPlan:
+        plan = plan_query(
+            problem, data, cfg, self.backend, index=index, session_faults=self.faults
+        )
+        self._capability_check(plan.spec, cfg)
+        return plan
+
+    # -- stage 3a: serial execution (the unchanged per-query path) ------ #
+    def _execute_serial(self, plan: QueryPlan) -> SearchResult:
+        spec, cfg, data = plan.spec, plan.config, plan.data
+        nodes = spec.nodes_for(plan.shape) if spec.nodes_for is not None else 2
+        machine = self.machine(nodes)
+
+        fault_plan = cfg.faults if cfg.faults is not None else self.faults
         limit = machine.ledger.processor_limit if machine is not None else None
         qledger = CostLedger(processor_limit=limit) if machine is not None else None
         caught: List[warnings.WarningMessage] = []
@@ -217,7 +216,7 @@ class Session:
                 qledger.__init__(processor_limit=limit)
             with warnings.catch_warnings(record=True) as rec:
                 warnings.simplefilter("always")
-                out = spec.fn(machine, data, cfg, strategy)
+                out = spec.fn(machine, data, cfg, plan.strategy)
             caught.extend(rec)
             return out
 
@@ -225,11 +224,11 @@ class Session:
         if swapped:
             saved = (machine.ledger, machine.faults)
             machine.ledger = qledger
-            machine.faults = plan
+            machine.faults = fault_plan
             if hasattr(machine, "network"):
                 saved_net = (machine.network.ledger, machine.network.faults)
                 machine.network.ledger = qledger
-                machine.network.faults = plan
+                machine.network.faults = fault_plan
         try:
             certificate = None
             retries = 0
@@ -244,7 +243,7 @@ class Session:
                 report = run_resilient(
                     attempt,
                     certify=certifier,
-                    plan=plan,
+                    plan=fault_plan,
                     max_attempts=cfg.retries + 1,
                 )
                 values, witnesses = report.result
@@ -274,31 +273,222 @@ class Session:
         for w in caught:
             warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
 
-        result = SearchResult(
+        return SearchResult(
             values=values,
             witnesses=witnesses,
-            problem=problem,
+            problem=plan.problem,
             backend=self.backend,
-            strategy=strategy,
+            strategy=plan.strategy,
             snapshot=snapshot,
             ledger=qledger,
             certificate=certificate,
             degradation=degradation,
             retries=retries,
         )
+
+    # -- stage 3b: fused execution (one stacked sweep per bucket) ------- #
+    def _fused_ready(self, plan: QueryPlan) -> bool:
+        """Machine-level fusion conditions (plan-level ones live in the
+        planner).  A bucket that fails these runs serially — same
+        results, same per-query snapshots, just no shared sweep."""
+        from repro.pram.fastpath import fast_path_enabled
+        from repro.pram.machine import Pram
+
+        if plan.fused_key is None or not fast_path_enabled():
+            return False
+        nodes = plan.spec.nodes_for(plan.shape) if plan.spec.nodes_for is not None else 2
+        machine = self.machine(nodes)
+        if machine is None or type(machine) is not Pram:
+            # Brent machines time-slice charges and NetworkMachines
+            # execute genuinely on the network — both stay per-query.
+            return False
+        if machine.faults is not None:
+            return False
+        if machine.ledger.processor_limit is not None or machine.processors < (1 << 40):
+            # fused sweeps charge global (summed) sizes against the
+            # throwaway ledger; a bounded budget could reject a batch
+            # whose individual queries all fit.
+            return False
+        return True
+
+    def _execute_fused(self, bucket: List[QueryPlan]) -> List[SearchResult]:
+        """Execute one bucket of fused-compatible plans as a single
+        stacked sweep.  Per-query ledgers are populated by a
+        :class:`~repro.pram.fastpath.ChargeFan` replaying each owner's
+        serial charge sequence — snapshots come out bit-identical to
+        the serial path's (tests/test_engine_batch.py pins this)."""
+        from repro.core.rowmin_pram import batched_row_extrema
+        from repro.pram.fastpath import ChargeFan
+
+        spec = bucket[0].spec
+        cfg = bucket[0].config
+        nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
+        machine = self.machine(nodes)
+        limit = machine.ledger.processor_limit
+        qledgers = [CostLedger(processor_limit=limit) for _ in bucket]
+        fan = ChargeFan(
+            qledgers, crcw=machine.model.is_crcw, budget=machine.processors
+        )
+        scratch = CostLedger(processor_limit=limit)
+        saved = (machine.ledger, machine.faults)
+        machine.ledger = scratch
+        machine.faults = None
+        try:
+            outs = batched_row_extrema(
+                machine,
+                [p.data for p in bucket],
+                problem=spec.problem,
+                cache=cfg.cache,
+                fan=fan,
+            )
+        finally:
+            machine.ledger, machine.faults = saved
+
+        certificates: List = []
+        for plan, (values, witnesses) in zip(bucket, outs):
+            if plan.config.certify:
+                certificates.append(spec.certifier(plan.data, values, witnesses))
+            else:
+                certificates.append(None)
+        for certificate in certificates:
+            if certificate is not None:
+                certificate.require()
+
+        results: List[SearchResult] = []
+        for plan, (values, witnesses), qledger, certificate in zip(
+            bucket, outs, qledgers, certificates
+        ):
+            self.ledger.merge(qledger)
+            results.append(SearchResult(
+                values=values,
+                witnesses=witnesses,
+                problem=plan.problem,
+                backend=self.backend,
+                strategy=plan.strategy,
+                snapshot=qledger.snapshot(),
+                ledger=qledger,
+                certificate=certificate,
+                degradation=[],
+                retries=0,
+            ))
+        return results
+
+    # -- bookkeeping ----------------------------------------------------- #
+    def _record(self, plan: QueryPlan, result: SearchResult) -> None:
         self.queries.append(QueryRecord(
             index=len(self.queries),
-            problem=problem,
+            problem=plan.problem,
             backend=self.backend,
-            strategy=strategy,
-            shape=shape,
-            snapshot=snapshot,
-            certified=None if certificate is None else bool(certificate.ok),
+            strategy=plan.strategy,
+            shape=plan.shape,
+            snapshot=result.snapshot,
+            certified=None if result.certificate is None else bool(result.certificate.ok),
             degraded=result.degraded,
-            retries=retries,
-            within_bound=spec.within_bound(snapshot, shape),
+            retries=result.retries,
+            within_bound=plan.spec.within_bound(result.snapshot, plan.shape),
         ))
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        problem: str,
+        data,
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> SearchResult:
+        """Solve one query and return a :class:`SearchResult`.
+
+        ``config`` (default: the session config) may be refined with
+        keyword overrides, e.g. ``session.solve("rowmin", a,
+        strategy="halving", certify=True)``.
+        """
+        cfg = self._derive_config(config, overrides)
+        plan = self._plan(problem, data, cfg)
+        result = self._execute_serial(plan)
+        self._record(plan, result)
         return result
+
+    def solve_many(
+        self,
+        problem: Union[str, Sequence],
+        datas: Optional[Sequence] = None,
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> BatchResult:
+        """Solve many queries through the plan → group → execute pipeline.
+
+        Two calling forms::
+
+            session.solve_many("rowmin", [a1, a2, ...])
+            session.solve_many([("rowmin", a1), ("tube_min", comp), ...])
+
+        Results come back in **input order** regardless of how the
+        planner grouped the queries.  Same-shape row-extremum queries
+        (no faults, no retries, strict, ``sqrt`` strategy) share one
+        machine allocation and one fused stacked sweep; each result
+        still carries its own ledger sub-account snapshot, bit-identical
+        to what a serial :meth:`solve` would have charged.  Everything
+        else — mixed shapes, staircase/tube problems, fault plans,
+        retries — runs through the serial path unchanged.
+        """
+        cfg = self._derive_config(config, overrides)
+        if isinstance(problem, str):
+            if datas is None:
+                raise TypeError(
+                    "solve_many(problem, datas) requires a sequence of data "
+                    "arrays when the first argument is a problem key"
+                )
+            queries = [(problem, data, cfg) for data in datas]
+        else:
+            if datas is not None:
+                raise TypeError(
+                    "solve_many([...]) takes no separate datas argument: pass "
+                    "(problem, data) pairs in the first argument"
+                )
+            queries = []
+            for item in problem:
+                if len(item) == 2:
+                    qproblem, qdata = item
+                    qcfg = cfg
+                elif len(item) == 3:
+                    qproblem, qdata, qcfg = item
+                    if qcfg is None:
+                        qcfg = cfg
+                else:
+                    raise TypeError(
+                        "solve_many query items must be (problem, data) or "
+                        "(problem, data, config) tuples"
+                    )
+                queries.append((qproblem, qdata, qcfg))
+
+        plans = [
+            self._plan(qproblem, qdata, qcfg, index=i)
+            for i, (qproblem, qdata, qcfg) in enumerate(queries)
+        ]
+        buckets = group_plans(plans)
+
+        results: List[Optional[SearchResult]] = [None] * len(plans)
+        groups: List[dict] = []
+        for bucket in buckets:
+            fused = len(bucket) >= 2 and self._fused_ready(bucket[0])
+            if fused:
+                outs = self._execute_fused(bucket)
+            else:
+                outs = [self._execute_serial(plan) for plan in bucket]
+            for plan, result in zip(bucket, outs):
+                results[plan.index] = result
+            groups.append({
+                "problem": bucket[0].problem,
+                "backend": self.backend,
+                "strategy": bucket[0].strategy,
+                "shape": bucket[0].shape,
+                "count": len(bucket),
+                "fused": fused,
+            })
+        # the query log mirrors input order, not bucket order
+        for plan in sorted(plans, key=lambda p: p.index):
+            self._record(plan, results[plan.index])
+        return BatchResult(results=list(results), groups=groups)
 
 
 def solve(
@@ -318,3 +508,22 @@ def solve(
     """
     session = Session(backend, machine=machine)
     return session.solve(problem, data, config, **overrides)
+
+
+def solve_many(
+    problem: Union[str, Sequence],
+    datas: Optional[Sequence] = None,
+    backend: str = "auto",
+    config: Optional[ExecutionConfig] = None,
+    *,
+    machine=None,
+    **overrides,
+) -> BatchResult:
+    """One-shot batched front door (see :meth:`Session.solve_many`).
+
+    ``repro.solve_many("rowmin", [a1, a2, ...])`` plans, groups, and
+    executes the whole batch on a throwaway session and returns a
+    :class:`~repro.engine.result.BatchResult` in input order.
+    """
+    session = Session(backend, machine=machine)
+    return session.solve_many(problem, datas, config, **overrides)

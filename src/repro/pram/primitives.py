@@ -592,6 +592,65 @@ def _replay_allpairs_rows_charge(pram: Pram, B: int, w: int) -> None:
         pram.charge(rounds=3, processors=B * w * w, work=3 * B * w * w)
 
 
+def resolve_grouped_strategy(crcw: bool, budget: int, widths: np.ndarray) -> str:
+    """The concrete strategy ``grouped_min(strategy="auto")`` resolves to
+    for groups of the given ``widths`` on a machine with ``budget``
+    processors (the *physical* budget on Brent machines)."""
+    if not crcw:
+        return "binary"
+    pair_budget = int((np.asarray(widths, dtype=np.int64) ** 2).sum())
+    return "allpairs" if pair_budget <= budget else "doubly_log"
+
+
+def replay_grouped_min_charges(
+    target, widths: np.ndarray, *, crcw: bool, budget: int, strategy: str = "auto"
+) -> None:
+    """Replay the ledger charges one :func:`grouped_min` call over groups
+    of the given ``widths`` would issue, without computing anything.
+
+    ``target`` is any object with a ``charge(rounds=, processors=,
+    work=)`` method — a machine, or a bare per-query
+    :class:`~repro.pram.ledger.CostLedger` during a fused batched sweep.
+    This is the fused-kernel invariant extended to multi-query batches:
+    the batched kernels compute every owner's results in one global
+    pass, then replay each owner's serial charge sequence into its own
+    sub-account.  Strategy resolution happens *per owner* (a global
+    ``auto`` could cross the all-pairs budget differently than each
+    query alone would).
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    if widths.size == 0:
+        return
+    max_w = int(widths.max(initial=0))
+    if max_w == 0:
+        return
+    if strategy == "auto":
+        strategy = resolve_grouped_strategy(crcw, budget, widths)
+    if strategy == "binary":
+        n = int(widths.sum())
+        if max_w > 1:
+            d = 1
+            while d < max_w:
+                target.charge(rounds=1, processors=n)
+                d <<= 1
+        else:
+            target.charge(rounds=1, processors=max(1, n))
+        target.charge(rounds=1, processors=max(1, int((widths > 0).sum())))
+        return
+    if strategy == "allpairs":
+        # charge per padded width class — exactly what the serial
+        # all-pairs kernel bills, not the tighter Σw² bound
+        total_pairs = sum(cnt * w * w for w, cnt in _width_class_counts(widths))
+        if total_pairs:
+            target.charge(rounds=3, processors=total_pairs, work=3 * total_pairs)
+        return
+    if strategy == "doubly_log":
+        for w, cnt in _width_class_counts(widths):
+            _replay_doubly_log_charges(target, cnt, w)
+        return
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
 def _doubly_log_rowmin(pram: Pram, mat: np.ndarray, idx: np.ndarray):
     """Row minima of a padded (B, w) matrix by recursive sqrt splitting.
 
