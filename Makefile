@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench-smoke bench bench-batch-smoke
+.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-obs bench-obs-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -17,6 +17,12 @@ test-fast:
 ## lint: mirrors the CI ruff step (requires ruff on PATH)
 lint:
 	ruff check src tests benchmarks
+
+## cov: coverage-gated suite (requires pytest-cov: pip install ".[cov]").
+## The floor ratchets up as the suite grows; CI enforces it.
+cov:
+	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q -m "not slow" \
+		--cov=repro --cov-report=term-missing --cov-report=xml --cov-fail-under=80
 
 ## bench-smoke: perf-regression smoke (small sizes, verifies the
 ## fused-kernel invariant; does not overwrite BENCH_hotpath.json)
@@ -31,3 +37,13 @@ bench:
 ## pass if solve_many diverges from the serial path bit-for-bit
 bench-batch-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_batch.py --smoke --out /tmp/BENCH_batch_smoke.json
+
+## bench-obs: observability overhead budget -> BENCH_obs.json
+## (fails if disabled-tracer overhead >= 5%)
+bench-obs:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_obs_overhead.py
+
+## bench-obs-smoke: fast overhead check + a smoke Chrome trace artifact
+bench-obs-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_obs_overhead.py --smoke \
+		--out /tmp/BENCH_obs_smoke.json --trace-out /tmp/trace_smoke.json

@@ -43,6 +43,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro.engine import Session
 from repro.monge.generators import random_monge
+from repro.obs import reset_metrics
+from repro.obs import snapshot as obs_snapshot
 from repro.perf import Timer, emit_json, environment_fingerprint, throughput
 
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -117,6 +119,7 @@ def matrix(smoke: bool) -> List[Tuple[int, int]]:
 
 
 def run_matrix(smoke: bool, repeats: int) -> Dict:
+    reset_metrics()
     workloads = {}
     for B, n in matrix(smoke):
         workloads[f"rowmin_B{B}_n{n}"] = run_workload(B, n, repeats)
@@ -129,6 +132,8 @@ def run_matrix(smoke: bool, repeats: int) -> Dict:
     return {
         "meta": {**environment_fingerprint(), "smoke": smoke, "repeats": repeats},
         "workloads": workloads,
+        # process-wide engine counters — batch fusion rate lives here
+        "metrics": obs_snapshot(),
     }
 
 

@@ -46,6 +46,8 @@ from _common import crcw_session, crew_session
 
 from repro.apps.string_edit import edit_distance_dag_parallel
 from repro.engine import Session
+from repro.obs import reset_metrics
+from repro.obs import snapshot as obs_snapshot
 from repro.monge.generators import (
     random_composite,
     random_monge,
@@ -183,6 +185,7 @@ def run_workload(name: str, run: Callable, params: Dict, repeats: int) -> Worklo
 
 
 def run_matrix(smoke: bool, repeats: int) -> Dict:
+    reset_metrics()
     records = [run_workload(name, run, params, repeats)
                for name, run, params in workload_matrix(smoke)]
     violations = [r.name for r in records if not (r.ledger_identical and r.results_identical)]
@@ -195,6 +198,9 @@ def run_matrix(smoke: bool, repeats: int) -> Dict:
         "meta": {**environment_fingerprint(), "smoke": smoke, "repeats": repeats,
                  "configs": [c for c, _, _ in CONFIGS]},
         "workloads": {r.name: r.as_json() for r in records},
+        # process-wide engine/cache counters for the whole matrix
+        # (DESIGN.md §10.2): cache hit-rate, rounds/query, retry counts
+        "metrics": obs_snapshot(),
     }
 
 

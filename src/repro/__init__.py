@@ -38,7 +38,7 @@ Quickstart::
     assert r.certified
 """
 
-from repro import analysis, apps, core, engine, monge, networks, pram
+from repro import analysis, apps, core, engine, monge, networks, obs, pram
 from repro.engine import (
     BatchResult,
     CapabilityError,
@@ -58,6 +58,7 @@ __all__ = [
     "apps",
     "analysis",
     "engine",
+    "obs",
     "generators",
     "solve",
     "solve_many",
@@ -68,4 +69,4 @@ __all__ = [
     "CapabilityError",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

@@ -18,14 +18,20 @@ from __future__ import annotations
 
 import warnings
 
+from repro.engine import machines as _machines
 from repro.engine.machines import charge_parallel, fresh_clone
 
-warnings.warn(
-    "repro.core.accounting is deprecated: import fresh_clone and "
-    "charge_parallel from repro.engine.machines (or repro.engine), and "
-    "CostLedger from repro.pram.ledger",
-    DeprecationWarning,
-    stacklevel=2,
-)
+# Warn once per process, not once per import: the flag lives on the
+# (stable) target module, so a reload of this shim — e.g. a test popping
+# it from sys.modules — does not re-fire the warning.
+if not getattr(_machines, "_accounting_shim_warned", False):
+    _machines._accounting_shim_warned = True
+    warnings.warn(
+        "repro.core.accounting is deprecated: import fresh_clone and "
+        "charge_parallel from repro.engine.machines (or repro.engine), and "
+        "CostLedger from repro.pram.ledger",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
 __all__ = ["fresh_clone", "charge_parallel"]

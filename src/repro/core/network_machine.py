@@ -41,6 +41,7 @@ from repro.networks.primitives import (
     net_segmented_scan,
 )
 from repro.networks.topology import CubeLike
+from repro.pram.ledger import notify_kernel
 from repro.pram.machine import Pram
 from repro.pram.models import CREW
 
@@ -70,6 +71,7 @@ class NetworkMachine(Pram):
     def charge_eval(self, size: int) -> None:
         """Charge the Lemma 3.1 candidate-distribution schedule."""
         net = self.network
+        notify_kernel(net.ledger, "net-eval", size)
         slices = max(1, -(-size // max(1, net.size)))
         net.charge(rounds=slices * (3 * max(1, net.dim) + 2))
 
@@ -111,6 +113,7 @@ class NetworkMachine(Pram):
         n = values.size
         if n == 0 or n_groups == 0:
             return out_v, out_i
+        notify_kernel(net.ledger, "net-grouped-min", n)
         heads = np.zeros(n, dtype=bool)
         nonempty = widths > 0
         heads[offsets[:-1][nonempty]] = True

@@ -317,7 +317,8 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch, fan: Optional[Char
     pram.charge(rounds=2, processors=max(1, len(child_b)))  # O(1) spawn/allocation
     if fan is not None:
         fan.charge(fan.counts(bb.owner, nchunk), rounds=2)
-    vb, cb = _solve_batch(pram, arr, child_b, fan)
+    with pram.obs_phase("sampled-rows"):
+        vb, cb = _solve_batch(pram, arr, child_b, fan)
     child_rowoff = child_b.row_offsets()
 
     # combine: per (subproblem, sampled row), min over its chunk winners
@@ -394,7 +395,8 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch, fan: Optional[Char
     pram.charge(rounds=2, processors=max(1, len(child_c)))  # telescoped allocation
     if fan is not None:
         fan.charge(fan.counts(kept_qowner), rounds=2)
-    vc, cc = _solve_batch(pram, arr, child_c, fan)
+    with pram.obs_phase("interior-blocks"):
+        vc, cc = _solve_batch(pram, arr, child_c, fan)
 
     # scatter interior results back: destination rows are contiguous runs
     kept_owner = blk_owner[keep]

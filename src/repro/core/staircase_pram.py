@@ -300,7 +300,8 @@ def _stair_solve(pram: Pram, arr: SearchArray, f: np.ndarray, batch: _StairBatch
         ccount=blk_width[blk_keep],
     )
     pram.charge(rounds=2, processors=max(1, len(mb)))
-    bvals, bcols = _solve_batch(pram, arr, mb)
+    with pram.obs_phase("sampled-blocks"):
+        bvals, bcols = _solve_batch(pram, arr, mb)
     mb_rowoff = mb.row_offsets()
 
     # combine: sampled row k gathers winners of its blocks j >= k,
@@ -365,7 +366,8 @@ def _stair_solve(pram: Pram, arr: SearchArray, f: np.ndarray, batch: _StairBatch
         ccount=(c_pos - L + 1)[has_monge],
     )
     pram.charge(rounds=2, processors=max(1, len(mgb)))
-    mg_vals, mg_cols = _solve_batch(pram, arr, mgb)
+    with pram.obs_phase("interior-monge"):
+        mg_vals, mg_cols = _solve_batch(pram, arr, mgb)
     mg_rowoff = mgb.row_offsets()
 
     # ---- phase 4: overhang + tail staircase recursions ----------------- #
@@ -401,7 +403,8 @@ def _stair_solve(pram: Pram, arr: SearchArray, f: np.ndarray, batch: _StairBatch
     ])
     stb = _StairBatch(st_rs, st_rcount, st_cs, st_ccount)
     pram.charge(rounds=2, processors=max(1, len(stb)))
-    st_vals, st_cols = _stair_solve(pram, arr, f, stb)
+    with pram.obs_phase("stair-recursion"):
+        st_vals, st_cols = _stair_solve(pram, arr, f, stb)
     st_rowoff = stb.row_offsets()
 
     # ---- phase 5: combine interior rows -------------------------------- #

@@ -267,7 +267,8 @@ def _sampling_solve(pram, c, rows, ks, J, V):
         samp_rows = rows[-1:]
     if samp_ks.size == 0:
         samp_ks = ks[-1:]
-    _sampling_solve(pram, c, samp_rows, samp_ks, J, V)
+    with pram.obs_phase("sampled-grid"):
+        _sampling_solve(pram, c, samp_rows, samp_ks, J, V)
 
     # ---- pass A: every row at the sampled columns (monotone in i) ----- #
     interp_rows = rows[~np.isin(rows, samp_rows)]
@@ -281,7 +282,8 @@ def _sampling_solve(pram, c, rows, ks, J, V):
         b = np.repeat(below, samp_ks.size)
         lo = np.where(a >= 0, J[np.maximum(a, 0), cell_k], 0)
         hi = np.where(b >= 0, J[np.maximum(b, 0), cell_k], q - 1)
-        _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)
+        with pram.obs_phase("interp-rows"):
+            _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)
 
     # ---- pass B: every row, remaining columns (monotone in k) --------- #
     interp_ks = ks[~np.isin(ks, samp_ks)]
@@ -295,4 +297,5 @@ def _sampling_solve(pram, c, rows, ks, J, V):
         rt = np.tile(right, rows.size)
         lo = np.where(lf >= 0, J[cell_i, np.maximum(lf, 0)], 0)
         hi = np.where(rt >= 0, J[cell_i, np.maximum(rt, 0)], q - 1)
-        _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)
+        with pram.obs_phase("interp-cols"):
+            _fill_rows(pram, c, (cell_i, cell_k), lo, hi, J, V)

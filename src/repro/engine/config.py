@@ -35,6 +35,11 @@ consolidates all of it:
     :mod:`repro.resilience.certify` certificate.  Only the minima
     problems carry certifiers; requesting certification elsewhere is a
     declared-capability error.
+``trace``
+    Attach the session's :class:`repro.obs.Tracer` to the query's
+    machines and return the structured span tree as ``result.trace``
+    (DESIGN.md §10).  Off by default; the disabled path costs one
+    attribute test per charge.
 """
 
 from __future__ import annotations
@@ -70,6 +75,7 @@ class ExecutionConfig:
     faults: Optional["FaultPlan"] = None
     retries: int = 0
     certify: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         self.validate()
@@ -96,9 +102,11 @@ class ExecutionConfig:
         Two queries may share one fused sweep only when these fields
         agree; strategy and shape are keyed separately by the planner,
         and ``faults``/``retries`` disqualify fusion outright (so they
-        never appear here).
+        never appear here).  ``trace`` is included so traced and
+        untraced queries never share a bucket — a traced bucket pays
+        the per-owner span bookkeeping for all its members.
         """
-        return (self.cache, self.strict, self.checked, self.certify)
+        return (self.cache, self.strict, self.checked, self.certify, self.trace)
 
     # ------------------------------------------------------------------ #
     def resolve_strategy(self, problem: str, crcw: bool) -> str:

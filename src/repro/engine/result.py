@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Trace
     from repro.pram.ledger import CostLedger
     from repro.resilience.certify import Certificate
     from repro.resilience.degrade import DegradedResultWarning
@@ -54,6 +55,10 @@ class SearchResult:
     retries:
         Failed attempts that preceded the returned answer (0 when the
         first attempt succeeded).
+    trace:
+        The structured span tree of this query when ``trace=True`` was
+        requested (a :class:`repro.obs.Trace`), else ``None``.  Its
+        summed charge deltas are bit-identical to ``snapshot``.
     """
 
     values: np.ndarray
@@ -66,6 +71,7 @@ class SearchResult:
     certificate: Optional["Certificate"] = None
     degradation: List["DegradedResultWarning"] = field(default_factory=list)
     retries: int = 0
+    trace: Optional["Trace"] = None
 
     # -- tuple back-compat ---------------------------------------------- #
     def __iter__(self) -> Iterator[np.ndarray]:

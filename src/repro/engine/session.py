@@ -46,6 +46,8 @@ from repro.engine.registry import (
     registry,
 )
 from repro.engine.result import BatchResult, SearchResult
+from repro.obs.metrics import metrics
+from repro.obs.tracer import Tracer
 from repro.pram.ledger import CostLedger
 
 __all__ = ["Session", "QueryRecord", "solve", "solve_many", "dispatch_on"]
@@ -209,11 +211,50 @@ class Session:
         qledger = CostLedger(processor_limit=limit) if machine is not None else None
         caught: List[warnings.WarningMessage] = []
 
+        tracer = Tracer() if cfg.trace else None
+        solve_span = None
+        if tracer is not None:
+            solve_span = tracer.begin(
+                "solve",
+                "solve",
+                problem=plan.problem,
+                backend=self.backend,
+                strategy=plan.strategy,
+                shape=plan.shape,
+            )
+            if qledger is not None:
+                tracer.bind(qledger, solve_span)
+        # attempt spans only exist on the resilient path; the plain path
+        # records charges straight onto the solve span
+        track_attempts = cfg.retries > 0 and spec.machine != "none"
+        attempt_state: dict = {"span": None, "n": 0, "fired0": 0}
+
+        def _fired() -> int:
+            return fault_plan.total_fired if fault_plan is not None else 0
+
         def attempt():
             caught.clear()
             if qledger is not None:
+                if tracer is not None:
+                    prev = attempt_state["span"]
+                    if prev is not None:
+                        # the reset below wipes its charges — mirror that
+                        prev.discarded = True
+                        prev.attrs["faults_fired"] = _fired() - attempt_state["fired0"]
+                        tracer.end(prev)
                 # reset the sub-account so a replayed attempt starts clean
                 qledger.__init__(processor_limit=limit)
+                if tracer is not None:
+                    tracer.rebind(qledger)
+                    if track_attempts:
+                        attempt_state["n"] += 1
+                        attempt_state["fired0"] = _fired()
+                        attempt_state["span"] = tracer.push(
+                            qledger,
+                            f"attempt-{attempt_state['n']}",
+                            "attempt",
+                            index=attempt_state["n"],
+                        )
             with warnings.catch_warnings(record=True) as rec:
                 warnings.simplefilter("always")
                 out = spec.fn(machine, data, cfg, plan.strategy)
@@ -255,6 +296,12 @@ class Session:
                     certificate = spec.certifier(data, values, witnesses)
                     certificate.require()
         finally:
+            if tracer is not None and qledger is not None:
+                span = attempt_state["span"]
+                if span is not None:
+                    span.attrs["faults_fired"] = _fired() - attempt_state["fired0"]
+                    tracer.pop(qledger, span)
+                tracer.unbind(qledger)
             if swapped:
                 machine.ledger, machine.faults = saved
                 if hasattr(machine, "network"):
@@ -273,6 +320,16 @@ class Session:
         for w in caught:
             warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
 
+        trace = None
+        if tracer is not None:
+            solve_span.attrs["retries"] = retries
+            solve_span.attrs["degraded"] = bool(degradation)
+            if certificate is not None:
+                solve_span.attrs["certified"] = bool(certificate.ok)
+                solve_span.attrs["certify_evals"] = int(certificate.evals)
+            tracer.end(solve_span)
+            trace = tracer.trace(solve_span)
+
         return SearchResult(
             values=values,
             witnesses=witnesses,
@@ -284,6 +341,7 @@ class Session:
             certificate=certificate,
             degradation=degradation,
             retries=retries,
+            trace=trace,
         )
 
     # -- stage 3b: fused execution (one stacked sweep per bucket) ------- #
@@ -330,6 +388,40 @@ class Session:
             qledgers, crcw=machine.model.is_crcw, budget=machine.processors
         )
         scratch = CostLedger(processor_limit=limit)
+
+        # trace is part of the fusion fingerprint, so the whole bucket
+        # agrees; the sweep's global charges land on a "stacked-sweep"
+        # span while each owner's replayed charges land on its own solve
+        # span — per-query totals stay bit-identical to the serial path.
+        tracer = Tracer() if cfg.trace else None
+        qspans: List = []
+        if tracer is not None:
+            bucket_span = tracer.begin(
+                "bucket",
+                "bucket",
+                problem=spec.problem,
+                backend=self.backend,
+                strategy=bucket[0].strategy,
+                shape=bucket[0].shape,
+                count=len(bucket),
+                fused=True,
+            )
+            sweep_span = tracer.begin("stacked-sweep", "sweep", parent=bucket_span)
+            tracer.bind(scratch, sweep_span)
+            for plan, qledger in zip(bucket, qledgers):
+                qspan = tracer.begin(
+                    "solve",
+                    "solve",
+                    parent=bucket_span,
+                    problem=plan.problem,
+                    backend=self.backend,
+                    strategy=plan.strategy,
+                    shape=plan.shape,
+                    fused=True,
+                )
+                tracer.bind(qledger, qspan)
+                qspans.append(qspan)
+
         saved = (machine.ledger, machine.faults)
         machine.ledger = scratch
         machine.faults = None
@@ -343,6 +435,13 @@ class Session:
             )
         finally:
             machine.ledger, machine.faults = saved
+            if tracer is not None:
+                tracer.unbind(scratch)
+                tracer.end(sweep_span)
+                for qledger, qspan in zip(qledgers, qspans):
+                    tracer.unbind(qledger)
+                    tracer.end(qspan)
+                tracer.end(bucket_span)
 
         certificates: List = []
         for plan, (values, witnesses) in zip(bucket, outs):
@@ -355,10 +454,16 @@ class Session:
                 certificate.require()
 
         results: List[SearchResult] = []
-        for plan, (values, witnesses), qledger, certificate in zip(
+        for i, (plan, (values, witnesses), qledger, certificate) in enumerate(zip(
             bucket, outs, qledgers, certificates
-        ):
+        )):
             self.ledger.merge(qledger)
+            trace = None
+            if tracer is not None:
+                if certificate is not None:
+                    qspans[i].attrs["certified"] = bool(certificate.ok)
+                    qspans[i].attrs["certify_evals"] = int(certificate.evals)
+                trace = tracer.trace(qspans[i])
             results.append(SearchResult(
                 values=values,
                 witnesses=witnesses,
@@ -370,11 +475,13 @@ class Session:
                 certificate=certificate,
                 degradation=[],
                 retries=0,
+                trace=trace,
             ))
         return results
 
     # -- bookkeeping ----------------------------------------------------- #
     def _record(self, plan: QueryPlan, result: SearchResult) -> None:
+        within_bound = plan.spec.within_bound(result.snapshot, plan.shape)
         self.queries.append(QueryRecord(
             index=len(self.queries),
             problem=plan.problem,
@@ -385,8 +492,24 @@ class Session:
             certified=None if result.certificate is None else bool(result.certificate.ok),
             degraded=result.degraded,
             retries=result.retries,
-            within_bound=plan.spec.within_bound(result.snapshot, plan.shape),
+            within_bound=within_bound,
         ))
+        m = metrics()
+        m.counter("engine.queries").inc()
+        snap = result.snapshot
+        if snap is not None:
+            m.counter("engine.rounds").inc(snap["rounds"])
+            m.counter("engine.work").inc(snap["work"])
+            m.histogram("engine.rounds_per_query").observe(snap["rounds"])
+        if result.retries:
+            m.counter("engine.retries").inc(result.retries)
+        if result.degraded:
+            m.counter("engine.degraded").inc()
+        if result.certificate is not None:
+            m.counter("engine.certified").inc(int(bool(result.certificate.ok)))
+            m.counter("engine.certify_evals").inc(int(result.certificate.evals))
+        if not within_bound:
+            m.counter("engine.bound_violations").inc()
 
     # ------------------------------------------------------------------ #
     def solve(
@@ -467,12 +590,16 @@ class Session:
         ]
         buckets = group_plans(plans)
 
+        m = metrics()
+        m.counter("engine.batch.calls").inc()
+        m.counter("engine.batch.queries").inc(len(plans))
         results: List[Optional[SearchResult]] = [None] * len(plans)
         groups: List[dict] = []
         for bucket in buckets:
             fused = len(bucket) >= 2 and self._fused_ready(bucket[0])
             if fused:
                 outs = self._execute_fused(bucket)
+                m.counter("engine.batch.fused_queries").inc(len(bucket))
             else:
                 outs = [self._execute_serial(plan) for plan in bucket]
             for plan, result in zip(bucket, outs):

@@ -31,6 +31,7 @@ from typing import Callable, Tuple
 import numpy as np
 
 from repro._util.validation import as_float_matrix
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = [
     "SearchArray",
@@ -197,6 +198,9 @@ class CachedArray(SearchArray):
         n_miss_entries = int(miss.sum())
         self.hits += flat.size - n_miss_entries
         self.misses += n_miss_entries
+        m = _metrics()
+        m.counter("cache.hits").inc(flat.size - n_miss_entries)
+        m.counter("cache.misses").inc(n_miss_entries)
         if n_miss_entries:
             # dedup within the batch too: each new entry is computed once
             new_keys, inv = np.unique(flat[miss], return_inverse=True)

@@ -42,6 +42,7 @@ __all__ = [
     "tube_minima_sequential",
     "tube_maxima_sequential",
     "product_argmin_brute",
+    "product_argmax_brute",
 ]
 
 
@@ -128,5 +129,16 @@ def product_argmin_brute(composite) -> Tuple[np.ndarray, np.ndarray]:
     e = c.E.materialize()
     cube = as_float_tensor(d[:, :, None] + e[None, :, :], "composite cube")  # (p, q, r)
     args = cube.argmin(axis=1).astype(np.int64)
+    values = np.take_along_axis(cube, args[:, None, :], axis=1)[:, 0, :]
+    return values, args
+
+
+def product_argmax_brute(composite) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense ``O(pqr)`` (max,+) reference, smallest-``j`` ties (tests only)."""
+    c = _as_composite(composite)
+    d = c.D.materialize()
+    e = c.E.materialize()
+    cube = as_float_tensor(d[:, :, None] + e[None, :, :], "composite cube")  # (p, q, r)
+    args = cube.argmax(axis=1).astype(np.int64)
     values = np.take_along_axis(cube, args[:, None, :], axis=1)[:, 0, :]
     return values, args

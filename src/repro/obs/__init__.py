@@ -1,0 +1,65 @@
+"""Round-level observability: tracing, metrics, and profiling hooks.
+
+Three independent instruments over the same charge stream (DESIGN.md
+§10):
+
+- :class:`Tracer` / :class:`Trace` — opt-in structured span trees
+  (``repro.solve(..., trace=True)`` → ``result.trace``), exportable as
+  JSONL or Chrome ``trace_event`` JSON;
+- :func:`metrics` / :func:`snapshot` — an always-on process-local
+  :class:`MetricsRegistry` of engine counters, gauges, and histograms;
+- :mod:`~repro.obs.hooks` — opt-in ``on_round`` / ``on_kernel``
+  callbacks, fired from the ledger chokepoint for every machine in the
+  process.
+
+Quickstart::
+
+    import repro
+
+    r = repro.solve("rowmin", a, trace=True)
+    r.trace.totals()["rounds"] == r.snapshot["rounds"]   # bit-identical
+    r.trace.to_chrome("trace.json")                      # chrome://tracing
+
+    repro.obs.snapshot()["counters"]["engine.rounds"]
+"""
+
+from repro.obs.hooks import (
+    add_kernel_hook,
+    add_round_hook,
+    clear_hooks,
+    kernel_hook,
+    remove_kernel_hook,
+    remove_round_hook,
+    round_hook,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.tracer import Span, SpanEvent, Trace, Tracer
+
+__all__ = [
+    "Tracer",
+    "Trace",
+    "Span",
+    "SpanEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "metrics",
+    "snapshot",
+    "reset_metrics",
+    "add_round_hook",
+    "remove_round_hook",
+    "add_kernel_hook",
+    "remove_kernel_hook",
+    "round_hook",
+    "kernel_hook",
+    "clear_hooks",
+]

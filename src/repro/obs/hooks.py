@@ -1,0 +1,91 @@
+"""Opt-in round / kernel profiling hooks (DESIGN.md §10).
+
+The hook lists physically live in :mod:`repro.pram.ledger` — the one
+module every charge already flows through — so the disabled-path cost
+is a single empty-list truth test per charge.  This module is the
+public management API: register callbacks, remove them by handle, or
+scope them with a context manager.
+
+``round`` hooks fire on every committed :meth:`CostLedger.charge` with
+``(ledger, rounds, processors, work)``; ``kernel`` hooks fire on every
+kernel chokepoint (entry-evaluation rounds, grouped extrema, network
+collectives, fused-sweep charge replay) with ``(ledger, name, size)``.
+Hooks observe *every* ledger in the process, traced or not — the
+differential test suite uses them as an execution oracle, and
+``benchmarks/bench_obs_overhead.py`` pins the disabled-path cost.
+
+Hooks must not charge ledgers or mutate machine state; they are
+observers of the simulation, not participants in it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.pram import ledger as _ledger
+
+__all__ = [
+    "add_round_hook",
+    "remove_round_hook",
+    "add_kernel_hook",
+    "remove_kernel_hook",
+    "round_hook",
+    "kernel_hook",
+    "clear_hooks",
+]
+
+
+def add_round_hook(fn: Callable) -> Callable:
+    """Register ``fn(ledger, rounds, processors, work)``; returns ``fn``
+    (the removal handle)."""
+    _ledger._ROUND_HOOKS.append(fn)
+    return fn
+
+
+def remove_round_hook(fn: Callable) -> None:
+    """Remove a previously registered round hook (no-op if absent)."""
+    try:
+        _ledger._ROUND_HOOKS.remove(fn)
+    except ValueError:
+        pass
+
+
+def add_kernel_hook(fn: Callable) -> Callable:
+    """Register ``fn(ledger, name, size)``; returns ``fn``."""
+    _ledger._KERNEL_HOOKS.append(fn)
+    return fn
+
+
+def remove_kernel_hook(fn: Callable) -> None:
+    """Remove a previously registered kernel hook (no-op if absent)."""
+    try:
+        _ledger._KERNEL_HOOKS.remove(fn)
+    except ValueError:
+        pass
+
+
+@contextmanager
+def round_hook(fn: Callable) -> Iterator[Callable]:
+    """Scope a round hook to a ``with`` block."""
+    add_round_hook(fn)
+    try:
+        yield fn
+    finally:
+        remove_round_hook(fn)
+
+
+@contextmanager
+def kernel_hook(fn: Callable) -> Iterator[Callable]:
+    """Scope a kernel hook to a ``with`` block."""
+    add_kernel_hook(fn)
+    try:
+        yield fn
+    finally:
+        remove_kernel_hook(fn)
+
+
+def clear_hooks() -> None:
+    """Drop every registered hook (test teardown use)."""
+    del _ledger._ROUND_HOOKS[:]
+    del _ledger._KERNEL_HOOKS[:]

@@ -30,7 +30,70 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
-__all__ = ["CostLedger", "PhaseStats"]
+__all__ = ["CostLedger", "PhaseStats", "notify_kernel", "observed_phase"]
+
+#: Process-global profiling hooks (managed by :mod:`repro.obs.hooks`).
+#: They live here — not in ``repro.obs`` — so the one chokepoint every
+#: charge flows through pays a single empty-list test when disabled.
+_ROUND_HOOKS: List = []
+_KERNEL_HOOKS: List = []
+
+
+def notify_kernel(ledger: "CostLedger | None", name: str, size: int) -> None:
+    """Report one kernel invocation (entry evaluation, grouped extremum,
+    network collective) to the ledger's observer and any global kernel
+    hooks.  Purely observational: no charges, no machine state."""
+    if ledger is None:
+        return
+    obs = ledger.observer
+    if obs is not None:
+        obs.on_kernel(ledger, name, int(size))
+    if _KERNEL_HOOKS:
+        for hook in tuple(_KERNEL_HOOKS):
+            hook(ledger, name, int(size))
+
+
+class _ObservedPhase:
+    """Observer-only phase span: marks algorithm stages for the tracer
+    without touching the ledger's charged ``phases`` accounting (so
+    pinned snapshots stay byte-identical)."""
+
+    __slots__ = ("ledger", "name")
+
+    def __init__(self, ledger: "CostLedger", name: str) -> None:
+        self.ledger = ledger
+        self.name = name
+
+    def __enter__(self) -> None:
+        obs = self.ledger.observer
+        if obs is not None:
+            obs.on_phase(self.ledger, self.name, True)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        obs = self.ledger.observer
+        if obs is not None:
+            obs.on_phase(self.ledger, self.name, False)
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+def observed_phase(ledger: "CostLedger | None", name: str):
+    """A context manager marking an observer-only span (see
+    :class:`_ObservedPhase`); a shared no-op when nothing is attached."""
+    if ledger is None or ledger.observer is None:
+        return _NULL_PHASE
+    return _ObservedPhase(ledger, name)
 
 
 @dataclass
@@ -74,6 +137,10 @@ class CostLedger:
         self.retry_peak_processors = 0
         self.retry_charges = 0
         self.retry_by_kind: Dict[str, PhaseStats] = {}
+        #: Optional per-ledger observer (a bound :class:`repro.obs.Tracer`).
+        #: Deliberately reset by ``__init__`` — a retried query wipes its
+        #: sub-account and the engine rebinds the tracer with it.
+        self.observer = None
 
     # ------------------------------------------------------------------ #
     def charge(self, rounds: int = 1, processors: int = 1, work: int | None = None) -> None:
@@ -100,6 +167,12 @@ class CostLedger:
         self.peak_processors = max(self.peak_processors, processors)
         for name in self._open_phases:
             self.phases[name].add(rounds, processors, work)
+        obs = self.observer
+        if obs is not None:
+            obs.on_charge(self, rounds, processors, work)
+        if _ROUND_HOOKS:
+            for hook in tuple(_ROUND_HOOKS):
+                hook(self, rounds, processors, work)
 
     def charge_retry(
         self, rounds: int = 1, processors: int = 1, work: int | None = None, kind: str = "fault"
@@ -124,17 +197,26 @@ class CostLedger:
         self.retry_peak_processors = max(self.retry_peak_processors, processors)
         self.retry_charges += 1
         self.retry_by_kind.setdefault(kind, PhaseStats()).add(rounds, processors, work)
+        obs = self.observer
+        if obs is not None:
+            obs.on_retry_charge(self, rounds, processors, work, kind)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
         """Attribute charges inside the ``with`` block to ``name``."""
         stats = self.phases.setdefault(name, PhaseStats())
         self._open_phases.append(name)
+        obs = self.observer
+        if obs is not None:
+            obs.on_phase(self, name, True)
         try:
             yield stats
         finally:
             popped = self._open_phases.pop()
             assert popped == name, "phase stack corrupted"
+            obs = self.observer
+            if obs is not None:
+                obs.on_phase(self, name, False)
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict:

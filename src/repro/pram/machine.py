@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.pram.ledger import CostLedger
+from repro.pram.ledger import CostLedger, notify_kernel, observed_phase
 from repro.pram.models import CREW, ConcurrencyViolation, PramModel, resolve_concurrent_writes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -127,6 +127,7 @@ class Pram:
         O(1)-computable model).  Network machines override this with the
         Lemma 3.1 candidate-distribution schedule.
         """
+        notify_kernel(self.ledger, "eval", size)
         self.charge(rounds=1, processors=max(1, size))
 
     def sub(self, processors: int) -> "Pram":
@@ -156,6 +157,16 @@ class Pram:
     def phase(self, name: str):
         """Shorthand for ``self.ledger.phase(name)``."""
         return self.ledger.phase(name)
+
+    def obs_phase(self, name: str):
+        """Observer-only stage marker (tracer span, *no* ledger phase).
+
+        Algorithms use this to expose their strategy phases to an
+        attached tracer without perturbing the charged ``phases``
+        accounting that pinned snapshots depend on.  A shared no-op when
+        nothing observes the ledger.
+        """
+        return observed_phase(self.ledger, name)
 
     # ------------------------------------------------------------------ #
     # Checked shared-memory access (one synchronous round each).

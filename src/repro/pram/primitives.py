@@ -35,6 +35,7 @@ import numpy as np
 
 from repro._util.bits import ceil_div, ceil_log2, ceil_sqrt
 from repro.pram.fastpath import fast_path_enabled
+from repro.pram.ledger import notify_kernel
 from repro.pram.machine import Pram
 
 __all__ = [
@@ -379,6 +380,7 @@ def _grouped_extremum(
     if strategy in ("allpairs", "doubly_log"):
         pram.require_crcw(f"grouped_min(strategy={strategy!r})")
 
+    notify_kernel(pram.ledger, f"grouped-min:{strategy}", values.size)
     if strategy == "binary":
         return _grouped_min_binary(pram, values, offsets, widths, max_w)
     if strategy == "allpairs":
@@ -626,6 +628,8 @@ def replay_grouped_min_charges(
         return
     if strategy == "auto":
         strategy = resolve_grouped_strategy(crcw, budget, widths)
+    # mirror the serial kernel event so fused per-query traces line up
+    notify_kernel(getattr(target, "ledger", target), f"grouped-min:{strategy}", int(widths.sum()))
     if strategy == "binary":
         n = int(widths.sum())
         if max_w > 1:

@@ -1,0 +1,34 @@
+"""The deprecated ``repro.core.accounting`` shim: warn once, re-export all."""
+
+import sys
+import warnings
+
+import repro.engine.machines as machines
+
+
+def _fresh_import():
+    sys.modules.pop("repro.core.accounting", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.core.accounting as shim  # noqa: F401
+    return shim, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_warns_exactly_once_per_process():
+    machines._accounting_shim_warned = False
+    shim, first = _fresh_import()
+    assert len(first) == 1
+    assert "repro.engine.machines" in str(first[0].message)
+
+    # Re-importing (even after a sys.modules pop) must stay silent.
+    shim, second = _fresh_import()
+    assert second == []
+    assert machines._accounting_shim_warned is True
+
+
+def test_reexports_are_the_engine_objects():
+    machines._accounting_shim_warned = True  # silence, order-independent
+    shim, _ = _fresh_import()
+    assert shim.fresh_clone is machines.fresh_clone
+    assert shim.charge_parallel is machines.charge_parallel
+    assert set(shim.__all__) == {"fresh_clone", "charge_parallel"}

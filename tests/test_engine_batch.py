@@ -255,6 +255,11 @@ def test_farthest_neighbors_session_matches_sequential():
 
 
 def test_accounting_shim_warns_and_still_reexports():
+    # the shim warns once per process (see test_accounting_shim.py):
+    # reset the once-flag so this import genuinely re-fires it
+    import repro.engine.machines as _machines
+
+    _machines._accounting_shim_warned = False
     sys.modules.pop("repro.core.accounting", None)
     with pytest.warns(DeprecationWarning, match="repro.engine.machines"):
         mod = importlib.import_module("repro.core.accounting")

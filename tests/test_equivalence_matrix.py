@@ -1,0 +1,108 @@
+"""Cross-backend equivalence: one instance, every backend, one answer.
+
+For each problem class, the same input is solved on every backend the
+registry supports, and all backends must report identical values and
+identical leftmost-tie witnesses — the simulated machine must never
+change the answer.  With ``trace=True`` the span-tree round totals must
+equal the ledger snapshot, and the snapshot must respect the spec's
+declared Table-1.x round bound (``SolverSpec.within_bound``).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import BACKENDS, registry
+from repro.monge.generators import (
+    random_composite,
+    random_inverse_monge,
+    random_monge,
+    random_staircase_monge,
+)
+
+_RNG = np.random.default_rng(42)
+
+#: problem -> (data, shape) — integer-valued so ties genuinely exercise
+#: the leftmost-witness convention across machines.
+INSTANCES = {
+    "rowmin": random_monge(17, 13, _RNG, integer=True),
+    "rowmax": random_monge(13, 17, _RNG, integer=True),
+    "rowmax_inverse": random_inverse_monge(14, 14, _RNG, integer=True),
+    "staircase_min": random_staircase_monge(15, 15, _RNG, integer=True),
+    "staircase_max": random_staircase_monge(16, 12, _RNG, integer=True),
+    "tube_min": random_composite(5, 6, 4, _RNG, integer=True),
+    "tube_max": random_composite(4, 5, 6, _RNG, integer=True),
+}
+
+_BANDED_ARR = random_monge(12, 14, _RNG, integer=True)
+_BANDED_LO = np.sort(_RNG.integers(0, 15, size=12)).astype(np.int64)
+_BANDED_HI = np.maximum(np.sort(_RNG.integers(0, 15, size=12)), _BANDED_LO).astype(np.int64)
+INSTANCES["banded_min"] = (_BANDED_ARR, _BANDED_LO, _BANDED_HI)
+INSTANCES["banded_max"] = (_BANDED_ARR.negate(), _BANDED_LO, _BANDED_HI)
+
+
+def _backends_for(problem):
+    return [b for b in BACKENDS if registry.supports(problem, b)]
+
+
+def _shape_of(problem, data):
+    return data[0].shape if isinstance(data, tuple) else data.shape
+
+
+@pytest.mark.parametrize("problem", sorted(INSTANCES))
+def test_all_backends_agree(problem):
+    data = INSTANCES[problem]
+    backends = _backends_for(problem)
+    assert len(backends) >= 2
+    results = {b: repro.solve(problem, data, backend=b) for b in backends}
+    ref = results[backends[0]]
+    for backend, r in results.items():
+        np.testing.assert_array_equal(
+            np.asarray(r.values), np.asarray(ref.values),
+            err_msg=f"{problem}: {backend} values diverge from {backends[0]}",
+        )
+        np.testing.assert_array_equal(
+            np.asarray(r.witnesses), np.asarray(ref.witnesses),
+            err_msg=f"{problem}: {backend} witnesses diverge from {backends[0]}",
+        )
+
+
+@pytest.mark.parametrize("problem", sorted(INSTANCES))
+def test_traced_rounds_satisfy_declared_bounds(problem):
+    data = INSTANCES[problem]
+    shape = _shape_of(problem, data)
+    for backend in _backends_for(problem):
+        r = repro.solve(problem, data, backend=backend, trace=True)
+        spec = registry.lookup(problem, backend)
+        # the trace is an audit of the snapshot, not a second opinion
+        if r.snapshot is None:  # sequential: no simulated machine
+            assert r.trace.totals()["rounds"] == 0
+        else:
+            assert r.trace.totals()["rounds"] == r.snapshot["rounds"]
+        assert spec.within_bound(r.snapshot, shape), (
+            f"{problem}/{backend}: {r.snapshot['rounds']} rounds exceeds "
+            f"the declared bound for shape {shape} ({spec.bound_hint})"
+        )
+
+
+def test_pram_strategies_agree_with_each_other():
+    a = INSTANCES["rowmin"]
+    spec = registry.lookup("rowmin", "pram-crcw")
+    outs = {
+        s: repro.solve("rowmin", a, backend="pram-crcw", strategy=s)
+        for s in spec.strategies
+    }
+    vals = [np.asarray(o.values) for o in outs.values()]
+    wits = [np.asarray(o.witnesses) for o in outs.values()]
+    for v, w in zip(vals[1:], wits[1:]):
+        np.testing.assert_array_equal(v, vals[0])
+        np.testing.assert_array_equal(w, wits[0])
+
+
+def test_crcw_beats_crew_on_rounds():
+    """Table 1.1: the CRCW algorithms may not be slower than CREW on the
+    same instance (the doubly-log vs log recursion depth)."""
+    a = random_monge(64, 64, np.random.default_rng(7))
+    crcw = repro.solve("rowmin", a, backend="pram-crcw")
+    crew = repro.solve("rowmin", a, backend="pram-crew")
+    assert crcw.snapshot["rounds"] <= crew.snapshot["rounds"]
