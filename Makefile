@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-obs bench-obs-smoke
+.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -37,6 +37,11 @@ bench:
 ## pass if solve_many diverges from the serial path bit-for-bit
 bench-batch-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_batch.py --smoke --out /tmp/BENCH_batch_smoke.json
+
+## bench-shard-smoke: sharded-vs-fused equivalence smoke (2 workers);
+## refuses to pass unless values/witnesses/ledgers are bit-identical
+bench-shard-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_shard.py --smoke --out /tmp/BENCH_shard_smoke.json
 
 ## bench-obs: observability overhead budget -> BENCH_obs.json
 ## (fails if disabled-tracer overhead >= 5%)

@@ -161,7 +161,9 @@ def _results_equal(a, b) -> bool:
 
 
 def run_workload(name: str, run: Callable, params: Dict, repeats: int) -> WorkloadRecord:
-    rec = WorkloadRecord(name=name, params=params)
+    # shards=1: these are single-query hot-path workloads, which the
+    # engine never shards; the column aligns rows with BENCH_shard.json.
+    rec = WorkloadRecord(name=name, params=params, shards=1)
     outputs = {}
     # Interleave configurations within each repeat (rather than best-of
     # per config sequentially) so all configs sample the same host-load

@@ -19,7 +19,10 @@ A production-grade reproduction of Aggarwal, Kravets, Park, and Sen
 - :mod:`repro.apps` — the four §1.3 applications and the Figure 1.1
   example, each with a brute-force reference;
 - :mod:`repro.analysis` — growth-law fitting and live regeneration of
-  the paper's tables.
+  the paper's tables;
+- :mod:`repro.shard` — sharded multi-process execution of fused
+  ``solve_many`` buckets over shared memory (``shards=k`` /
+  ``REPRO_SHARDS``), bit-identical to serial (DESIGN.md §11).
 
 Quickstart::
 
@@ -38,7 +41,7 @@ Quickstart::
     assert r.certified
 """
 
-from repro import analysis, apps, core, engine, monge, networks, obs, pram
+from repro import analysis, apps, core, engine, monge, networks, obs, pram, shard
 from repro.engine import (
     BatchResult,
     CapabilityError,
@@ -59,6 +62,7 @@ __all__ = [
     "analysis",
     "engine",
     "obs",
+    "shard",
     "generators",
     "solve",
     "solve_many",
@@ -69,4 +73,4 @@ __all__ = [
     "CapabilityError",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"

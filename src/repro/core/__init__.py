@@ -23,6 +23,7 @@ from repro.core.rowmin_pram import (
     monge_row_maxima_pram,
     monge_row_minima_pram,
     inverse_monge_row_maxima_pram,
+    stack_arrays,
 )
 from repro.core.staircase_pram import (
     staircase_row_maxima_pram,
@@ -49,6 +50,7 @@ __all__ = [
     "monge_row_minima_pram",
     "monge_row_maxima_pram",
     "inverse_monge_row_maxima_pram",
+    "stack_arrays",
     "staircase_row_minima_pram",
     "staircase_row_maxima_pram",
     "tube_minima_pram",

@@ -63,6 +63,7 @@ __all__ = [
     "monge_row_minima_pram",
     "monge_row_maxima_pram",
     "inverse_monge_row_maxima_pram",
+    "stack_arrays",
 ]
 
 _SMALL_ROWS = 4  # direct-solve threshold on the row dimension
@@ -431,12 +432,30 @@ def _dest_positions(row_off, mask, rcounts) -> np.ndarray:
 # --------------------------------------------------------------------- #
 class _StackedArray(SearchArray):
     """``B`` same-shape arrays stacked along rows: global row
-    ``q·m + r`` evaluates part ``q`` at local row ``r``."""
+    ``q·m + r`` evaluates part ``q`` at local row ``r``.
+
+    ``B = 1`` is legal (the stacked view degenerates to a pass-through
+    over the single part — every owner run covers the whole batch), but
+    callers that can detect it should prefer :func:`stack_arrays`,
+    which skips the wrapper entirely.  Ragged widths are rejected here
+    with the shapes spelled out, not discovered later as an
+    out-of-bounds column evaluation inside the sweep.
+    """
 
     def __init__(self, parts: List[SearchArray]) -> None:
+        if not parts:
+            raise ValueError("cannot stack zero arrays")
+        shape = parts[0].shape
+        ragged = [p.shape for p in parts if p.shape != shape]
+        if ragged:
+            raise ValueError(
+                "stacked queries must share one shape; got "
+                f"{shape} and {ragged[0]} (ragged widths cannot share a "
+                "fused sweep — group same-shape queries instead)"
+            )
         self.parts = list(parts)
-        self.m = parts[0].shape[0]
-        super().__init__((self.m * len(parts), parts[0].shape[1]))
+        self.m = shape[0]
+        super().__init__((self.m * len(parts), shape[1]))
 
     def _eval(self, rows, cols):
         owner = rows // self.m
@@ -479,11 +498,29 @@ def _extremum_view(a: SearchArray, problem: str) -> SearchArray:
     raise ValueError(f"unknown batched problem {problem!r}")
 
 
+def stack_arrays(parts) -> SearchArray:
+    """Stack same-shape search arrays along rows, zero-copy.
+
+    The result is a lazy row-stacked view (global row ``q·m + r`` is
+    part ``q``'s local row ``r``): materializing ``B`` explicit parts
+    into one contiguous matrix would cost a full batch-sized copy +
+    re-validation, which dominates the fused sweep's wall-clock at
+    large ``n``.  ``stack_arrays([x])`` is a documented **no-copy
+    passthrough**: the single part is returned as-is (coerced through
+    :func:`~repro.monge.arrays.as_search_array`), so single-query
+    callers pay nothing for the uniform spelling.  Ragged shapes raise
+    ``ValueError`` naming both shapes.
+    """
+    views = [as_search_array(p) for p in parts]
+    if not views:
+        raise ValueError("cannot stack zero arrays")
+    if len(views) == 1:
+        return views[0]
+    return _StackedArray(views)
+
+
 def _stack_same_shape(parts: List[SearchArray]) -> SearchArray:
-    # a zero-copy view: materializing B explicit parts into one
-    # contiguous matrix costs a full batch-sized copy + re-validation,
-    # which dominates the fused sweep's wall-clock at large n
-    return _StackedArray(parts)
+    return stack_arrays(parts)
 
 
 def batched_row_extrema(

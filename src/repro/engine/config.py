@@ -40,6 +40,18 @@ consolidates all of it:
     machines and return the structured span tree as ``result.trace``
     (DESIGN.md §10).  Off by default; the disabled path costs one
     attribute test per charge.
+``shards``
+    Multi-process execution width for fused buckets (DESIGN.md §11).
+    ``None`` (default) defers to the ``REPRO_SHARDS`` environment
+    default; ``1`` pins the exact serial path; ``k ≥ 2`` lets
+    ``solve_many`` scatter each fused bucket's stacked tensor across
+    ``k`` shared-memory workers (owner-granular row blocks), with
+    per-query ledgers replayed bit-identically.  Buckets that cannot
+    shard (single queries, non-shardable problems, implicit inputs)
+    run the normal in-process path — except that ``cache=True`` with
+    ``shards > 1`` on a non-shardable solver is a declared-capability
+    error (memoization is per-worker; see
+    :class:`~repro.monge.arrays.CachedArray`).
 """
 
 from __future__ import annotations
@@ -76,6 +88,7 @@ class ExecutionConfig:
     retries: int = 0
     certify: bool = False
     trace: bool = False
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -91,6 +104,15 @@ class ExecutionConfig:
             raise ValueError(f"retries must be an int, got {self.retries!r}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.shards is not None:
+            if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+                raise ValueError(f"shards must be an int or None, got {self.shards!r}")
+            if self.shards < 1:
+                raise ValueError(
+                    f"shards must be >= 1, got {self.shards} (use the "
+                    "REPRO_SHARDS=0 environment kill switch to force serial "
+                    "globally; shards=1 pins it per query)"
+                )
 
     def with_overrides(self, **kw) -> "ExecutionConfig":
         """A copy with the given fields replaced (and re-validated)."""
@@ -104,9 +126,12 @@ class ExecutionConfig:
         and ``faults``/``retries`` disqualify fusion outright (so they
         never appear here).  ``trace`` is included so traced and
         untraced queries never share a bucket — a traced bucket pays
-        the per-owner span bookkeeping for all its members.
+        the per-owner span bookkeeping for all its members.  ``shards``
+        is included so differently-sharded queries never share a bucket
+        either: the shard count decides how the whole bucket executes.
         """
-        return (self.cache, self.strict, self.checked, self.certify, self.trace)
+        return (self.cache, self.strict, self.checked, self.certify, self.trace,
+                self.shards)
 
     # ------------------------------------------------------------------ #
     def resolve_strategy(self, problem: str, crcw: bool) -> str:

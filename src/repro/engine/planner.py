@@ -34,7 +34,10 @@ A plan is *fusable* (``fused_key is not None``) iff all of:
   keep the serial error/empty contracts).
 
 Two fusable plans share a bucket iff their keys agree: same problem,
-backend, strategy, shape, and :meth:`ExecutionConfig.fingerprint`.
+backend, strategy, shape, and :meth:`ExecutionConfig.fingerprint` —
+which includes the ``shards`` width, so differently-sharded queries
+never share a bucket (the shard count decides how the whole bucket
+executes; see DESIGN.md §11).
 The session adds machine-level conditions at execution time (plain
 :class:`~repro.pram.machine.Pram`, fast path enabled, unbounded
 processor budget); a bucket that fails those simply runs serially —

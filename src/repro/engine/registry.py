@@ -111,6 +111,14 @@ class SolverSpec:
     #: ``sqrt`` recursion has data-independent row structure, which is
     #: what makes per-query charge replay exact (planner.py).
     batchable: bool = False
+    #: May a fused bucket of this solver be scattered across worker
+    #: processes (``ExecutionConfig.shards``)?  Requires ``batchable``
+    #: *and* a pure kernel the shard worker can rerun from a
+    #: shared-memory mapping alone (repro.shard).  Non-shardable
+    #: solvers silently run in-process under ``shards > 1`` — unless
+    #: ``cache=True`` is also set, which is a CapabilityError (the
+    #: per-worker memoization contract cannot be honored).
+    shardable: bool = False
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -493,7 +501,7 @@ for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
         problem=_problem, backend="pram-crcw", fn=_fn, strategies=_strats,
         machine="pram", certifier=_cert, bound_hint=_hint,
         bound_rounds=_tube_bound_crcw if _tube else _row_bound_crcw,
-        nodes_for=_nodes, batchable=_batch,
+        nodes_for=_nodes, batchable=_batch, shardable=_batch,
     ))
     register(SolverSpec(
         problem=_problem, backend="pram-crew", fn=_fn,
@@ -502,7 +510,7 @@ for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
         strategies=_strats,
         machine="pram", certifier=_cert, bound_hint=_hint,
         bound_rounds=_tube_bound_crew if _tube else _row_bound_crew,
-        nodes_for=_nodes, batchable=_batch,
+        nodes_for=_nodes, batchable=_batch, shardable=_batch,
     ))
     for _net in NETWORK_BACKENDS:
         register(SolverSpec(

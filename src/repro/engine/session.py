@@ -185,6 +185,18 @@ class Session:
             raise CapabilityError(
                 f"({spec.problem}, sequential) has no fault surface to retry over"
             )
+        if cfg.cache and not spec.shardable:
+            from repro.shard.config import resolve_shards
+
+            if resolve_shards(cfg.shards) > 1:
+                raise CapabilityError(
+                    f"({spec.problem}, {spec.backend}) cannot combine cache= "
+                    "with shards>1: CachedArray memoization is per-worker "
+                    "under sharding, and this solver cannot shard — it would "
+                    "run serially while appearing to honor the sharded cache "
+                    "contract.  Drop cache=, set shards=1, or use a shardable "
+                    "problem (rowmin/rowmax/rowmax_inverse on a PRAM backend)."
+                )
 
     def _derive_config(self, config, overrides) -> ExecutionConfig:
         cfg = config if config is not None else self.config
@@ -479,6 +491,165 @@ class Session:
             ))
         return results
 
+    # -- stage 3c: sharded execution (multi-process fused bucket) -------- #
+    def _shard_width(self, bucket: List[QueryPlan]) -> int:
+        """The effective worker count for one fused bucket (1 = stay
+        in-process).  Sharding is owner-granular — whole queries are
+        distributed, never rows of one query — because that is the
+        granularity at which ChargeFan replay keeps ledgers
+        bit-identical (DESIGN.md §11); single-query buckets therefore
+        never shard, and neither do buckets whose inputs would need
+        materializing to reach shared memory."""
+        from repro.shard.config import resolve_shards
+        from repro.shard.executor import shardable_payload
+
+        plan = bucket[0]
+        width = resolve_shards(plan.config.shards)
+        if width <= 1 or not plan.spec.shardable or len(bucket) < 2:
+            return 1
+        if any(shardable_payload(p.data) is None for p in bucket):
+            return 1
+        return min(width, len(bucket))
+
+    def _execute_sharded(self, bucket: List[QueryPlan], shards: int) -> List[SearchResult]:
+        """Execute one fused bucket across ``shards`` worker processes.
+
+        The bucket's owner range is cut into contiguous blocks; each
+        worker runs the ordinary stacked sweep on its block against the
+        shared-memory tensors and returns values, witnesses, and a
+        charge-replay log per owner.  The parent replays each owner's
+        log onto its real ledger sub-account — observers (tracer spans)
+        fire exactly as the serial run's would — so snapshots, traces,
+        and certificates are bit-identical to the in-process fused path
+        (tests/test_shard_equivalence.py pins this).  Raises
+        :class:`~repro.shard.executor.ShardError` when the pool is
+        unavailable; the caller falls back to in-process execution.
+        """
+        from repro.shard.executor import get_executor, shardable_payload
+        from repro.shard.recording import replay_events
+
+        spec = bucket[0].spec
+        cfg = bucket[0].config
+        nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
+        machine = self.machine(nodes)
+        limit = machine.ledger.processor_limit
+        qledgers = [CostLedger(processor_limit=limit) for _ in bucket]
+        payloads = [shardable_payload(p.data) for p in bucket]
+        executor = get_executor(workers=shards)
+
+        tracer = Tracer() if cfg.trace else None
+        bucket_span = None
+        if tracer is not None:
+            bucket_span = tracer.begin(
+                "bucket",
+                "bucket",
+                problem=spec.problem,
+                backend=self.backend,
+                strategy=bucket[0].strategy,
+                shape=bucket[0].shape,
+                count=len(bucket),
+                fused=True,
+                shards=shards,
+                start_method=executor.start_method,
+            )
+        shard_plan, shard_results = executor.run_bucket(
+            payloads,
+            problem=spec.problem,
+            cache=cfg.cache,
+            model=machine.model.name,
+            budget=machine.processors,
+            shards=shards,
+        )
+
+        walls = [res["wall_s"] for res in shard_results]
+        imbalance = (max(walls) / (sum(walls) / len(walls))) if sum(walls) > 0 else 1.0
+        m = metrics()
+        m.histogram("shard.imbalance").observe(imbalance)
+        m.counter("shard.buckets").inc()
+        m.counter("shard.tasks").inc(len(shard_results))
+        if tracer is not None:
+            bucket_span.attrs["imbalance"] = imbalance
+            for k, ((lo, hi), res) in enumerate(zip(shard_plan.ranges, shard_results)):
+                span = tracer.begin(
+                    f"shard-{k}",
+                    "shard",
+                    parent=bucket_span,
+                    owners=hi - lo,
+                    rows=int(sum(shard_plan.weights[lo:hi])),
+                    wall_s=res["wall_s"],
+                    sweep_rounds=res["sweep"]["rounds"],
+                )
+                tracer.end(span)
+
+        outs = [pair for res in shard_results for pair in res["outs"]]
+        events = [log for res in shard_results for log in res["events"]]
+        evals = [count for res in shard_results for count in res["evals"]]
+
+        qspans: List = []
+        for i, (plan, qledger) in enumerate(zip(bucket, qledgers)):
+            qspan = None
+            if tracer is not None:
+                qspan = tracer.begin(
+                    "solve",
+                    "solve",
+                    parent=bucket_span,
+                    problem=plan.problem,
+                    backend=self.backend,
+                    strategy=plan.strategy,
+                    shape=plan.shape,
+                    fused=True,
+                )
+                tracer.bind(qledger, qspan)
+                qspans.append(qspan)
+            replay_events(qledger, events[i])
+            if tracer is not None:
+                tracer.unbind(qledger)
+                tracer.end(qspan)
+            # workers evaluated entries on their own mappings; fold the
+            # counts back so the source arrays' eval_count stays the
+            # observable quantity it is on every other path
+            counted = getattr(plan.data, "eval_count", None)
+            if counted is not None:
+                plan.data.eval_count = counted + evals[i]
+        if tracer is not None:
+            tracer.end(bucket_span)
+
+        certificates: List = []
+        for plan, (values, witnesses) in zip(bucket, outs):
+            if plan.config.certify:
+                certificates.append(spec.certifier(plan.data, values, witnesses))
+            else:
+                certificates.append(None)
+        for certificate in certificates:
+            if certificate is not None:
+                certificate.require()
+
+        results: List[SearchResult] = []
+        for i, (plan, (values, witnesses), qledger, certificate) in enumerate(zip(
+            bucket, outs, qledgers, certificates
+        )):
+            self.ledger.merge(qledger)
+            trace = None
+            if tracer is not None:
+                if certificate is not None:
+                    qspans[i].attrs["certified"] = bool(certificate.ok)
+                    qspans[i].attrs["certify_evals"] = int(certificate.evals)
+                trace = tracer.trace(qspans[i])
+            results.append(SearchResult(
+                values=values,
+                witnesses=witnesses,
+                problem=plan.problem,
+                backend=self.backend,
+                strategy=plan.strategy,
+                snapshot=qledger.snapshot(),
+                ledger=qledger,
+                certificate=certificate,
+                degradation=[],
+                retries=0,
+                trace=trace,
+            ))
+        return results
+
     # -- bookkeeping ----------------------------------------------------- #
     def _record(self, plan: QueryPlan, result: SearchResult) -> None:
         within_bound = plan.spec.within_bound(result.snapshot, plan.shape)
@@ -553,6 +724,13 @@ class Session:
         to what a serial :meth:`solve` would have charged.  Everything
         else — mixed shapes, staircase/tube problems, fault plans,
         retries — runs through the serial path unchanged.
+
+        With ``shards=k`` (or a ``REPRO_SHARDS`` default), fused buckets
+        of explicit-matrix queries additionally scatter across ``k``
+        worker processes over shared memory (``repro.shard``,
+        DESIGN.md §11); results, snapshots, and traces stay
+        bit-identical, and each group dict records the ``shards`` width
+        that actually ran.
         """
         cfg = self._derive_config(config, overrides)
         if isinstance(problem, str):
@@ -597,8 +775,22 @@ class Session:
         groups: List[dict] = []
         for bucket in buckets:
             fused = len(bucket) >= 2 and self._fused_ready(bucket[0])
+            shards_used = 1
             if fused:
-                outs = self._execute_fused(bucket)
+                shards_used = self._shard_width(bucket)
+                if shards_used > 1:
+                    from repro.shard.executor import ShardError
+
+                    try:
+                        outs = self._execute_sharded(bucket, shards_used)
+                        m.counter("engine.batch.sharded_queries").inc(len(bucket))
+                    except ShardError:
+                        # a broken pool degrades wall-clock, never answers
+                        shards_used = 1
+                        m.counter("shard.fallbacks").inc()
+                        outs = self._execute_fused(bucket)
+                else:
+                    outs = self._execute_fused(bucket)
                 m.counter("engine.batch.fused_queries").inc(len(bucket))
             else:
                 outs = [self._execute_serial(plan) for plan in bucket]
@@ -611,6 +803,7 @@ class Session:
                 "shape": bucket[0].shape,
                 "count": len(bucket),
                 "fused": fused,
+                "shards": shards_used,
             })
         # the query log mirrors input order, not bucket order
         for plan in sorted(plans, key=lambda p: p.index):

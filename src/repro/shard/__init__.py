@@ -1,0 +1,57 @@
+"""Sharded multi-process execution of fused sweeps (DESIGN.md §11).
+
+The shard layer escapes the GIL: a fused bucket's row-stacked tensor is
+mapped into ``multiprocessing.shared_memory`` and contiguous row blocks
+of it (whole owners — query boundaries) are swept concurrently by a
+persistent worker pool, each worker running the unchanged
+grouped-extremum kernel and shipping back ``(values, witnesses,
+charge-replay log)``.  The parent merges in row order and replays each
+owner's serial charge sequence onto its real ledger sub-account, so
+snapshots, traces, and certificates are bit-identical to the serial
+path — the fused-kernel invariant, extended across processes.
+
+Users normally reach this through ``ExecutionConfig.shards`` /
+``repro.solve_many(..., shards=4)`` or the ``REPRO_SHARDS`` environment
+default; the names exported here are the explicit/advanced surface
+(row-block decomposition of one big query, executor lifecycle, and the
+planning/replay building blocks the engine uses).
+"""
+
+from repro.shard.config import (
+    START_METHODS,
+    default_start_method,
+    resolve_shards,
+    set_default_shards,
+    set_default_start_method,
+    shards_override,
+)
+from repro.shard.executor import (
+    ShardError,
+    ShardExecutor,
+    get_executor,
+    shardable_payload,
+    shutdown_executors,
+)
+from repro.shard.plan import ShardPlan, plan_shards
+from repro.shard.recording import RecordingLedger, replay_events
+from repro.shard.rowblock import RowBlockReport, row_block_minima
+
+__all__ = [
+    "START_METHODS",
+    "RecordingLedger",
+    "RowBlockReport",
+    "ShardError",
+    "ShardExecutor",
+    "ShardPlan",
+    "default_start_method",
+    "get_executor",
+    "plan_shards",
+    "replay_events",
+    "resolve_shards",
+    "row_block_minima",
+    "set_default_shards",
+    "set_default_start_method",
+    "shardable_payload",
+    "shards_override",
+    "shutdown_executors",
+]

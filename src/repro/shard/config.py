@@ -1,0 +1,118 @@
+"""Shard-count and start-method switches (mirrors :mod:`repro.pram.fastpath`).
+
+Sharding is opt-in: the default shard count is 1 (serial) unless the
+``REPRO_SHARDS`` environment variable sets a process-wide default.  An
+:class:`~repro.engine.config.ExecutionConfig` whose ``shards`` field is
+``None`` inherits that default; an explicit ``shards=`` always wins —
+*except* that ``REPRO_SHARDS=0`` is a kill switch forcing the exact
+serial code path everywhere (the escape hatch the golden-trace gate and
+bisection workflows rely on, exactly like ``REPRO_FAST_PATH=0``).
+
+``REPRO_SHARD_START`` picks the worker start method: ``fork`` (default
+where available), ``spawn``, ``forkserver``, or ``thread`` (an
+in-process pool — no shared-memory segments needed, useful where
+``multiprocessing`` is unavailable or the arrays are tiny).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "resolve_shards",
+    "set_default_shards",
+    "shards_override",
+    "default_start_method",
+    "set_default_start_method",
+    "START_METHODS",
+]
+
+START_METHODS = ("fork", "spawn", "forkserver", "thread")
+
+
+def _env_shards() -> Optional[int]:
+    raw = os.environ.get("REPRO_SHARDS", "").strip()
+    if not raw:
+        return None
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return None
+
+
+#: Process-global default shard count (``None`` → env unset → serial)
+#: and kill switch (``0`` → force serial regardless of explicit config).
+_DEFAULT: Optional[int] = _env_shards()
+
+
+def resolve_shards(requested: Optional[int]) -> int:
+    """The effective shard count for one bucket.
+
+    ``requested`` is ``ExecutionConfig.shards``: ``None`` defers to the
+    ``REPRO_SHARDS`` default, explicit values pass through.  The env
+    kill switch (``REPRO_SHARDS=0``) overrides everything and returns 1.
+    """
+    if _DEFAULT == 0:
+        return 1
+    if requested is not None:
+        return max(1, int(requested))
+    if _DEFAULT is None:
+        return 1
+    return max(1, _DEFAULT)
+
+
+def set_default_shards(count: Optional[int]) -> Optional[int]:
+    """Set the process default (``None`` unsets, ``0`` is the kill
+    switch); returns the previous value."""
+    global _DEFAULT
+    prev = _DEFAULT
+    _DEFAULT = None if count is None else max(0, int(count))
+    return prev
+
+
+@contextmanager
+def shards_override(count: Optional[int]) -> Iterator[None]:
+    """Temporarily pin the default shard count (tests)."""
+    prev = set_default_shards(count)
+    try:
+        yield
+    finally:
+        set_default_shards(prev)
+
+
+def _env_start_method() -> Optional[str]:
+    raw = os.environ.get("REPRO_SHARD_START", "").strip().lower()
+    return raw if raw in START_METHODS else None
+
+
+_START: Optional[str] = _env_start_method()
+
+
+def default_start_method() -> str:
+    """The worker start method sharded buckets use.
+
+    Honors ``REPRO_SHARD_START`` when set to a valid method; otherwise
+    prefers ``fork`` (cheapest — workers inherit the loaded interpreter)
+    and falls back to ``spawn`` on platforms without it.
+    """
+    if _START is not None:
+        return _START
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def set_default_start_method(method: Optional[str]) -> Optional[str]:
+    """Pin the start method programmatically (``None`` restores the
+    env/platform default); returns the previous pin."""
+    global _START
+    if method is not None and method not in START_METHODS:
+        raise ValueError(
+            f"unknown start method {method!r}; expected one of {START_METHODS}"
+        )
+    prev = _START
+    _START = method
+    return prev

@@ -1,0 +1,197 @@
+"""The shard executor: persistent pools + scatter/gather orchestration.
+
+One :class:`ShardExecutor` owns a worker pool (``fork`` / ``spawn`` /
+``forkserver`` process pools, or an in-process ``thread`` pool) and a
+:class:`~repro.shard.shm.ShmArena` placement cache.  Executors are
+process-global and keyed by ``(start_method, workers)`` — pool spin-up
+(milliseconds under fork, ~a second under spawn) and shared-memory
+placement are paid once, so steady-state sharded solves cost only task
+dispatch + the sweep itself.  ``atexit`` tears every executor down and
+unlinks every segment.
+
+``run_bucket`` is the engine's entry point: given one explicit payload
+per owner, it plans a balanced contiguous owner partition
+(:func:`~repro.shard.plan.plan_shards`), places tensors, dispatches one
+:func:`~repro.shard.worker.run_shard_task` per shard, and returns the
+per-shard result dicts in shard order.  Merging (charge replay, tracer
+spans, certificates) stays in the session, which owns those objects.
+
+Any worker-side failure surfaces as :class:`ShardError`; the session
+treats that as "sharding unavailable" and re-runs the bucket through
+the in-process fused path, so a broken pool can slow a solve down but
+never change or lose an answer.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.shard.config import START_METHODS, default_start_method
+from repro.shard.plan import ShardPlan, plan_shards
+from repro.shard.shm import ShmArena, TensorRef
+from repro.shard.worker import run_shard_task
+
+__all__ = [
+    "ShardError",
+    "ShardExecutor",
+    "get_executor",
+    "shutdown_executors",
+    "shardable_payload",
+]
+
+
+class ShardError(RuntimeError):
+    """A shard task (or its pool) failed; callers fall back to serial."""
+
+
+def shardable_payload(data) -> Optional[np.ndarray]:
+    """The explicit float matrix behind ``data``, or ``None``.
+
+    Sharding maps tensors into shared memory with one ``memcpy``; any
+    input that would need *materializing* first (implicit, composite,
+    cached, staircase arrays) is declined here — the engine then runs
+    the normal in-process path, trading the speedup for zero risk of an
+    O(m·n) evaluation storm during scatter.
+    """
+    from repro.monge.arrays import ExplicitArray
+
+    if isinstance(data, ExplicitArray):
+        mat = data.data
+    elif isinstance(data, np.ndarray):
+        mat = data
+    else:
+        return None
+    if mat.ndim != 2 or mat.size == 0:
+        return None
+    return mat
+
+
+class ShardExecutor:
+    """A persistent worker pool + placement arena for one start method."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        method = start_method if start_method is not None else default_start_method()
+        if method not in START_METHODS:
+            raise ValueError(
+                f"unknown start method {method!r}; expected one of {START_METHODS}"
+            )
+        self.workers = int(workers)
+        self.start_method = method
+        self.arena: Optional[ShmArena] = None if method == "thread" else ShmArena()
+        self._pool = None
+        # rolling broadcast of unlinked segment names; every task carries
+        # it so whichever worker picks the task up drops stale mappings
+        self._retired_log: deque = deque(maxlen=256)
+
+    # -- pool lifecycle -------------------------------------------------- #
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.start_method == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-shard"
+                )
+            else:
+                import multiprocessing
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context(self.start_method),
+                )
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        self._reset_pool()
+        if self.arena is not None:
+            self.arena.release_all()
+
+    # -- placement ------------------------------------------------------- #
+    def ref_for(self, mat: np.ndarray) -> TensorRef:
+        """A worker-resolvable handle for one payload matrix."""
+        if self.arena is None:  # thread mode shares the address space
+            return TensorRef(name=None, shape=tuple(mat.shape), data=mat)
+        return self.arena.place(mat)
+
+    # -- dispatch -------------------------------------------------------- #
+    def run_tasks(self, tasks: Sequence[Dict]) -> List[Dict]:
+        """Run shard tasks concurrently; results come back in task order."""
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(run_shard_task, task) for task in tasks]
+            return [f.result() for f in futures]
+        except Exception as exc:
+            self._reset_pool()
+            raise ShardError(
+                f"shard pool ({self.start_method}, {self.workers} workers) failed: {exc!r}"
+            ) from exc
+
+    def run_bucket(
+        self,
+        payloads: Sequence[np.ndarray],
+        *,
+        problem: str,
+        cache: bool,
+        model: str,
+        budget: int,
+        shards: int,
+    ) -> tuple:
+        """Scatter one fused bucket across ≤ ``shards`` owner-block tasks.
+
+        Returns ``(plan, shard_results)``: the :class:`ShardPlan` over
+        owners and one worker result dict per shard, in shard order.
+        """
+        plan: ShardPlan = plan_shards([int(p.shape[0]) for p in payloads], shards)
+        refs = [self.ref_for(p) for p in payloads]
+        if self.arena is not None:
+            self._retired_log.extend(self.arena.drain_retired())
+        retired = list(self._retired_log)
+        tasks = [
+            {
+                "refs": refs[lo:hi],
+                "rows": [None] * (hi - lo),
+                "problem": problem,
+                "cache": bool(cache),
+                "model": model,
+                "budget": int(budget),
+                "retired": retired,
+            }
+            for lo, hi in plan.ranges
+        ]
+        return plan, self.run_tasks(tasks)
+
+
+# --------------------------------------------------------------------- #
+# process-global executor registry
+# --------------------------------------------------------------------- #
+_EXECUTORS: Dict[tuple, ShardExecutor] = {}
+
+
+def get_executor(workers: int, start_method: Optional[str] = None) -> ShardExecutor:
+    """The shared executor for ``(start_method, workers)`` (created lazily)."""
+    method = start_method if start_method is not None else default_start_method()
+    key = (method, int(workers))
+    ex = _EXECUTORS.get(key)
+    if ex is None:
+        ex = _EXECUTORS[key] = ShardExecutor(workers, method)
+    return ex
+
+
+def shutdown_executors() -> None:
+    """Tear down every pool and unlink every shared-memory segment."""
+    while _EXECUTORS:
+        _, ex = _EXECUTORS.popitem()
+        ex.shutdown()
+
+
+atexit.register(shutdown_executors)

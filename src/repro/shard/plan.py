@@ -1,0 +1,82 @@
+"""Shard planning: contiguous, balanced row-block partitions.
+
+Both shard modes — owner-granular bucket sharding and explicit
+single-query row-block decomposition — reduce to the same planning
+problem: split ``weights[i]`` units of work (rows) across at most ``S``
+contiguous blocks so the heaviest block is as light as possible.  For a
+fused bucket the units are whole queries (every owner contributes ``m``
+rows, so a balanced split is a near-equal owner count per shard); for a
+single query the units are individual rows.
+
+Contiguity is load-bearing, not cosmetic: the stacked array lays owners
+out as consecutive row blocks, so a contiguous owner range maps to one
+contiguous slab of the shared-memory tensor and the gather step is a
+row-order concatenation with no permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A balanced contiguous partition of ``len(weights)`` items.
+
+    ``ranges[k] = (lo, hi)`` gives shard ``k`` items ``lo:hi``; ranges
+    cover ``0..n`` in order with no gaps.  ``imbalance`` is the ratio of
+    the heaviest shard's weight to the mean shard weight (≥ 1.0; 1.0 is
+    a perfect split) — the quantity the ``shard.imbalance`` histogram
+    tracks.
+    """
+
+    ranges: Tuple[Tuple[int, int], ...]
+    weights: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def imbalance(self) -> float:
+        loads = [sum(self.weights[lo:hi]) for lo, hi in self.ranges]
+        mean = sum(loads) / len(loads)
+        return (max(loads) / mean) if mean > 0 else 1.0
+
+
+def plan_shards(weights: Sequence[int], shards: int) -> ShardPlan:
+    """Split items with the given weights into ≤ ``shards`` contiguous blocks.
+
+    Uses the classic fractional-boundary rounding: block ``k`` ends
+    where the running weight prefix crosses ``k/S`` of the total.  For
+    uniform weights this degenerates to ``np.array_split`` semantics
+    (the non-divisible remainder spread one item at a time), and every
+    block is non-empty as long as ``shards <= len(weights)`` — callers
+    clamp, but the plan also drops empty tails defensively.
+    """
+    n = len(weights)
+    if n == 0:
+        raise ValueError("cannot shard zero items")
+    shards = max(1, min(int(shards), n))
+    w = np.asarray(weights, dtype=np.int64)
+    if shards == 1:
+        return ShardPlan(ranges=((0, n),), weights=tuple(int(x) for x in w))
+    prefix = np.concatenate([[0], np.cumsum(w)])
+    total = int(prefix[-1])
+    if total == 0:
+        cuts = np.linspace(0, n, shards + 1).round().astype(np.int64)
+    else:
+        targets = np.arange(1, shards, dtype=np.float64) * (total / shards)
+        cuts = np.concatenate(
+            [[0], np.searchsorted(prefix[1:], targets, side="left") + 1, [n]]
+        )
+    ranges: List[Tuple[int, int]] = []
+    for k in range(len(cuts) - 1):
+        lo, hi = int(cuts[k]), int(cuts[k + 1])
+        if hi > lo:
+            ranges.append((lo, hi))
+    return ShardPlan(ranges=tuple(ranges), weights=tuple(int(x) for x in w))

@@ -1,0 +1,81 @@
+"""Charge-replay logs: how sharded ledgers stay bit-identical to serial.
+
+A worker process cannot charge the parent's per-query
+:class:`~repro.pram.ledger.CostLedger` sub-accounts directly, and it
+must not try — the parent's ledgers carry observers (tracer bindings)
+and feed the session aggregate.  Instead each worker hands its
+:class:`~repro.pram.fastpath.ChargeFan` a :class:`RecordingLedger` per
+owner: a ledger-shaped sink that appends every charge and kernel
+notification, in order, to a plain event list.  The parent then calls
+:func:`replay_events` on the real sub-account, re-issuing the identical
+``charge(rounds, processors, work)`` calls and
+:func:`~repro.pram.ledger.notify_kernel` notifications.
+
+Because the ChargeFan invariant guarantees each owner's fanned-out
+charge sequence equals its *serial* charge sequence regardless of
+bucket composition (see :class:`~repro.pram.fastpath.ChargeFan`),
+replaying a worker's per-owner log reproduces the serial snapshot —
+and, through the sub-account's observer, the serial trace — bit for
+bit.  ``tests/test_shard_equivalence.py`` pins this end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.pram.ledger import CostLedger, notify_kernel
+
+__all__ = ["RecordingLedger", "replay_events", "ChargeEvent"]
+
+#: ``("c", rounds, processors, work)`` or ``("k", name, size, None)`` —
+#: a single flat tuple shape keeps the logs cheap to pickle.
+ChargeEvent = Tuple
+
+
+class RecordingLedger:
+    """A ledger-shaped charge sink that logs instead of accumulating.
+
+    Implements exactly the surface the fused sweep's charge path
+    touches: ``charge`` (from :meth:`ChargeFan.charge` and
+    :func:`~repro.pram.primitives.replay_grouped_min_charges`) and the
+    ``observer`` attribute (read by
+    :func:`~repro.pram.ledger.notify_kernel`).  It registers *itself*
+    as observer so grouped-minimum kernel notifications land in the
+    same ordered log as the charges they precede — replay then emits
+    them in the original interleaving, which is what keeps traced
+    sharded runs span-identical to serial ones.
+    """
+
+    __slots__ = ("events", "observer")
+
+    def __init__(self) -> None:
+        self.events: List[ChargeEvent] = []
+        self.observer = self
+
+    # -- ledger surface (ChargeFan / replay_grouped_min_charges) -------- #
+    def charge(
+        self, rounds: int = 1, processors: int = 1, work: Optional[int] = None
+    ) -> None:
+        self.events.append(
+            ("c", int(rounds), int(processors), None if work is None else int(work))
+        )
+
+    # -- observer surface (notify_kernel) -------------------------------- #
+    def on_kernel(self, ledger, name: str, size: int) -> None:
+        self.events.append(("k", str(name), int(size), None))
+
+
+def replay_events(ledger: CostLedger, events: List[ChargeEvent]) -> None:
+    """Re-issue a recorded charge/kernel sequence on a real ledger.
+
+    The charges flow through :meth:`CostLedger.charge` — observers,
+    processor-limit checks, and round hooks all fire exactly as they
+    would have in the serial run — and kernel events flow through
+    :func:`notify_kernel`, so a bound tracer sees the serial event
+    stream.
+    """
+    for ev in events:
+        if ev[0] == "c":
+            ledger.charge(rounds=ev[1], processors=ev[2], work=ev[3])
+        else:
+            notify_kernel(ledger, ev[1], ev[2])

@@ -1,0 +1,110 @@
+"""Explicit row-block decomposition of a single large query.
+
+The engine's bucket sharding is *owner-granular*: whole queries are the
+unit of distribution because that is the granularity at which the
+ChargeFan invariant makes replayed ledgers bit-identical to serial
+(see DESIGN.md §11).  Within one query the ``sqrt`` recursion's charge
+sequence is data-*dependent* — the phase (c) column bounds come from
+the sampled rows' minima — so a row-block split cannot reproduce the
+serial charge stream, and the engine therefore never row-splits a
+single query behind your back.
+
+:func:`row_block_minima` is the explicit opt-in for the single-query
+fast path.  Row extrema are row-local, so cutting the matrix into ``S``
+contiguous row blocks and solving each block with the standard sweep
+yields **bit-identical values and witnesses** (each block sees the full
+column range; leftmost tie-breaking is per-row).  The accounting is the
+row-block schedule's own: per-block ledger snapshots of ``S``
+independent sweeps, returned alongside the answer rather than disguised
+as the serial query's snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.shard.executor import ShardError, get_executor, shardable_payload
+from repro.shard.plan import plan_shards
+
+__all__ = ["row_block_minima", "RowBlockReport"]
+
+
+@dataclass
+class RowBlockReport:
+    """Schedule-level accounting of one row-block solve.
+
+    ``block_rows[k]``/``block_snapshots[k]`` describe block ``k``'s row
+    range and its own sweep's ledger snapshot; ``imbalance`` is the
+    planned max/mean row load ratio.
+    """
+
+    values: np.ndarray
+    witnesses: np.ndarray
+    block_rows: Tuple[Tuple[int, int], ...]
+    block_snapshots: Tuple[dict, ...]
+    imbalance: float
+
+    def __iter__(self):
+        yield self.values
+        yield self.witnesses
+
+
+def row_block_minima(
+    array,
+    shards: int,
+    *,
+    problem: str = "rowmin",
+    start_method: Optional[str] = None,
+    model: str = "CRCW-common",
+    budget: int = 1 << 40,
+) -> RowBlockReport:
+    """Solve one row-extremum query as ``shards`` independent row blocks.
+
+    ``array`` must be explicit (an ``np.ndarray`` or
+    :class:`~repro.monge.arrays.ExplicitArray`) — implicit inputs would
+    have to be materialized to be mapped into shared memory, which is
+    exactly the evaluation storm sharding exists to avoid.  ``problem``
+    is one of the row family (``rowmin``/``rowmax``/``rowmax_inverse``).
+    Values and witnesses are bit-identical to the serial solve;
+    ``block_snapshots`` expose the per-block accounting.
+    """
+    mat = shardable_payload(array)
+    if mat is None:
+        raise ShardError(
+            "row_block_minima needs an explicit matrix (ndarray or "
+            "ExplicitArray); implicit arrays would be materialized "
+            "entry-by-entry during scatter"
+        )
+    m = int(mat.shape[0])
+    plan = plan_shards([1] * m, shards)
+    executor = get_executor(workers=len(plan), start_method=start_method)
+    ref = executor.ref_for(mat)
+    tasks = [
+        {
+            "refs": [ref],
+            "rows": [(lo, hi)],
+            "problem": problem,
+            "cache": False,
+            "model": model,
+            "budget": int(budget),
+            "retired": [],
+        }
+        for lo, hi in plan.ranges
+    ]
+    results = executor.run_tasks(tasks)
+    vals: List[np.ndarray] = []
+    wits: List[np.ndarray] = []
+    for res in results:
+        (v, w), = res["outs"]
+        vals.append(v)
+        wits.append(w)
+    return RowBlockReport(
+        values=np.concatenate(vals),
+        witnesses=np.concatenate(wits),
+        block_rows=plan.ranges,
+        block_snapshots=tuple(res["sweep"] for res in results),
+        imbalance=plan.imbalance,
+    )

@@ -1,0 +1,171 @@
+"""Shared-memory placement for sharded sweeps.
+
+The whole point of the shard executor is that workers *map* the float
+tensor instead of receiving a pickled copy, so the scatter step costs
+one ``memcpy`` into a ``multiprocessing.shared_memory.SharedMemory``
+segment the first time an array is seen — and nothing at all on repeat
+solves.  :class:`ShmArena` is the parent-side placement cache:
+
+- ``place(array)`` returns a :class:`TensorRef` (segment name + shape)
+  for a C-contiguous float64 matrix, creating and filling a segment on
+  first sight and reusing it (keyed by ``id(array)``, with a strong
+  reference pinning the identity) afterwards;
+- a byte budget (``REPRO_SHARD_SHM_BYTES``, default 4 GiB) bounds the
+  cache — eviction unlinks the segment and queues its name so workers
+  drop their own attachment (existing POSIX mappings survive an unlink;
+  the memory is reclaimed once every attachment closes);
+- ``release_all()`` unlinks everything (wired to ``atexit`` by the
+  executor so segments never outlive the process).
+
+Workers attach by name through :func:`attach_readonly`, which also
+works around the CPython ≤3.12 ``resource_tracker`` misfeature of
+tracking *attached* (not created) segments — without the unregister,
+every worker exit would spuriously warn about (and on some platforms
+prematurely unlink) segments the parent still owns.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["TensorRef", "ShmArena", "attach_readonly", "detach", "worker_cache_clear"]
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """Pickle-cheap handle to a parent-placed matrix.
+
+    ``name=None`` means the tensor travels inline (thread mode — the
+    worker shares the parent's address space, so ``data`` IS the
+    parent's array and no segment exists).
+    """
+
+    name: object  # str | None
+    shape: Tuple[int, int]
+    data: object = None  # np.ndarray | None (inline / thread mode)
+
+
+def _byte_budget() -> int:
+    raw = os.environ.get("REPRO_SHARD_SHM_BYTES", "").strip()
+    try:
+        return max(1, int(raw)) if raw else (4 << 30)
+    except ValueError:
+        return 4 << 30
+
+
+class ShmArena:
+    """Parent-side segment cache: one segment per distinct source array."""
+
+    def __init__(self, byte_budget: int | None = None) -> None:
+        self.byte_budget = _byte_budget() if byte_budget is None else int(byte_budget)
+        # id(array) -> (array ref, segment, nbytes); insertion order = LRU
+        self._cache: "OrderedDict[int, Tuple[np.ndarray, shared_memory.SharedMemory, int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        #: Names unlinked since the last drain — shipped to workers so
+        #: they close their stale attachments.
+        self._retired: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def bytes_resident(self) -> int:
+        return self._bytes
+
+    def place(self, array: np.ndarray) -> TensorRef:
+        """Segment-backed ref for ``array`` (cached by object identity)."""
+        key = id(array)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+            return TensorRef(name=hit[1].name, shape=tuple(array.shape))
+        mat = np.ascontiguousarray(array, dtype=np.float64)
+        nbytes = max(1, mat.nbytes)
+        while self._cache and self._bytes + nbytes > self.byte_budget:
+            self._evict_oldest()
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        view = np.ndarray(mat.shape, dtype=np.float64, buffer=seg.buf)
+        view[...] = mat
+        self._cache[key] = (array, seg, nbytes)
+        self._bytes += nbytes
+        return TensorRef(name=seg.name, shape=tuple(array.shape))
+
+    def _evict_oldest(self) -> None:
+        _, (_, seg, nbytes) = self._cache.popitem(last=False)
+        self._bytes -= nbytes
+        self._retired.append(seg.name)
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def drain_retired(self) -> List[str]:
+        """Names unlinked since the last call (to forward to workers)."""
+        out, self._retired = self._retired, []
+        return out
+
+    def release_all(self) -> None:
+        while self._cache:
+            self._evict_oldest()
+        self._retired = []
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_readonly(ref: TensorRef) -> np.ndarray:
+    """The matrix behind ``ref``, mapped (or passed through) zero-copy."""
+    if ref.name is None:
+        return ref.data
+    seg = _ATTACHED.get(ref.name)
+    if seg is None:
+        seg = _attach_untracked(ref.name)
+        _ATTACHED[ref.name] = seg
+    return np.ndarray(ref.shape, dtype=np.float64, buffer=seg.buf)
+
+
+def detach(names) -> None:
+    """Close attachments to segments the parent has retired."""
+    for name in names:
+        seg = _ATTACHED.pop(name, None)
+        if seg is not None:
+            seg.close()
+
+
+def worker_cache_clear() -> None:  # pragma: no cover - process teardown aid
+    detach(list(_ATTACHED))
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker side effects.
+
+    CPython ≤3.12 registers every ``SharedMemory`` the process touches
+    — including mere *attachments* — so a spawn-mode worker would grow
+    its own tracker that unlinks the parent's segments when the worker
+    exits, and a fork-mode worker (which shares the parent's tracker)
+    would corrupt the parent's bookkeeping if it tried to unregister.
+    3.13+ has ``track=False``; for older interpreters we suppress the
+    registration call for the duration of the attach, which is correct
+    under both start methods.  Shard workers run tasks serially, so the
+    brief patch is race-free.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -1,0 +1,83 @@
+"""The shard worker: one grouped-extremum sweep over a row slab.
+
+Each task is a self-contained description of one shard — tensor refs
+(shared-memory names or inline arrays), optional per-owner row ranges,
+the problem key, and the machine coordinates (model name + processor
+budget) needed to rebuild an equivalent :class:`~repro.pram.machine.Pram`
+in the worker process.  The worker runs **the existing fused sweep**,
+:func:`repro.core.rowmin_pram.batched_row_extrema`, verbatim on its
+owner subset; there is no shard-special algorithm, so values and
+witnesses are the serial kernel's own outputs and the attached
+:class:`~repro.shard.recording.RecordingLedger` fan captures each
+owner's serial charge sequence for parent-side replay.
+
+The function must stay importable at module top level
+(``repro.shard.worker.run_shard_task``) so ``spawn``/``forkserver``
+pools can pickle it by reference.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict
+
+from repro.monge.arrays import ExplicitArray
+from repro.pram.fastpath import ChargeFan
+from repro.pram.ledger import CostLedger
+from repro.pram.machine import Pram
+from repro.pram.models import CRCW_ARBITRARY, CRCW_COMMON, CRCW_PRIORITY, CREW, EREW
+from repro.shard.recording import RecordingLedger
+from repro.shard.shm import attach_readonly, detach
+
+__all__ = ["run_shard_task", "model_named"]
+
+_MODELS = {
+    m.name: m for m in (EREW, CREW, CRCW_COMMON, CRCW_ARBITRARY, CRCW_PRIORITY)
+}
+
+
+def model_named(name: str):
+    """The PRAM model constant for its ``name`` string."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise ValueError(f"unknown PRAM model {name!r}") from None
+
+
+def run_shard_task(task: Dict) -> Dict:
+    """Execute one shard; returns results + charge logs + shard stats.
+
+    Output dict: ``outs`` (per-owner ``(values, witnesses)`` pairs, in
+    shard-local order), ``events`` (per-owner charge-replay logs),
+    ``evals`` (per-owner entry-evaluation counts, so the parent can
+    keep the source arrays' ``eval_count`` observable), ``sweep`` (this
+    shard's scratch-ledger snapshot, for the per-shard span), and
+    ``wall_s``.
+    """
+    t0 = perf_counter()
+    detach(task.get("retired", ()))
+    from repro.core.rowmin_pram import batched_row_extrema
+
+    bases = []
+    for ref, rows in zip(task["refs"], task["rows"]):
+        mat = attach_readonly(ref)
+        if rows is not None:
+            mat = mat[rows[0]:rows[1]]
+        # C-contiguous float64 slab -> ExplicitArray wraps it zero-copy
+        bases.append(ExplicitArray(mat))
+
+    pram = Pram(
+        model_named(task["model"]), task["budget"], ledger=CostLedger()
+    )
+    recorders = [RecordingLedger() for _ in bases]
+    fan = ChargeFan(recorders, crcw=pram.model.is_crcw, budget=pram.processors)
+    outs = batched_row_extrema(
+        pram, bases, problem=task["problem"], cache=task["cache"], fan=fan
+    )
+    return {
+        "outs": outs,
+        "events": [r.events for r in recorders],
+        "evals": [int(b.eval_count) for b in bases],
+        "sweep": pram.ledger.snapshot(),
+        "wall_s": perf_counter() - t0,
+    }

@@ -1,0 +1,303 @@
+"""Sharded execution is bit-identical to serial (DESIGN.md §11).
+
+The acceptance contract of the shard executor: scattering a fused
+bucket across worker processes changes wall-clock only.  Values,
+witnesses, per-query ledger snapshots, session ledger totals, and trace
+totals are bit-identical to the serial path for every shard width,
+including widths that don't divide the bucket; non-shardable problems
+fall back to the unchanged in-process path; and the
+``REPRO_SHARDS=0`` kill switch pins the exact serial code path.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.rowmin_pram import batched_row_extrema, stack_arrays
+from repro.engine import CapabilityError, ExecutionConfig, Session
+from repro.monge.arrays import ExplicitArray, ImplicitArray
+from repro.monge.generators import (
+    random_composite,
+    random_monge,
+    random_staircase_monge,
+)
+from repro.pram.machine import Pram
+from repro.pram.models import CRCW_COMMON
+from repro.shard import (
+    RecordingLedger,
+    ShardError,
+    plan_shards,
+    replay_events,
+    row_block_minima,
+    set_default_shards,
+    shards_override,
+)
+from repro.shard.config import resolve_shards
+
+# 33 rows × 5 queries: no shard width in the matrix divides either
+ARRAYS = [random_monge(33, 24, np.random.default_rng(300 + k)) for k in range(5)]
+STAIRCASE = random_staircase_monge(10, 12, np.random.default_rng(31))
+COMPOSITE = random_composite(4, 4, 4, np.random.default_rng(32))
+
+
+def _serial_refs(problem, datas, **kw):
+    s = Session("pram-crcw")
+    return s, [s.solve(problem, a, **kw) for a in datas]
+
+
+# --------------------------------------------------------------------- #
+# bit-identity across shard widths (the tentpole contract)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("shards", [1, 2, 3, 7])
+def test_sharded_rowmin_bit_identical(shards):
+    serial, refs = _serial_refs("rowmin", ARRAYS, trace=True)
+    sharded = Session("pram-crcw")
+    batch = sharded.solve_many("rowmin", ARRAYS, trace=True, shards=shards)
+    expected_width = min(shards, len(ARRAYS)) if shards > 1 else 1
+    assert [g["shards"] for g in batch.groups] == [expected_width]
+    for ref, got in zip(refs, batch):
+        np.testing.assert_array_equal(ref.values, got.values)
+        np.testing.assert_array_equal(ref.witnesses, got.witnesses)
+        assert got.snapshot == ref.snapshot
+        assert got.trace.totals() == ref.trace.totals()
+    assert sharded.ledger.rounds == serial.ledger.rounds
+    assert sharded.ledger.work == serial.ledger.work
+    assert sharded.ledger.peak_processors == serial.ledger.peak_processors
+
+
+@pytest.mark.parametrize("problem", ["rowmax", "rowmax_inverse"])
+def test_sharded_maxima_bit_identical(problem):
+    datas = (
+        ARRAYS
+        if problem == "rowmax"
+        else [ExplicitArray(-a.data) for a in ARRAYS]
+    )
+    _, refs = _serial_refs(problem, datas)
+    batch = Session("pram-crcw").solve_many(problem, datas, shards=3)
+    assert batch.groups[0]["shards"] == 3
+    for ref, got in zip(refs, batch):
+        np.testing.assert_array_equal(ref.values, got.values)
+        np.testing.assert_array_equal(ref.witnesses, got.witnesses)
+        assert got.snapshot == ref.snapshot
+
+
+def test_sharded_certify_and_eval_counts():
+    for a in ARRAYS:
+        a.eval_count = 0
+    _, refs = _serial_refs("rowmin", ARRAYS, certify=True)
+    serial_evals = [a.eval_count for a in ARRAYS]
+    for a in ARRAYS:
+        a.eval_count = 0
+    batch = Session("pram-crcw").solve_many("rowmin", ARRAYS, certify=True, shards=2)
+    # workers evaluate on their own mappings; the parent folds counts back
+    # (certification re-evaluates rows in-parent on both paths)
+    assert [a.eval_count for a in ARRAYS] == serial_evals
+    for a in ARRAYS:
+        a.eval_count = 0
+    for ref, got in zip(refs, batch):
+        assert got.certified and ref.certified
+        assert got.snapshot == ref.snapshot
+
+
+# --------------------------------------------------------------------- #
+# non-shardable problems: unchanged in-process path under shards>1
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "problem,data",
+    [
+        ("staircase_min", STAIRCASE),
+        ("tube_min", COMPOSITE),
+        ("banded_min", (
+            random_monge(12, 12, np.random.default_rng(33)),
+            np.maximum(0, np.arange(12) - 3),
+            np.minimum(11, np.arange(12) + 3),
+        )),
+    ],
+)
+def test_non_shardable_problems_fall_back_serial(problem, data):
+    ref = repro.solve(problem, data)
+    s = Session("pram-crcw")
+    batch = s.solve_many([(problem, data), (problem, data)], shards=2)
+    assert all(g["shards"] == 1 for g in batch.groups)
+    for got in batch:
+        np.testing.assert_array_equal(ref.values, got.values)
+        np.testing.assert_array_equal(ref.witnesses, got.witnesses)
+        assert got.snapshot == ref.snapshot
+
+
+def test_single_query_never_shards():
+    """Sharding is owner-granular; a lone query runs the serial path
+    (a row-block split could not replay its serial charges)."""
+    ref = repro.solve("rowmin", ARRAYS[0])
+    got = repro.solve("rowmin", ARRAYS[0], shards=4)
+    np.testing.assert_array_equal(ref.values, got.values)
+    assert got.snapshot == ref.snapshot
+
+
+def test_implicit_inputs_decline_sharding():
+    m, n = 18, 15
+    implicit = [
+        ImplicitArray(lambda r, c, k=k: (r - c) ** 2 + k + r * 0.25, (m, n))
+        for k in range(3)
+    ]
+    batch = Session("pram-crcw").solve_many("rowmin", implicit, shards=2)
+    assert all(g["shards"] == 1 for g in batch.groups)
+
+
+# --------------------------------------------------------------------- #
+# start-method matrix guard
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("method", ["fork", "spawn", "thread"])
+def test_start_method_matrix(method):
+    import multiprocessing
+
+    if method != "thread" and method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{method} unavailable on this platform")
+    from repro.shard.config import set_default_start_method
+
+    prev = set_default_start_method(method)
+    try:
+        _, refs = _serial_refs("rowmin", ARRAYS[:3])
+        batch = Session("pram-crcw").solve_many("rowmin", ARRAYS[:3], shards=2)
+        assert batch.groups[0]["shards"] == 2
+        for ref, got in zip(refs, batch):
+            np.testing.assert_array_equal(ref.values, got.values)
+            np.testing.assert_array_equal(ref.witnesses, got.witnesses)
+            assert got.snapshot == ref.snapshot
+    finally:
+        set_default_start_method(prev)
+
+
+# --------------------------------------------------------------------- #
+# env default + kill switch
+# --------------------------------------------------------------------- #
+def test_env_default_and_kill_switch():
+    with shards_override(3):
+        assert resolve_shards(None) == 3
+        assert resolve_shards(2) == 2  # explicit config wins over default
+        batch = Session("pram-crcw").solve_many("rowmin", ARRAYS[:4])
+        assert batch.groups[0]["shards"] == 3
+    with shards_override(0):  # REPRO_SHARDS=0: serial everywhere
+        assert resolve_shards(None) == 1
+        assert resolve_shards(4) == 1
+        batch = Session("pram-crcw").solve_many("rowmin", ARRAYS[:4], shards=4)
+        assert batch.groups[0]["shards"] == 1
+    assert resolve_shards(None) >= 1  # restored
+
+
+def test_config_validates_shards():
+    assert ExecutionConfig(shards=None).shards is None
+    assert ExecutionConfig(shards=4).shards == 4
+    with pytest.raises(ValueError):
+        ExecutionConfig(shards=0)
+    with pytest.raises(ValueError):
+        ExecutionConfig(shards=2.5)
+    # shard width joins the fusion fingerprint: differently-sharded
+    # queries must never share a bucket
+    assert ExecutionConfig(shards=2).fingerprint() != ExecutionConfig().fingerprint()
+
+
+# --------------------------------------------------------------------- #
+# cache semantics under sharding
+# --------------------------------------------------------------------- #
+def test_cache_is_per_worker_and_snapshot_identical():
+    _, refs = _serial_refs("rowmin", ARRAYS, cache=True)
+    batch = Session("pram-crcw").solve_many("rowmin", ARRAYS, cache=True, shards=2)
+    assert batch.groups[0]["shards"] == 2
+    for ref, got in zip(refs, batch):
+        np.testing.assert_array_equal(ref.values, got.values)
+        assert got.snapshot == ref.snapshot
+
+
+def test_cache_with_shards_on_non_shardable_is_capability_error():
+    with pytest.raises(CapabilityError, match="per-worker"):
+        repro.solve("staircase_min", STAIRCASE, cache=True, shards=2)
+    # shards=1 (or the env kill switch) restores the normal cache path
+    repro.solve("staircase_min", STAIRCASE, cache=True, shards=1)
+    with shards_override(0):
+        repro.solve("staircase_min", STAIRCASE, cache=True, shards=4)
+
+
+# --------------------------------------------------------------------- #
+# stack_arrays hardening (satellite)
+# --------------------------------------------------------------------- #
+def test_stack_arrays_single_part_is_passthrough():
+    a = ARRAYS[0]
+    assert stack_arrays([a]) is a  # documented no-copy passthrough
+    mat = np.arange(12.0).reshape(3, 4)
+    view = stack_arrays([mat])
+    assert isinstance(view, ExplicitArray) and view.data is not None
+
+
+def test_stack_arrays_rejects_empty_and_ragged():
+    with pytest.raises(ValueError, match="zero arrays"):
+        stack_arrays([])
+    with pytest.raises(ValueError, match="share one shape"):
+        stack_arrays([np.zeros((3, 4)), np.zeros((3, 5))])
+
+
+def test_batched_row_extrema_single_query():
+    pram = Pram(CRCW_COMMON, 1 << 40)
+    a = ARRAYS[0]
+    (vals, cols), = batched_row_extrema(pram, [a])
+    ref = repro.solve("rowmin", a)
+    np.testing.assert_array_equal(vals, ref.values)
+    np.testing.assert_array_equal(cols, ref.witnesses)
+
+
+# --------------------------------------------------------------------- #
+# charge-log replay building blocks
+# --------------------------------------------------------------------- #
+def test_recording_ledger_replays_exactly():
+    from repro.pram.ledger import CostLedger
+
+    rec = RecordingLedger()
+    rec.charge(rounds=2, processors=5)
+    rec.on_kernel(rec, "grouped-min:binary", 7)
+    rec.charge(rounds=1, processors=3, work=4)
+    target = CostLedger()
+    replay_events(target, rec.events)
+    assert target.snapshot() == {
+        "rounds": 3, "work": 14, "peak_processors": 5, "phases": {},
+    }
+
+
+def test_plan_shards_balanced_and_clamped():
+    plan = plan_shards([33] * 5, 2)
+    assert plan.ranges == ((0, 3), (3, 5))
+    assert plan_shards([33] * 5, 7).ranges == ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5))
+    assert len(plan_shards([10, 10], 1)) == 1
+    assert plan.imbalance >= 1.0
+    with pytest.raises(ValueError):
+        plan_shards([], 2)
+
+
+# --------------------------------------------------------------------- #
+# explicit single-query row-block decomposition
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("shards", [2, 3])
+@pytest.mark.parametrize("problem", ["rowmin", "rowmax", "rowmax_inverse"])
+def test_row_block_minima_values_bit_identical(problem, shards):
+    a = ARRAYS[0] if problem != "rowmax_inverse" else ExplicitArray(-ARRAYS[0].data)
+    ref = repro.solve(problem, a)
+    report = row_block_minima(a, shards, problem=problem)
+    np.testing.assert_array_equal(report.values, ref.values)
+    np.testing.assert_array_equal(report.witnesses, ref.witnesses)
+    assert len(report.block_rows) == shards
+    assert len(report.block_snapshots) == shards
+    values, witnesses = report  # tuple-unpack convenience
+    np.testing.assert_array_equal(values, ref.values)
+
+
+def test_row_block_minima_rejects_implicit():
+    imp = ImplicitArray(lambda r, c: (r - c) ** 2.0, (8, 8))
+    with pytest.raises(ShardError, match="explicit"):
+        row_block_minima(imp, 2)
+
+
+def test_set_default_shards_roundtrip():
+    prev = set_default_shards(5)
+    try:
+        assert resolve_shards(None) == 5
+    finally:
+        set_default_shards(prev)
