@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke
+.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -42,6 +42,14 @@ bench-batch-smoke:
 ## refuses to pass unless values/witnesses/ledgers are bit-identical
 bench-shard-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_shard.py --smoke --out /tmp/BENCH_shard_smoke.json
+
+## chaos-shard-smoke: supervised-recovery smoke — the seeded
+## worker-kill / delay / shm-corruption matrix plus the chaos benchmark
+## in smoke mode; refuses to pass unless every recovered run is
+## bit-identical to serial
+chaos-shard-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q tests/test_shard_supervise.py
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_shard_chaos.py --smoke --out /tmp/BENCH_shard_chaos_smoke.json
 
 ## bench-obs: observability overhead budget -> BENCH_obs.json
 ## (fails if disabled-tracer overhead >= 5%)

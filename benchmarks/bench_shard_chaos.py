@@ -1,0 +1,226 @@
+"""Recovered throughput and added latency of shard supervision under chaos.
+
+Measures ``B`` same-shape ``rowmin`` queries answered by the sharded
+executor three ways on a CRCW engine session:
+
+``clean``
+    ``shards=k`` with no fault plan — the supervised dispatch loop's
+    steady state (its overhead over the bare PR 6 loop is what the
+    ``clean`` vs ``fused`` ratio shows);
+``worker_kill``
+    a seeded :class:`~repro.resilience.faults.FaultPlan` kills one
+    shard's worker on its first dispatch (``fires_keyed`` draw on
+    attempt 1) — the supervisor respawns the pool, retries, and the run
+    must still finish bit-identical;
+``task_delay``
+    ~10% of dispatches sleep ``delay_s`` before sweeping — stragglers
+    absorbed by the deadline/hedge machinery.
+
+Equivalence is asserted on every run, smoke or full: every chaos
+regime's values, witnesses, and per-query snapshots must be
+bit-identical to the in-process fused twin, or the harness refuses to
+emit a baseline.  Reported per regime: best-of-``--repeats`` wall
+clock, recovered throughput (queries/s *while injecting*), added
+latency vs the clean sharded run, and the supervision counters
+(retries / hedges / timeouts / quarantines) actually incurred.  The
+JSON lands in ``BENCH_shard_chaos.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_chaos.py            # full
+    PYTHONPATH=src python benchmarks/bench_shard_chaos.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_shard_chaos.py --workers 2 --start fork
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.engine import ExecutionConfig, Session
+from repro.monge.generators import random_monge
+from repro.obs import reset_metrics
+from repro.obs import snapshot as obs_snapshot
+from repro.obs.metrics import metrics
+from repro.perf import Timer, emit_json, environment_fingerprint, throughput
+from repro.resilience.faults import FaultPlan
+from repro.shard.config import set_default_start_method
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                           "BENCH_shard_chaos.json")
+
+#: (regime name, FaultPlan factory) — ``None`` factory = clean baseline.
+REGIMES: List[Tuple[str, Optional[dict]]] = [
+    ("clean", None),
+    # one worker killed: rate tuned so ~1 first-attempt dispatch dies
+    ("worker_kill", dict(seed=101, worker_kill=0.5)),
+    # ~10% of dispatches straggle by delay_s
+    ("task_delay", dict(seed=202, task_delay=0.10, delay_s=0.05)),
+]
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def make_batch(B: int, n: int) -> list:
+    return [random_monge(n, n, np.random.default_rng(9000 * n + k)) for k in range(B)]
+
+
+def solve(arrays, shards: int, plan: Optional[FaultPlan] = None,
+          timeout_s: Optional[float] = None):
+    cfg = ExecutionConfig(shards=shards, faults=plan, shard_timeout=timeout_s)
+    return Session("pram-crcw").solve_many(
+        [("rowmin", a) for a in arrays], config=cfg
+    )
+
+
+def check_equivalence(ref_batch, chaos_batch) -> List[str]:
+    problems = []
+    for k, (ref, got) in enumerate(zip(ref_batch, chaos_batch)):
+        if not np.array_equal(ref.values, got.values):
+            problems.append(f"query {k}: values differ")
+        if not np.array_equal(ref.witnesses, got.witnesses):
+            problems.append(f"query {k}: witnesses differ")
+        if ref.snapshot != got.snapshot:
+            problems.append(f"query {k}: ledger snapshots differ")
+    return problems
+
+
+def _shard_counters() -> Dict[str, int]:
+    c = metrics().snapshot()["counters"]
+    return {k: v for k, v in sorted(c.items()) if k.startswith("shard.")}
+
+
+def run_workload(B: int, n: int, repeats: int, workers: int) -> Dict:
+    arrays = make_batch(B, n)
+    ref_batch = solve(arrays, shards=1)  # serial truth (also warms caches)
+    solve(arrays, shards=workers)  # warm pool + shm placements
+
+    regimes: Dict[str, Dict] = {}
+    violations: List[str] = []
+    for name, spec in REGIMES:
+        best = float("inf")
+        counters: Dict[str, int] = {}
+        chaos_batch = None
+        for _ in range(repeats):
+            plan = FaultPlan(**spec) if spec else None
+            reset_metrics()
+            with Timer() as t:
+                chaos_batch = solve(arrays, shards=workers, plan=plan,
+                                    timeout_s=5.0 if spec else None)
+            best = min(best, t.seconds)
+            counters = _shard_counters()
+        violations += [f"[{name}] {p}" for p in check_equivalence(ref_batch, chaos_batch)]
+        regimes[name] = {
+            "wall_s": round(best, 6),
+            "queries_per_s": round(throughput(B, best), 1),
+            "counters": counters,
+        }
+
+    clean = regimes["clean"]["wall_s"]
+    for name in regimes:
+        regimes[name]["added_latency_s"] = round(regimes[name]["wall_s"] - clean, 6)
+        regimes[name]["recovered_throughput_frac"] = round(
+            regimes[name]["queries_per_s"] / max(regimes["clean"]["queries_per_s"], 1e-9),
+            3,
+        )
+    return {
+        "params": {"B": B, "n": n, "model": "CRCW", "problem": "rowmin",
+                   "workers": workers},
+        "regimes": regimes,
+        "core_limited": usable_cpus() < workers,
+        "identical": not violations,
+        "violations": violations,
+    }
+
+
+def matrix(smoke: bool) -> List[Tuple[int, int]]:
+    if smoke:
+        return [(6, 48)]
+    return [(12, 256), (12, 512)]
+
+
+def run_matrix(smoke: bool, repeats: int, workers: int) -> Dict:
+    workloads = {}
+    for B, n in matrix(smoke):
+        workloads[f"rowmin_B{B}_n{n}"] = run_workload(B, n, repeats, workers)
+    bad = [name for name, w in workloads.items() if not w["identical"]]
+    if bad:
+        raise RuntimeError(
+            f"chaos/fused equivalence violated by: {', '.join(bad)} — "
+            "refusing to emit a baseline"
+        )
+    return {
+        "meta": {**environment_fingerprint(), "smoke": smoke, "repeats": repeats,
+                 "usable_cpus": usable_cpus(), "workers": workers,
+                 "regimes": [name for name, _ in REGIMES]},
+        "workloads": workloads,
+        "metrics": obs_snapshot(),
+    }
+
+
+def _print_table(payload: Dict) -> None:
+    print(f"{'workload':<18} {'regime':<12} {'wall(s)':>9} {'q/s':>8} "
+          f"{'added(s)':>9} {'recovered':>10}")
+    for name, w in payload["workloads"].items():
+        for regime, r in w["regimes"].items():
+            print(f"{name:<18} {regime:<12} {r['wall_s']:>9.4f} "
+                  f"{r['queries_per_s']:>8.1f} {r['added_latency_s']:>9.4f} "
+                  f"{r['recovered_throughput_frac']:>10.3f}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small size, 1 repeat (CI chaos smoke)")
+    ap.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    ap.add_argument("--workers", type=int, default=2, help="shard width (default 2)")
+    ap.add_argument("--start", default=None,
+                    help="worker start method (fork/spawn/forkserver/thread)")
+    ap.add_argument("--out", default=None, help=f"output JSON path (default {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    if args.start:
+        set_default_start_method(args.start)
+    payload = run_matrix(args.smoke, repeats, args.workers)
+    _print_table(payload)
+    if args.out is not None:
+        out = args.out
+    elif args.smoke:
+        out = DEFAULT_OUT.replace(".json", "_smoke.json")
+    else:
+        out = DEFAULT_OUT
+    emit_json(out, payload)
+    print(f"\nwrote {out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pytest face: chaos smoke equivalence
+# --------------------------------------------------------------------- #
+def test_chaos_smoke_equivalence(tmp_path):
+    payload = run_matrix(smoke=True, repeats=1, workers=2)
+    emit_json(str(tmp_path / "BENCH_shard_chaos_smoke.json"), payload)
+    for name, w in payload["workloads"].items():
+        assert w["identical"], (name, w["violations"])
+        # chaos regimes must actually have injected something somewhere
+        injected = sum(
+            sum(r["counters"].values())
+            for regime, r in w["regimes"].items()
+            if regime != "clean"
+        )
+        assert injected > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,4 +73,4 @@ __all__ = [
     "CapabilityError",
 ]
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

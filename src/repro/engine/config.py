@@ -52,6 +52,14 @@ consolidates all of it:
     ``shards > 1`` on a non-shardable solver is a declared-capability
     error (memoization is per-worker; see
     :class:`~repro.monge.arrays.CachedArray`).
+``shard_timeout``
+    Per-shard-task deadline in seconds for supervised dispatch
+    (DESIGN.md §12).  ``None`` (default) defers to the
+    ``REPRO_SHARD_TIMEOUT`` environment default (itself unset → no
+    deadline); a positive float arms per-attempt deadlines and the
+    bucket-level budget in :mod:`repro.shard.supervise`.  Timed-out
+    shards are retried and, past the attempt limit, quarantined to an
+    in-process fallback — results stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -89,6 +97,7 @@ class ExecutionConfig:
     certify: bool = False
     trace: bool = False
     shards: Optional[int] = None
+    shard_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -113,6 +122,20 @@ class ExecutionConfig:
                     "REPRO_SHARDS=0 environment kill switch to force serial "
                     "globally; shards=1 pins it per query)"
                 )
+        if self.shard_timeout is not None:
+            if isinstance(self.shard_timeout, bool) or not isinstance(
+                self.shard_timeout, (int, float)
+            ):
+                raise ValueError(
+                    f"shard_timeout must be a positive number of seconds or "
+                    f"None, got {self.shard_timeout!r}"
+                )
+            timeout = float(self.shard_timeout)
+            if not timeout > 0 or timeout != timeout or timeout == float("inf"):
+                raise ValueError(
+                    f"shard_timeout must be a positive finite number of "
+                    f"seconds or None, got {self.shard_timeout!r}"
+                )
 
     def with_overrides(self, **kw) -> "ExecutionConfig":
         """A copy with the given fields replaced (and re-validated)."""
@@ -127,11 +150,12 @@ class ExecutionConfig:
         never appear here).  ``trace`` is included so traced and
         untraced queries never share a bucket — a traced bucket pays
         the per-owner span bookkeeping for all its members.  ``shards``
-        is included so differently-sharded queries never share a bucket
-        either: the shard count decides how the whole bucket executes.
+        and ``shard_timeout`` are included so differently-sharded (or
+        differently-deadlined) queries never share a bucket: both decide
+        how the whole bucket executes.
         """
         return (self.cache, self.strict, self.checked, self.certify, self.trace,
-                self.shards)
+                self.shards, self.shard_timeout)
 
     # ------------------------------------------------------------------ #
     def resolve_strategy(self, problem: str, crcw: bool) -> str:

@@ -108,7 +108,14 @@ def _fused_key(
         return None
     if not cfg.strict:
         return None
-    if cfg.faults is not None or session_faults is not None:
+    # machine-level fault plans disqualify fusion (the fused sweep runs
+    # one machine for many owners); shard-only plans never touch the
+    # machines — they chaos-test the executor — so fusion stays legal.
+    if cfg.faults is not None and not getattr(cfg.faults, "shard_only", False):
+        return None
+    if session_faults is not None and not getattr(
+        session_faults, "shard_only", False
+    ):
         return None
     if cfg.retries:
         return None

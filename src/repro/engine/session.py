@@ -372,7 +372,11 @@ class Session:
             # Brent machines time-slice charges and NetworkMachines
             # execute genuinely on the network — both stay per-query.
             return False
-        if machine.faults is not None:
+        if machine.faults is not None and not getattr(
+            machine.faults, "shard_only", False
+        ):
+            # shard-only plans never perturb the machines (the supervisor
+            # draws them parent-side), so fusion stays legal under them.
             return False
         if machine.ledger.processor_limit is not None or machine.processors < (1 << 40):
             # fused sweeps charge global (summed) sizes against the
@@ -521,12 +525,18 @@ class Session:
         log onto its real ledger sub-account — observers (tracer spans)
         fire exactly as the serial run's would — so snapshots, traces,
         and certificates are bit-identical to the in-process fused path
-        (tests/test_shard_equivalence.py pins this).  Raises
-        :class:`~repro.shard.executor.ShardError` when the pool is
-        unavailable; the caller falls back to in-process execution.
+        (tests/test_shard_equivalence.py pins this).  Dispatch runs
+        under supervision (deadlines / retry / hedging / quarantine,
+        DESIGN.md §12), driven by ``shard_timeout`` and any shard-only
+        fault plan in play.  Raises
+        :class:`~repro.shard.executor.ShardError` only when a shard is
+        unrecoverable even in-process; the caller then falls back to
+        in-process execution of the whole bucket.
         """
+        from repro.shard.config import resolve_shard_timeout
         from repro.shard.executor import get_executor, shardable_payload
         from repro.shard.recording import replay_events
+        from repro.shard.supervise import default_policy
 
         spec = bucket[0].spec
         cfg = bucket[0].config
@@ -552,13 +562,18 @@ class Session:
                 shards=shards,
                 start_method=executor.start_method,
             )
-        shard_plan, shard_results = executor.run_bucket(
+        # shard-only fault plans reach the supervisor (machine plans never
+        # get here: they disqualify fusion, hence sharding, at plan time)
+        faults = cfg.faults if cfg.faults is not None else machine.faults
+        shard_plan, shard_results, report = executor.run_bucket(
             payloads,
             problem=spec.problem,
             cache=cfg.cache,
             model=machine.model.name,
             budget=machine.processors,
             shards=shards,
+            policy=default_policy(resolve_shard_timeout(cfg.shard_timeout)),
+            faults=faults,
         )
 
         walls = [res["wall_s"] for res in shard_results]
@@ -569,7 +584,10 @@ class Session:
         m.counter("shard.tasks").inc(len(shard_results))
         if tracer is not None:
             bucket_span.attrs["imbalance"] = imbalance
+            if report.recovered:
+                bucket_span.attrs["recovered"] = True
             for k, ((lo, hi), res) in enumerate(zip(shard_plan.ranges, shard_results)):
+                tr = report.tasks[k]
                 span = tracer.begin(
                     f"shard-{k}",
                     "shard",
@@ -578,7 +596,13 @@ class Session:
                     rows=int(sum(shard_plan.weights[lo:hi])),
                     wall_s=res["wall_s"],
                     sweep_rounds=res["sweep"]["rounds"],
+                    attempt=tr.attempts,
+                    hedged=tr.hedged,
                 )
+                if tr.timeouts:
+                    span.attrs["timeouts"] = tr.timeouts
+                if tr.partial_fallback:
+                    span.attrs["fallback"] = "in-process"
                 tracer.end(span)
 
         outs = [pair for res in shard_results for pair in res["outs"]]

@@ -29,6 +29,8 @@ from repro.resilience.executor import (
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
+    MACHINE_FAULT_KINDS,
+    SHARD_FAULT_KINDS,
     FaultError,
     FaultEvent,
     FaultPlan,
@@ -43,6 +45,8 @@ __all__ = [
     "TransientFault",
     "FaultRetriesExhausted",
     "FAULT_KINDS",
+    "MACHINE_FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
     "Certificate",
     "CertificationError",
     "certify_row_minima",

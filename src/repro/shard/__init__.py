@@ -20,6 +20,7 @@ planning/replay building blocks the engine uses).
 from repro.shard.config import (
     START_METHODS,
     default_start_method,
+    resolve_shard_timeout,
     resolve_shards,
     set_default_shards,
     set_default_start_method,
@@ -33,8 +34,20 @@ from repro.shard.executor import (
     shutdown_executors,
 )
 from repro.shard.plan import ShardPlan, plan_shards
-from repro.shard.recording import RecordingLedger, replay_events
+from repro.shard.recording import RecordingLedger, events_digest, replay_events
 from repro.shard.rowblock import RowBlockReport, row_block_minima
+from repro.shard.shm import reap_orphans
+from repro.shard.supervise import (
+    ShardIntegrityError,
+    ShardTimeout,
+    ShardWorkerLost,
+    SupervisePolicy,
+    SupervisionReport,
+    default_policy,
+    policy_override,
+    run_supervised,
+    set_default_policy,
+)
 
 __all__ = [
     "START_METHODS",
@@ -42,13 +55,25 @@ __all__ = [
     "RowBlockReport",
     "ShardError",
     "ShardExecutor",
+    "ShardIntegrityError",
     "ShardPlan",
+    "ShardTimeout",
+    "ShardWorkerLost",
+    "SupervisePolicy",
+    "SupervisionReport",
+    "default_policy",
     "default_start_method",
+    "events_digest",
     "get_executor",
     "plan_shards",
+    "policy_override",
+    "reap_orphans",
     "replay_events",
+    "resolve_shard_timeout",
     "resolve_shards",
     "row_block_minima",
+    "run_supervised",
+    "set_default_policy",
     "set_default_shards",
     "set_default_start_method",
     "shardable_payload",

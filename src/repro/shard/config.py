@@ -1,4 +1,4 @@
-"""Shard-count and start-method switches (mirrors :mod:`repro.pram.fastpath`).
+"""Shard-count, start-method, and deadline switches.
 
 Sharding is opt-in: the default shard count is 1 (serial) unless the
 ``REPRO_SHARDS`` environment variable sets a process-wide default.  An
@@ -12,6 +12,14 @@ bisection workflows rely on, exactly like ``REPRO_FAST_PATH=0``).
 where available), ``spawn``, ``forkserver``, or ``thread`` (an
 in-process pool — no shared-memory segments needed, useful where
 ``multiprocessing`` is unavailable or the arrays are tiny).
+
+``REPRO_SHARD_TIMEOUT`` sets the default per-shard-task deadline in
+seconds (see :mod:`repro.shard.supervise`); ``ExecutionConfig.
+shard_timeout`` overrides it per query, and unset means no deadline.
+
+Malformed environment values are rejected eagerly with a ``ValueError``
+naming the variable and its accepted range — a deployment typo
+(``REPRO_SHARDS=four``) must fail loudly, not silently run serial.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Iterator, Optional
 
 __all__ = [
     "resolve_shards",
+    "resolve_shard_timeout",
     "set_default_shards",
     "shards_override",
     "default_start_method",
@@ -32,20 +41,40 @@ __all__ = [
 
 START_METHODS = ("fork", "spawn", "forkserver", "thread")
 
+_UNSET = object()  # "not yet resolved from the environment"
+
 
 def _env_shards() -> Optional[int]:
     raw = os.environ.get("REPRO_SHARDS", "").strip()
     if not raw:
         return None
     try:
-        return max(0, int(raw))
+        value = int(raw)
     except ValueError:
-        return None
+        raise ValueError(
+            f"REPRO_SHARDS must be an integer >= 0 (0 disables sharding, "
+            f"k >= 2 is the default worker count); got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"REPRO_SHARDS must be an integer >= 0 (0 disables sharding, "
+            f"k >= 2 is the default worker count); got {value}"
+        )
+    return value
 
 
-#: Process-global default shard count (``None`` → env unset → serial)
-#: and kill switch (``0`` → force serial regardless of explicit config).
-_DEFAULT: Optional[int] = _env_shards()
+#: Process-global default shard count.  ``_UNSET`` → lazily resolved
+#: from ``REPRO_SHARDS`` on first use (so a malformed value raises a
+#: clear error at resolve time, not at import time); ``None`` → no
+#: default (serial); ``0`` → kill switch.
+_DEFAULT = _UNSET
+
+
+def _default_shards() -> Optional[int]:
+    global _DEFAULT
+    if _DEFAULT is _UNSET:
+        _DEFAULT = _env_shards()
+    return _DEFAULT
 
 
 def resolve_shards(requested: Optional[int]) -> int:
@@ -54,21 +83,53 @@ def resolve_shards(requested: Optional[int]) -> int:
     ``requested`` is ``ExecutionConfig.shards``: ``None`` defers to the
     ``REPRO_SHARDS`` default, explicit values pass through.  The env
     kill switch (``REPRO_SHARDS=0``) overrides everything and returns 1.
+    Raises ``ValueError`` when ``REPRO_SHARDS`` is set but malformed.
     """
-    if _DEFAULT == 0:
+    default = _default_shards()
+    if default == 0:
         return 1
     if requested is not None:
         return max(1, int(requested))
-    if _DEFAULT is None:
+    if default is None:
         return 1
-    return max(1, _DEFAULT)
+    return max(1, default)
+
+
+def resolve_shard_timeout(requested: Optional[float]) -> Optional[float]:
+    """The effective per-shard-task deadline in seconds (``None`` = none).
+
+    ``requested`` is ``ExecutionConfig.shard_timeout``: explicit values
+    pass through; ``None`` defers to ``REPRO_SHARD_TIMEOUT``.  Raises
+    ``ValueError`` when the env value is set but not a positive number
+    of seconds.
+    """
+    if requested is not None:
+        return float(requested)
+    raw = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHARD_TIMEOUT must be a positive number of seconds "
+            f"(e.g. REPRO_SHARD_TIMEOUT=30), or unset for no deadline; "
+            f"got {raw!r}"
+        ) from None
+    if not value > 0 or value != value or value == float("inf"):
+        raise ValueError(
+            f"REPRO_SHARD_TIMEOUT must be a positive finite number of "
+            f"seconds (e.g. REPRO_SHARD_TIMEOUT=30), or unset for no "
+            f"deadline; got {raw!r}"
+        )
+    return value
 
 
 def set_default_shards(count: Optional[int]) -> Optional[int]:
     """Set the process default (``None`` unsets, ``0`` is the kill
     switch); returns the previous value."""
     global _DEFAULT
-    prev = _DEFAULT
+    prev = _default_shards()
     _DEFAULT = None if count is None else max(0, int(count))
     return prev
 
@@ -81,6 +142,13 @@ def shards_override(count: Optional[int]) -> Iterator[None]:
         yield
     finally:
         set_default_shards(prev)
+
+
+def _reload_env_defaults() -> None:
+    """Re-read ``REPRO_SHARDS`` / ``REPRO_SHARD_START`` (tests only)."""
+    global _DEFAULT, _START
+    _DEFAULT = _UNSET
+    _START = _env_start_method()
 
 
 def _env_start_method() -> Optional[str]:

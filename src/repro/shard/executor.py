@@ -7,19 +7,26 @@ process-global and keyed by ``(start_method, workers)`` — pool spin-up
 (milliseconds under fork, ~a second under spawn) and shared-memory
 placement are paid once, so steady-state sharded solves cost only task
 dispatch + the sweep itself.  ``atexit`` tears every executor down and
-unlinks every segment.
+unlinks every segment; the reaper is idempotent and exception-proof, so
+interpreter-shutdown teardown can never mask a user exception or leak a
+segment because one worker already died.
 
 ``run_bucket`` is the engine's entry point: given one explicit payload
 per owner, it plans a balanced contiguous owner partition
-(:func:`~repro.shard.plan.plan_shards`), places tensors, dispatches one
-:func:`~repro.shard.worker.run_shard_task` per shard, and returns the
-per-shard result dicts in shard order.  Merging (charge replay, tracer
-spans, certificates) stays in the session, which owns those objects.
+(:func:`~repro.shard.plan.plan_shards`), places tensors, and hands one
+:func:`~repro.shard.worker.run_shard_task` per shard to the *supervised*
+dispatch loop (:func:`~repro.shard.supervise.run_supervised`) — which
+owns deadlines, retry/backoff, pool respawn, straggler hedging, and
+per-shard in-process quarantine (DESIGN.md §12).  Merging (charge
+replay, tracer spans, certificates) stays in the session, which owns
+those objects.
 
-Any worker-side failure surfaces as :class:`ShardError`; the session
-treats that as "sharding unavailable" and re-runs the bucket through
-the in-process fused path, so a broken pool can slow a solve down but
-never change or lose an answer.
+Only an *unrecoverable* failure — a shard that fails even the
+in-process fallback — surfaces as
+:class:`~repro.shard.supervise.ShardError`; the session treats that as
+"sharding unavailable" and re-runs the bucket through the in-process
+fused path, so a broken pool can slow a solve down but never change or
+lose an answer.
 """
 
 from __future__ import annotations
@@ -27,14 +34,20 @@ from __future__ import annotations
 import atexit
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.shard.config import START_METHODS, default_start_method
 from repro.shard.plan import ShardPlan, plan_shards
 from repro.shard.shm import ShmArena, TensorRef
-from repro.shard.worker import run_shard_task
+from repro.shard.supervise import (
+    ShardError,
+    SupervisePolicy,
+    SupervisionReport,
+    default_policy,
+    run_supervised,
+)
 
 __all__ = [
     "ShardError",
@@ -43,10 +56,6 @@ __all__ = [
     "shutdown_executors",
     "shardable_payload",
 ]
-
-
-class ShardError(RuntimeError):
-    """A shard task (or its pool) failed; callers fall back to serial."""
 
 
 def shardable_payload(data) -> Optional[np.ndarray]:
@@ -109,9 +118,28 @@ class ShardExecutor:
     def _reset_pool(self) -> None:
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - already-broken pool
+                pass
+
+    def respawn_pool(self) -> None:
+        """Tear down a (possibly broken) pool; the next dispatch rebuilds it.
+
+        The supervisor calls this after ``BrokenProcessPool`` — the
+        arena and its placements survive, so re-dispatched tasks re-use
+        the existing shared-memory segments with zero re-copy.
+        """
+        self._reset_pool()
 
     def shutdown(self) -> None:
+        """Release the pool and every shared-memory segment.
+
+        Idempotent and exception-proof by construction: a dead pool or
+        an already-unlinked segment is skipped, never raised — this runs
+        at interpreter shutdown, where an exception would mask the
+        user's own.
+        """
         self._reset_pool()
         if self.arena is not None:
             self.arena.release_all()
@@ -124,16 +152,47 @@ class ShardExecutor:
         return self.arena.place(mat)
 
     # -- dispatch -------------------------------------------------------- #
-    def run_tasks(self, tasks: Sequence[Dict]) -> List[Dict]:
-        """Run shard tasks concurrently; results come back in task order."""
-        pool = self._ensure_pool()
+    def run_tasks(
+        self,
+        tasks: Sequence[Dict],
+        *,
+        policy: Optional[SupervisePolicy] = None,
+        faults=None,
+    ) -> List[Dict]:
+        """Run shard tasks under supervision; results in task order.
+
+        The simple face over :func:`~repro.shard.supervise.run_supervised`
+        for callers (``row_block_minima``) that don't need the
+        :class:`~repro.shard.supervise.SupervisionReport`.
+        """
+        results, _ = self.run_tasks_supervised(tasks, policy=policy, faults=faults)
+        return results
+
+    def run_tasks_supervised(
+        self,
+        tasks: Sequence[Dict],
+        *,
+        policy: Optional[SupervisePolicy] = None,
+        faults=None,
+        owners=None,
+        refresh=None,
+    ) -> Tuple[List[Dict], SupervisionReport]:
         try:
-            futures = [pool.submit(run_shard_task, task) for task in tasks]
-            return [f.result() for f in futures]
+            return run_supervised(
+                self,
+                tasks,
+                policy=policy if policy is not None else default_policy(),
+                faults=faults,
+                owners=owners,
+                refresh=refresh,
+            )
+        except ShardError:
+            raise
         except Exception as exc:
             self._reset_pool()
             raise ShardError(
-                f"shard pool ({self.start_method}, {self.workers} workers) failed: {exc!r}"
+                f"shard pool ({self.start_method}, {self.workers} workers) "
+                f"failed: {exc!r}"
             ) from exc
 
     def run_bucket(
@@ -145,30 +204,43 @@ class ShardExecutor:
         model: str,
         budget: int,
         shards: int,
-    ) -> tuple:
+        policy: Optional[SupervisePolicy] = None,
+        faults=None,
+    ) -> Tuple[ShardPlan, List[Dict], SupervisionReport]:
         """Scatter one fused bucket across ≤ ``shards`` owner-block tasks.
 
-        Returns ``(plan, shard_results)``: the :class:`ShardPlan` over
-        owners and one worker result dict per shard, in shard order.
+        Returns ``(plan, shard_results, report)``: the
+        :class:`ShardPlan` over owners, one worker result dict per shard
+        in shard order, and the supervision report (attempts, hedges,
+        timeouts, quarantines) for spans and metrics.
         """
         plan: ShardPlan = plan_shards([int(p.shape[0]) for p in payloads], shards)
-        refs = [self.ref_for(p) for p in payloads]
-        if self.arena is not None:
-            self._retired_log.extend(self.arena.drain_retired())
-        retired = list(self._retired_log)
-        tasks = [
-            {
-                "refs": refs[lo:hi],
+
+        def make_task(lo: int, hi: int) -> Dict:
+            refs = [self.ref_for(p) for p in payloads[lo:hi]]
+            if self.arena is not None:
+                self._retired_log.extend(self.arena.drain_retired())
+            return {
+                "refs": refs,
                 "rows": [None] * (hi - lo),
                 "problem": problem,
                 "cache": bool(cache),
                 "model": model,
                 "budget": int(budget),
-                "retired": retired,
+                "retired": list(self._retired_log),
             }
-            for lo, hi in plan.ranges
-        ]
-        return plan, self.run_tasks(tasks)
+
+        tasks = [make_task(lo, hi) for lo, hi in plan.ranges]
+        results, report = self.run_tasks_supervised(
+            tasks,
+            policy=policy,
+            faults=faults,
+            owners=plan.ranges,
+            # a re-dispatch re-resolves refs so evicted segments are
+            # re-placed (cache hits also self-heal corrupt headers)
+            refresh=lambda k: make_task(*plan.ranges[k]),
+        )
+        return plan, results, report
 
 
 # --------------------------------------------------------------------- #
@@ -188,10 +260,19 @@ def get_executor(workers: int, start_method: Optional[str] = None) -> ShardExecu
 
 
 def shutdown_executors() -> None:
-    """Tear down every pool and unlink every shared-memory segment."""
+    """Tear down every pool and unlink every shared-memory segment.
+
+    Safe to call any number of times, from ``atexit`` or by hand, with
+    workers alive, dead, or SIGKILLed: each executor's teardown failure
+    is contained so the remaining executors still release their
+    segments, and a second call over an empty registry is a no-op.
+    """
     while _EXECUTORS:
         _, ex = _EXECUTORS.popitem()
-        ex.shutdown()
+        try:
+            ex.shutdown()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
 
 
 atexit.register(shutdown_executors)

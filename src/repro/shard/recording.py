@@ -21,11 +21,12 @@ bit.  ``tests/test_shard_equivalence.py`` pins this end to end.
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Optional, Tuple
 
 from repro.pram.ledger import CostLedger, notify_kernel
 
-__all__ = ["RecordingLedger", "replay_events", "ChargeEvent"]
+__all__ = ["RecordingLedger", "replay_events", "events_digest", "ChargeEvent"]
 
 #: ``("c", rounds, processors, work)`` or ``("k", name, size, None)`` —
 #: a single flat tuple shape keeps the logs cheap to pickle.
@@ -79,3 +80,17 @@ def replay_events(ledger: CostLedger, events: List[ChargeEvent]) -> None:
             ledger.charge(rounds=ev[1], processors=ev[2], work=ev[3])
         else:
             notify_kernel(ledger, ev[1], ev[2])
+
+
+def events_digest(events: List[ChargeEvent]) -> int:
+    """Order-sensitive CRC-32 of one owner's charge/kernel log.
+
+    Two logs digest equal iff they would replay identically (same
+    events, same interleaving).  The supervisor uses this to confirm
+    that a straggler's late result and its in-process hedge twin agree
+    before merging either (:mod:`repro.shard.supervise`).
+    """
+    crc = 0
+    for ev in events:
+        crc = zlib.crc32(repr(tuple(ev)).encode("ascii"), crc)
+    return crc

@@ -1,4 +1,4 @@
-"""Shared-memory placement for sharded sweeps.
+"""Crash-safe shared-memory placement for sharded sweeps.
 
 The whole point of the shard executor is that workers *map* the float
 tensor instead of receiving a pickled copy, so the scatter step costs
@@ -6,16 +6,42 @@ one ``memcpy`` into a ``multiprocessing.shared_memory.SharedMemory``
 segment the first time an array is seen — and nothing at all on repeat
 solves.  :class:`ShmArena` is the parent-side placement cache:
 
-- ``place(array)`` returns a :class:`TensorRef` (segment name + shape)
-  for a C-contiguous float64 matrix, creating and filling a segment on
-  first sight and reusing it (keyed by ``id(array)``, with a strong
-  reference pinning the identity) afterwards;
+- ``place(array)`` returns a :class:`TensorRef` (segment name + shape +
+  generation) for a C-contiguous float64 matrix, creating and filling a
+  segment on first sight and reusing it (keyed by ``id(array)``, with a
+  strong reference pinning the identity) afterwards;
 - a byte budget (``REPRO_SHARD_SHM_BYTES``, default 4 GiB) bounds the
   cache — eviction unlinks the segment and queues its name so workers
   drop their own attachment (existing POSIX mappings survive an unlink;
   the memory is reclaimed once every attachment closes);
 - ``release_all()`` unlinks everything (wired to ``atexit`` by the
   executor so segments never outlive the process).
+
+Crash safety (DESIGN.md §12) adds three mechanisms:
+
+**Per-segment header.**  Every segment begins with a
+:data:`HEADER_BYTES`-byte header — magic, a monotonically increasing
+*generation* counter, the placed shape, the data byte count, and a
+CRC-32 checksum over all of it.  :func:`attach_readonly` verifies the
+header against the :class:`TensorRef` on every attach, so a stale
+mapping (name reuse across a crashed parent), a shape mismatch, or
+scribbled placement metadata surfaces as a structured
+:class:`~repro.shard.supervise.ShardIntegrityError` — retryable — never
+as silently wrong minima.  :meth:`ShmArena.repair` restores a damaged
+segment (header *and* data) from the parent's pinned source array;
+cache hits self-heal the same way.
+
+**Orphan reaping.**  Segment names embed the creating pid
+(``repro-shm-<pid>-<token>``).  :func:`reap_orphans` scans ``/dev/shm``
+for segments whose owner is dead (a SIGKILLed or crashed parent leaks
+its arena) and unlinks them; the first :class:`ShmArena` constructed in
+a process runs it automatically.
+
+**Teardown that cannot leak.**  ``release_all``/eviction unlink from
+the *parent* side, which succeeds regardless of worker state — a
+SIGKILLed worker only abandons its own attachment (reclaimed by the
+kernel), never the name.  Close/unlink failures are contained so one
+bad segment cannot strand the rest.
 
 Workers attach by name through :func:`attach_readonly`, which also
 works around the CPython ≤3.12 ``resource_tracker`` misfeature of
@@ -27,14 +53,61 @@ prematurely unlink) segments the parent still owns.
 from __future__ import annotations
 
 import os
+import secrets
+import struct
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TensorRef", "ShmArena", "attach_readonly", "detach", "worker_cache_clear"]
+from repro.shard.supervise import ShardIntegrityError
+
+__all__ = [
+    "TensorRef",
+    "ShmArena",
+    "attach_readonly",
+    "detach",
+    "worker_cache_clear",
+    "reap_orphans",
+    "HEADER_BYTES",
+]
+
+#: Reserved bytes at the head of every segment (the data region follows).
+HEADER_BYTES = 64
+_MAGIC = 0x5250524F53484D32  # b"RPROSHM2" as a big-endian u64
+_HEADER = struct.Struct("<QQQQQI")  # magic, generation, rows, cols, nbytes, crc32
+_NAME_PREFIX = "repro-shm"
+
+
+def _pack_header(generation: int, shape: Tuple[int, int], nbytes: int) -> bytes:
+    body = struct.pack(
+        "<QQQQQ", _MAGIC, generation, int(shape[0]), int(shape[1]), int(nbytes)
+    )
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def _write_header(seg, generation: int, shape: Tuple[int, int], nbytes: int) -> None:
+    seg.buf[: _HEADER.size] = _pack_header(generation, shape, nbytes)
+
+
+def _check_header(seg, ref: "TensorRef") -> Optional[str]:
+    """``None`` when the header matches ``ref``; else a short diagnosis."""
+    raw = bytes(seg.buf[: _HEADER.size])
+    magic, generation, rows, cols, nbytes, crc = _HEADER.unpack(raw)
+    if magic != _MAGIC:
+        return f"bad magic 0x{magic:x}"
+    if crc != zlib.crc32(raw[:-4]):
+        return "metadata checksum mismatch"
+    if generation != ref.generation:
+        return f"generation {generation} != expected {ref.generation} (stale attach)"
+    if (rows, cols) != tuple(ref.shape):
+        return f"shape ({rows}, {cols}) != expected {tuple(ref.shape)}"
+    if nbytes + HEADER_BYTES > seg.size:
+        return f"declared {nbytes} data bytes exceed segment size {seg.size}"
+    return None
 
 
 @dataclass(frozen=True)
@@ -43,12 +116,15 @@ class TensorRef:
 
     ``name=None`` means the tensor travels inline (thread mode — the
     worker shares the parent's address space, so ``data`` IS the
-    parent's array and no segment exists).
+    parent's array and no segment exists).  ``generation`` is the
+    arena's placement counter at creation, verified against the segment
+    header on attach.
     """
 
     name: object  # str | None
     shape: Tuple[int, int]
     data: object = None  # np.ndarray | None (inline / thread mode)
+    generation: int = 0
 
 
 def _byte_budget() -> int:
@@ -59,16 +135,93 @@ def _byte_budget() -> int:
         return 4 << 30
 
 
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's live pid
+        return True
+    return True
+
+
+def reap_orphans(directory: str = "/dev/shm") -> List[str]:
+    """Unlink ``repro-shm-*`` segments whose creating process is dead.
+
+    A parent that dies uncleanly (SIGKILL, OOM) cannot run its
+    ``atexit`` unlink; its segments survive in ``/dev/shm`` forever.
+    Names embed the creator pid, so leaked segments are identified by
+    pid liveness — live processes' segments (including our own) are
+    never touched.  Returns the reaped names.  No-op on platforms
+    without a scannable shm directory.
+    """
+    reaped: List[str] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return reaped
+    for entry in entries:
+        if not entry.startswith(_NAME_PREFIX + "-"):
+            continue
+        parts = entry.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            seg = _attach_untracked(entry)
+        except (FileNotFoundError, OSError):  # pragma: no cover - race
+            continue
+        try:
+            seg.unlink()
+            reaped.append(entry)
+        except (FileNotFoundError, OSError):  # pragma: no cover - race
+            pass
+        finally:
+            try:
+                seg.close()
+            except (BufferError, OSError):  # pragma: no cover - defensive
+                pass
+    return reaped
+
+
+_REAPED_ONCE = False
+
+
+def _reap_once() -> None:
+    global _REAPED_ONCE
+    if not _REAPED_ONCE:
+        _REAPED_ONCE = True
+        reap_orphans()
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """A fresh segment with a pid-stamped, collision-checked name."""
+    while True:
+        name = f"{_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=HEADER_BYTES + nbytes, name=name
+            )
+        except FileExistsError:  # pragma: no cover - 1-in-2^32 collision
+            continue
+
+
 class ShmArena:
     """Parent-side segment cache: one segment per distinct source array."""
 
     def __init__(self, byte_budget: int | None = None) -> None:
+        _reap_once()
         self.byte_budget = _byte_budget() if byte_budget is None else int(byte_budget)
-        # id(array) -> (array ref, segment, nbytes); insertion order = LRU
-        self._cache: "OrderedDict[int, Tuple[np.ndarray, shared_memory.SharedMemory, int]]" = (
+        # id(array) -> (array ref, contiguous mat, segment, nbytes, generation);
+        # insertion order = LRU
+        self._cache: "OrderedDict[int, Tuple[np.ndarray, np.ndarray, shared_memory.SharedMemory, int, int]]" = (
             OrderedDict()
         )
         self._bytes = 0
+        self._generation = 0
         #: Names unlinked since the last drain — shipped to workers so
         #: they close their stale attachments.
         self._retired: List[str] = []
@@ -81,31 +234,93 @@ class ShmArena:
         return self._bytes
 
     def place(self, array: np.ndarray) -> TensorRef:
-        """Segment-backed ref for ``array`` (cached by object identity)."""
+        """Segment-backed ref for ``array`` (cached by object identity).
+
+        Cache hits re-verify the segment header and self-heal a
+        corrupted placement before handing out the ref, so a scribbled
+        header never survives past the next placement.
+        """
         key = id(array)
         hit = self._cache.get(key)
         if hit is not None:
+            _, mat, seg, nbytes, generation = hit
             self._cache.move_to_end(key)
-            return TensorRef(name=hit[1].name, shape=tuple(array.shape))
+            ref = TensorRef(
+                name=seg.name, shape=tuple(array.shape), generation=generation
+            )
+            if _check_header(seg, ref) is not None:
+                self._restore(mat, seg, nbytes, generation)
+            return ref
         mat = np.ascontiguousarray(array, dtype=np.float64)
         nbytes = max(1, mat.nbytes)
         while self._cache and self._bytes + nbytes > self.byte_budget:
             self._evict_oldest()
-        seg = shared_memory.SharedMemory(create=True, size=nbytes)
-        view = np.ndarray(mat.shape, dtype=np.float64, buffer=seg.buf)
-        view[...] = mat
-        self._cache[key] = (array, seg, nbytes)
+        seg = _new_segment(nbytes)
+        self._generation += 1
+        generation = self._generation
+        self._restore(mat, seg, nbytes, generation)
+        self._cache[key] = (array, mat, seg, nbytes, generation)
         self._bytes += nbytes
-        return TensorRef(name=seg.name, shape=tuple(array.shape))
+        return TensorRef(name=seg.name, shape=tuple(array.shape), generation=generation)
+
+    @staticmethod
+    def _restore(mat: np.ndarray, seg, nbytes: int, generation: int) -> None:
+        """(Re)write a segment's data region and header from its source."""
+        if mat.size:
+            view = np.ndarray(
+                mat.shape, dtype=np.float64, buffer=seg.buf, offset=HEADER_BYTES
+            )
+            view[...] = mat
+            del view
+        _write_header(seg, generation, mat.shape, nbytes)
+
+    def repair(self, name: str) -> bool:
+        """Restore the named segment (header + data) from its pinned source.
+
+        The recovery hook for detected metadata corruption: the
+        supervisor calls this before re-dispatching a task whose worker
+        raised :class:`~repro.shard.supervise.ShardIntegrityError`.
+        Returns ``False`` when the name is not resident (evicted — the
+        caller re-places through :meth:`place` instead).
+        """
+        for _, mat, seg, nbytes, generation in self._cache.values():
+            if seg.name == name:
+                self._restore(mat, seg, nbytes, generation)
+                return True
+        return False
+
+    def corrupt_header(self, name: str) -> bool:
+        """Scribble the named segment's placement metadata (chaos aid).
+
+        This is the ``shm_corrupt`` fault's injection site — it damages
+        only the header (checksum field included), never the float
+        data, so a repaired segment is bit-identical to the original.
+        """
+        for _, _, seg, _, _ in self._cache.values():
+            if seg.name == name:
+                seg.buf[: _HEADER.size] = b"\xde\xad" * (_HEADER.size // 2)
+                return True
+        return False
 
     def _evict_oldest(self) -> None:
-        _, (_, seg, nbytes) = self._cache.popitem(last=False)
+        _, (_, _, seg, nbytes, _) = self._cache.popitem(last=False)
         self._bytes -= nbytes
         self._retired.append(seg.name)
-        seg.close()
+        self._unlink(seg)
+
+    @staticmethod
+    def _unlink(seg) -> None:
+        """Close + unlink, containing per-segment failures (teardown must
+        keep going even if a buffer is still exported somewhere)."""
+        try:
+            seg.close()
+        except (BufferError, OSError):  # pragma: no cover - exported view
+            pass
         try:
             seg.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        except OSError:  # pragma: no cover - defensive
             pass
 
     def drain_retired(self) -> List[str]:
@@ -114,8 +329,14 @@ class ShmArena:
         return out
 
     def release_all(self) -> None:
+        """Unlink every resident segment; idempotent and exception-proof
+        (interpreter-shutdown teardown must never mask a user exception
+        or leak a segment because one close failed)."""
         while self._cache:
-            self._evict_oldest()
+            try:
+                self._evict_oldest()
+            except Exception:  # pragma: no cover - defensive
+                pass
         self._retired = []
 
 
@@ -126,14 +347,32 @@ _ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
 
 
 def attach_readonly(ref: TensorRef) -> np.ndarray:
-    """The matrix behind ``ref``, mapped (or passed through) zero-copy."""
+    """The matrix behind ``ref``, mapped (or passed through) zero-copy.
+
+    Every attach verifies the segment header against the ref — magic,
+    checksum, generation, shape — and raises
+    :class:`~repro.shard.supervise.ShardIntegrityError` on any mismatch
+    (including a vanished segment), which the supervisor treats as
+    retryable after repairing/re-placing the segment.
+    """
     if ref.name is None:
         return ref.data
     seg = _ATTACHED.get(ref.name)
     if seg is None:
-        seg = _attach_untracked(ref.name)
+        try:
+            seg = _attach_untracked(ref.name)
+        except FileNotFoundError:
+            raise ShardIntegrityError(
+                f"shared-memory segment {ref.name!r} does not exist "
+                "(evicted or reaped before attach)"
+            ) from None
         _ATTACHED[ref.name] = seg
-    return np.ndarray(ref.shape, dtype=np.float64, buffer=seg.buf)
+    problem = _check_header(seg, ref)
+    if problem is not None:
+        raise ShardIntegrityError(
+            f"shared-memory segment {ref.name!r} failed verification: {problem}"
+        )
+    return np.ndarray(ref.shape, dtype=np.float64, buffer=seg.buf, offset=HEADER_BYTES)
 
 
 def detach(names) -> None:
@@ -141,7 +380,10 @@ def detach(names) -> None:
     for name in names:
         seg = _ATTACHED.pop(name, None)
         if seg is not None:
-            seg.close()
+            try:
+                seg.close()
+            except (BufferError, OSError):  # pragma: no cover - exported view
+                pass
 
 
 def worker_cache_clear() -> None:  # pragma: no cover - process teardown aid

@@ -1,0 +1,573 @@
+"""Shard supervision: deadlines, retry/backoff, hedging, quarantine.
+
+PR 6's executor had all-or-nothing robustness: ``run_tasks`` was a bare
+``pool.map`` — one slow worker stalled the bucket indefinitely, and any
+exception abandoned every shard's completed work for the serial
+fallback.  This module replaces that with a supervised dispatch loop
+(:func:`run_supervised`) built around four mechanisms, all of which
+preserve the bit-identity contract (a recovered shard re-runs the same
+deterministic sweep, and :class:`~repro.shard.recording.RecordingLedger`
+replay reproduces the identical charge stream):
+
+**Deadlines.**  Each task carries a per-attempt deadline
+(:attr:`SupervisePolicy.timeout_s`, from ``ExecutionConfig.shard_timeout``
+or ``REPRO_SHARD_TIMEOUT``) and the bucket a total budget
+(``timeout_s × budget_factor``).  A timed-out attempt is abandoned (the
+future is ignored when it eventually lands) and either retried or
+quarantined; a blown bucket budget sends every unfinished shard to the
+in-process fallback at once.
+
+**Retry with backoff.**  Retryable failures — a dead worker
+(``BrokenProcessPool``), an injected or real
+:class:`ShardWorkerLost`, a shared-memory attach race or checksum
+mismatch (:class:`ShardIntegrityError`) — are re-dispatched up to
+:attr:`SupervisePolicy.max_attempts` times with exponential backoff
+plus deterministic jitter.  A broken process pool is respawned
+transparently, corrupt segments are repaired
+(:meth:`~repro.shard.shm.ShmArena.repair`), and evicted placements are
+re-placed through the caller's ``refresh`` hook before re-dispatch.
+
+**Straggler hedging.**  Once completed-task wall times establish a
+quantile, a task exceeding ``max(hedge_min_s, hedge_factor × q)`` (or
+the absolute :attr:`SupervisePolicy.hedge_after_s`) is speculatively
+re-run *in-process* and the first result wins — safe because the sweep
+is deterministic, and verified when both copies arrive by comparing
+:func:`~repro.shard.recording.events_digest` checksums.
+
+**Partial degradation.**  A shard that exhausts retries falls back
+alone to an in-process :func:`~repro.shard.worker.run_shard_task`
+(fault directives stripped, segments repaired first), quarantining the
+failure instead of discarding the other shards' completed work.  Only
+when even that fails does the whole bucket raise :class:`ShardError`,
+which the session converts into the wholesale serial fallback — so the
+old guarantee ("sharding can be slower, never wrong") still holds at
+every level of degradation.
+
+Seeded chaos drives all of it: a
+:class:`~repro.resilience.faults.FaultPlan` with shard-kind rates
+(``worker_kill`` / ``task_delay`` / ``shm_corrupt`` / ``result_drop``)
+is consulted *in the parent at dispatch time*, so the injected schedule
+is a pure function of the seed.  Recovery is observable through the
+``shard.retries`` / ``shard.hedges`` / ``shard.timeouts`` /
+``shard.partial_fallbacks`` counters, the ``shard.hedge_latency_s``
+histogram, and per-shard ``attempt`` / ``hedged`` span attributes
+(DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import metrics
+
+__all__ = [
+    "ShardError",
+    "ShardTimeout",
+    "ShardWorkerLost",
+    "ShardIntegrityError",
+    "SupervisePolicy",
+    "TaskReport",
+    "SupervisionReport",
+    "run_supervised",
+    "default_policy",
+    "set_default_policy",
+    "policy_override",
+]
+
+
+# --------------------------------------------------------------------- #
+# error taxonomy
+# --------------------------------------------------------------------- #
+class ShardError(RuntimeError):
+    """A shard bucket failed beyond recovery; callers fall back to serial.
+
+    Subclasses carry structured coordinates: ``shard`` (task index
+    within the bucket), ``attempt`` (1-based attempt count when the
+    error was raised), and ``owners`` (the ``(lo, hi)`` owner block the
+    shard covered) — all optional, because some failures (a dead pool)
+    have no single shard to blame.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: Optional[int] = None,
+        attempt: Optional[int] = None,
+        owners: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt
+        self.owners = owners
+
+
+class ShardTimeout(ShardError):
+    """A shard attempt exceeded its deadline (or the bucket its budget)."""
+
+
+class ShardWorkerLost(ShardError):
+    """The worker owning a shard task died (or its result never arrived)."""
+
+
+class ShardIntegrityError(ShardError):
+    """Shared-memory metadata or a returned result failed verification."""
+
+
+#: Failure types worth re-dispatching: pool/worker loss, shm races and
+#: checksum mismatches, and transient OS-level errors.  Anything else is
+#: assumed deterministic (a genuine bug) and goes straight to quarantine.
+RETRYABLE = (BrokenExecutor, ShardWorkerLost, ShardIntegrityError, OSError)
+
+
+# --------------------------------------------------------------------- #
+# policy
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SupervisePolicy:
+    """Tuning knobs for one supervised bucket dispatch.
+
+    ``timeout_s`` is the per-attempt deadline (``None`` disables
+    deadlines; the default — resolution from ``shard_timeout`` /
+    ``REPRO_SHARD_TIMEOUT`` happens in the session).  The bucket-level
+    budget is ``timeout_s × budget_factor``.  Hedging triggers at
+    ``max(hedge_min_s, hedge_factor × quantile(completed walls))`` once
+    at least one task has completed, or unconditionally after
+    ``hedge_after_s`` when set.  Defaults are deliberately conservative
+    so a loaded single-core host never hedges spuriously.
+    """
+
+    timeout_s: Optional[float] = None
+    budget_factor: float = 4.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    hedge_quantile: float = 0.5
+    hedge_factor: float = 6.0
+    hedge_min_s: float = 0.5
+    hedge_after_s: Optional[float] = None
+    tick_s: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ValueError(f"timeout_s must be > 0 or None, got {self.timeout_s}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.hedge_quantile <= 1.0:
+            raise ValueError(
+                f"hedge_quantile must be in [0, 1], got {self.hedge_quantile}"
+            )
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before re-dispatch attempt ``attempt`` (1-based, jittered)."""
+        base = self.backoff_base_s * (self.backoff_factor ** max(0, attempt - 1))
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+
+_DEFAULT_POLICY: Optional[SupervisePolicy] = None
+
+
+def default_policy(timeout_s: Optional[float] = None) -> SupervisePolicy:
+    """The process default policy, with ``timeout_s`` folded in if given."""
+    base = _DEFAULT_POLICY if _DEFAULT_POLICY is not None else SupervisePolicy()
+    if timeout_s is not None:
+        base = replace(base, timeout_s=timeout_s)
+    return base
+
+
+def set_default_policy(policy: Optional[SupervisePolicy]) -> Optional[SupervisePolicy]:
+    """Pin the process default policy (``None`` restores the built-in);
+    returns the previous pin."""
+    global _DEFAULT_POLICY
+    prev = _DEFAULT_POLICY
+    _DEFAULT_POLICY = policy
+    return prev
+
+
+@contextmanager
+def policy_override(policy: Optional[SupervisePolicy]) -> Iterator[None]:
+    """Temporarily pin the default supervision policy (tests, chaos)."""
+    prev = set_default_policy(policy)
+    try:
+        yield
+    finally:
+        set_default_policy(prev)
+
+
+# --------------------------------------------------------------------- #
+# reports
+# --------------------------------------------------------------------- #
+@dataclass
+class TaskReport:
+    """Per-shard supervision outcome (feeds span attributes)."""
+
+    shard: int
+    owners: Optional[Tuple[int, int]] = None
+    attempts: int = 0
+    hedged: bool = False
+    timeouts: int = 0
+    partial_fallback: bool = False
+    wall_s: float = 0.0
+
+
+@dataclass
+class SupervisionReport:
+    """Bucket-level supervision outcome (feeds metrics + bucket span)."""
+
+    tasks: List[TaskReport] = field(default_factory=list)
+    retries: int = 0
+    hedges: int = 0
+    timeouts: int = 0
+    partial_fallbacks: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        """Did the supervisor have to intervene at all?"""
+        return bool(
+            self.retries or self.hedges or self.timeouts or self.partial_fallbacks
+        )
+
+
+# --------------------------------------------------------------------- #
+# the supervised dispatch loop
+# --------------------------------------------------------------------- #
+def _validate_result(res, task: Dict, shard: int, attempt: int) -> None:
+    """Structural integrity of one worker result dict."""
+    required = ("outs", "events", "evals", "sweep", "wall_s")
+    if not isinstance(res, dict) or any(key not in res for key in required):
+        raise ShardIntegrityError(
+            f"shard {shard} returned a malformed result "
+            f"(attempt {attempt}): {type(res).__name__}",
+            shard=shard,
+            attempt=attempt,
+        )
+    if len(res["outs"]) != len(task["refs"]):
+        raise ShardIntegrityError(
+            f"shard {shard} returned {len(res['outs'])} owner results for "
+            f"{len(task['refs'])} owners (attempt {attempt})",
+            shard=shard,
+            attempt=attempt,
+        )
+
+
+def _quantile(values: Sequence[float], q: float) -> float:
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def run_supervised(
+    executor,
+    tasks: Sequence[Dict],
+    *,
+    policy: Optional[SupervisePolicy] = None,
+    faults=None,
+    owners: Optional[Sequence[Tuple[int, int]]] = None,
+    refresh: Optional[Callable[[int], Dict]] = None,
+) -> Tuple[List[Dict], SupervisionReport]:
+    """Dispatch ``tasks`` on ``executor``'s pool under full supervision.
+
+    Returns one worker result dict per task (task order) plus the
+    :class:`SupervisionReport`.  ``owners`` optionally labels each
+    task's owner block for error messages and reports; ``refresh(k)``
+    rebuilds task ``k``'s dict before a re-dispatch (re-placing evicted
+    shared-memory segments).  ``faults`` is an optional
+    :class:`~repro.resilience.faults.FaultPlan` whose shard-kind rates
+    are drawn here, in the parent, once per dispatch attempt.
+
+    Raises :class:`ShardError` (or a subclass) only when a shard cannot
+    be recovered even by the in-process fallback — the signal for the
+    session's wholesale serial fallback.
+    """
+    from repro.shard.worker import run_shard_task
+
+    policy = policy if policy is not None else default_policy()
+    n = len(tasks)
+    if n == 0:
+        return [], SupervisionReport()
+    rng = random.Random(policy.seed if faults is None else faults.seed)
+    m = metrics()
+
+    report = SupervisionReport(
+        tasks=[
+            TaskReport(shard=k, owners=tuple(owners[k]) if owners else None)
+            for k in range(n)
+        ]
+    )
+    current: List[Dict] = [dict(t) for t in tasks]
+    results: List[Optional[Dict]] = [None] * n
+    live: Dict[object, int] = {}  # future -> task index
+    started: Dict[int, float] = {}
+    dropped: Dict[int, bool] = {}  # parent-side result_drop draw, per attempt
+    backlog: List[Tuple[int, float]] = []  # (task index, earliest re-dispatch)
+    completed_walls: List[float] = []
+
+    t_bucket = time.monotonic()
+    budget_s = (
+        policy.timeout_s * policy.budget_factor
+        if policy.timeout_s is not None
+        else None
+    )
+
+    def owner_block(k: int) -> Optional[Tuple[int, int]]:
+        return report.tasks[k].owners
+
+    def repair_refs(k: int) -> None:
+        """Rewrite the headers (and data) of task ``k``'s segments."""
+        arena = getattr(executor, "arena", None)
+        if arena is None:
+            return
+        for ref in current[k].get("refs", ()):
+            if getattr(ref, "name", None) is not None:
+                arena.repair(ref.name)
+
+    def draw_directives(k: int) -> None:
+        """Consult the fault plan for this dispatch; annotate the task.
+
+        Draws are keyed by ``(shard, attempt)`` so the injected schedule
+        is a pure function of the seed regardless of how concurrent
+        completions interleave (:meth:`FaultPlan.fires_keyed`).
+        """
+        current[k].pop("fault", None)
+        dropped[k] = False
+        if faults is None:
+            return
+        site = f"shard-{k}"
+        attempt = report.tasks[k].attempts
+        directive: Dict = {}
+        if faults.fires_keyed("task_delay", (k, attempt), site=site):
+            directive["delay_s"] = float(faults.delay_s)
+        if faults.fires_keyed("worker_kill", (k, attempt), site=site):
+            directive["kill"] = True
+            directive["thread"] = getattr(executor, "start_method", "") == "thread"
+        if directive:
+            current[k]["fault"] = directive
+        dropped[k] = faults.fires_keyed("result_drop", (k, attempt), site=site)
+        if faults.fires_keyed("shm_corrupt", (k, attempt), site=site):
+            arena = getattr(executor, "arena", None)
+            if arena is not None:
+                for ref in current[k].get("refs", ()):
+                    if getattr(ref, "name", None) is not None:
+                        arena.corrupt_header(ref.name)
+                        break
+
+    def submit(k: int) -> None:
+        report.tasks[k].attempts += 1
+        if refresh is not None and report.tasks[k].attempts > 1:
+            current[k] = dict(refresh(k))
+        draw_directives(k)
+        started[k] = time.monotonic()
+        try:
+            fut = executor._ensure_pool().submit(run_shard_task, current[k])
+        except (BrokenExecutor, RuntimeError):
+            # pool died between completions (or was shut down under us):
+            # respawn once and submit on the fresh pool — if that also
+            # fails, the bucket is genuinely unsalvageable.
+            executor.respawn_pool()
+            fut = executor._ensure_pool().submit(run_shard_task, current[k])
+        live[fut] = k
+
+    def run_inline(k: int, *, why: str) -> Dict:
+        """Quarantined in-process execution (faults stripped, shm repaired)."""
+        task = dict(current[k])
+        task.pop("fault", None)
+        repair_refs(k)
+        try:
+            res = run_shard_task(task)
+            _validate_result(res, task, k, report.tasks[k].attempts)
+        except Exception as exc:
+            raise ShardError(
+                f"shard {k} (owners {owner_block(k)}) failed in-process after "
+                f"{report.tasks[k].attempts} pool attempt(s) [{why}]: {exc!r}",
+                shard=k,
+                attempt=report.tasks[k].attempts,
+                owners=owner_block(k),
+            ) from exc
+        return res
+
+    def quarantine(k: int, *, why: str) -> None:
+        results[k] = run_inline(k, why=why)
+        report.tasks[k].partial_fallback = True
+        report.tasks[k].wall_s = results[k]["wall_s"]
+        report.partial_fallbacks += 1
+        m.counter("shard.partial_fallbacks").inc()
+
+    def retry_or_quarantine(k: int, exc: Optional[BaseException], *, why: str) -> None:
+        if isinstance(exc, ShardIntegrityError):
+            repair_refs(k)
+        if report.tasks[k].attempts < policy.max_attempts:
+            delay = policy.backoff(report.tasks[k].attempts, rng)
+            backlog.append((k, time.monotonic() + delay))
+            report.retries += 1
+            m.counter("shard.retries").inc()
+        else:
+            quarantine(k, why=why)
+
+    def hedge(k: int, fut) -> None:
+        """Speculative in-process twin; first bit-identical result wins."""
+        report.tasks[k].hedged = True
+        report.hedges += 1
+        m.counter("shard.hedges").inc()
+        t0 = time.monotonic()
+        res = run_inline(k, why="straggler hedge")
+        m.histogram("shard.hedge_latency_s").observe(time.monotonic() - t0)
+        live.pop(fut, None)
+        if fut.done() and fut.exception() is None:
+            # the straggler finished while we hedged: both results exist
+            # and determinism says they are identical — verify, and take
+            # the worker's (it finished first).
+            from repro.shard.recording import events_digest
+
+            wres = fut.result()
+            try:
+                _validate_result(wres, current[k], k, report.tasks[k].attempts)
+            except ShardIntegrityError:
+                wres = None
+            if wres is not None:
+                hedge_dig = [events_digest(ev) for ev in res["events"]]
+                work_dig = [events_digest(ev) for ev in wres["events"]]
+                if hedge_dig != work_dig:
+                    raise ShardIntegrityError(
+                        f"shard {k}: hedged in-process result diverged from "
+                        "the worker's (charge-log digests differ) — refusing "
+                        "to merge a non-deterministic bucket",
+                        shard=k,
+                        attempt=report.tasks[k].attempts,
+                        owners=owner_block(k),
+                    )
+                res = wres
+        results[k] = res
+        report.tasks[k].wall_s = res["wall_s"]
+
+    def handle_failure(k: int, exc: BaseException) -> None:
+        if isinstance(exc, BrokenExecutor):
+            # the pool is dead: every in-flight future is lost with it.
+            lost = [k] + [live.pop(f) for f in list(live)]
+            executor.respawn_pool()
+            for j in lost:
+                retry_or_quarantine(
+                    j, ShardWorkerLost(str(exc), shard=j), why="worker lost"
+                )
+        elif isinstance(exc, RETRYABLE):
+            retry_or_quarantine(k, exc, why=type(exc).__name__)
+        else:
+            # deterministic failure: retrying the same task is pointless,
+            # but the in-process path may still differ (fresh attach, no
+            # pool) — quarantine, and let its error surface if genuine.
+            quarantine(k, why=f"non-retryable {type(exc).__name__}")
+
+    def hedge_threshold() -> Optional[float]:
+        if policy.hedge_after_s is not None:
+            return policy.hedge_after_s
+        if not completed_walls:
+            return None
+        q = _quantile(completed_walls, policy.hedge_quantile)
+        return max(policy.hedge_min_s, policy.hedge_factor * q)
+
+    for k in range(n):
+        submit(k)
+
+    while any(r is None for r in results):
+        now = time.monotonic()
+
+        # bucket budget: everything still unfinished quarantines at once
+        if budget_s is not None and now - t_bucket > budget_s:
+            stranded = sorted(set(live.values()) | {k for k, _ in backlog})
+            for fut in list(live):
+                live.pop(fut)
+            backlog.clear()
+            for k in stranded:
+                if results[k] is None:
+                    report.timeouts += 1
+                    report.tasks[k].timeouts += 1
+                    m.counter("shard.timeouts").inc()
+                    quarantine(k, why="bucket budget exhausted")
+            continue
+
+        # re-dispatch backlog entries whose backoff has elapsed
+        due = [k for k, when in backlog if when <= now]
+        backlog = [(k, when) for k, when in backlog if when > now]
+        for k in due:
+            submit(k)
+
+        if not live and not backlog:
+            # nothing in flight and nothing scheduled, yet tasks remain
+            # unfinished — only reachable through a logic error; refuse
+            # to spin forever.
+            missing = [k for k in range(n) if results[k] is None]
+            raise ShardError(
+                f"supervisor stalled with unfinished shards {missing}"
+            )  # pragma: no cover - defensive
+
+        if live:
+            done, _ = wait(
+                set(live), timeout=policy.tick_s, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                if fut not in live:
+                    # already handled (a broken pool fails every in-flight
+                    # future at once and the first one re-dispatches all)
+                    continue
+                k = live.pop(fut)
+                wall = time.monotonic() - started[k]
+                exc = fut.exception()
+                if exc is not None:
+                    handle_failure(k, exc)
+                    continue
+                res = fut.result()
+                try:
+                    _validate_result(res, current[k], k, report.tasks[k].attempts)
+                    if dropped.get(k):
+                        raise ShardWorkerLost(
+                            f"shard {k}: result dropped in transit (injected)",
+                            shard=k,
+                            attempt=report.tasks[k].attempts,
+                            owners=owner_block(k),
+                        )
+                except ShardError as verr:
+                    handle_failure(k, verr)
+                    continue
+                results[k] = res
+                report.tasks[k].wall_s = wall
+                completed_walls.append(wall)
+        elif backlog:
+            time.sleep(
+                max(0.0, min(when for _, when in backlog) - time.monotonic())
+            )
+
+        # deadlines and hedging for whatever is still in flight
+        now = time.monotonic()
+        threshold = hedge_threshold()
+        for fut, k in list(live.items()):
+            elapsed = now - started[k]
+            if policy.timeout_s is not None and elapsed > policy.timeout_s:
+                live.pop(fut)  # abandon; ignore the eventual completion
+                report.timeouts += 1
+                report.tasks[k].timeouts += 1
+                m.counter("shard.timeouts").inc()
+                retry_or_quarantine(
+                    k,
+                    ShardTimeout(
+                        f"shard {k} exceeded its {policy.timeout_s:.3f}s "
+                        f"deadline (attempt {report.tasks[k].attempts})",
+                        shard=k,
+                        attempt=report.tasks[k].attempts,
+                        owners=owner_block(k),
+                    ),
+                    why="deadline exceeded",
+                )
+            elif (
+                threshold is not None
+                and elapsed > threshold
+                and not report.tasks[k].hedged
+            ):
+                hedge(k, fut)
+
+    return [r for r in results if r is not None], report

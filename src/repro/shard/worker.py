@@ -18,6 +18,8 @@ pools can pickle it by reference.
 
 from __future__ import annotations
 
+import os
+import time
 from time import perf_counter
 from typing import Dict
 
@@ -28,6 +30,7 @@ from repro.pram.machine import Pram
 from repro.pram.models import CRCW_ARBITRARY, CRCW_COMMON, CRCW_PRIORITY, CREW, EREW
 from repro.shard.recording import RecordingLedger
 from repro.shard.shm import attach_readonly, detach
+from repro.shard.supervise import ShardWorkerLost
 
 __all__ = ["run_shard_task", "model_named"]
 
@@ -44,6 +47,26 @@ def model_named(name: str):
         raise ValueError(f"unknown PRAM model {name!r}") from None
 
 
+def _apply_fault_directives(fault) -> None:
+    """Act out a parent-drawn chaos directive (see ``supervise.py``).
+
+    ``delay_s`` sleeps to fake a straggler; ``kill`` dies the way a real
+    worker crash looks from the parent — ``os._exit`` for process pools
+    (→ ``BrokenProcessPool``) and a raised :class:`ShardWorkerLost` for
+    the thread pool, whose workers share the parent's process and must
+    not take it down.
+    """
+    if not fault:
+        return
+    delay = fault.get("delay_s")
+    if delay:
+        time.sleep(float(delay))
+    if fault.get("kill"):
+        if fault.get("thread"):
+            raise ShardWorkerLost("injected worker_kill (thread-mode simulation)")
+        os._exit(70)  # pragma: no cover - dies before coverage flushes
+
+
 def run_shard_task(task: Dict) -> Dict:
     """Execute one shard; returns results + charge logs + shard stats.
 
@@ -55,6 +78,7 @@ def run_shard_task(task: Dict) -> Dict:
     ``wall_s``.
     """
     t0 = perf_counter()
+    _apply_fault_directives(task.get("fault"))
     detach(task.get("retired", ()))
     from repro.core.rowmin_pram import batched_row_extrema
 

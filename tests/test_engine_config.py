@@ -14,6 +14,20 @@ def test_defaults():
     assert cfg.strategy == "auto"
     assert cfg.cache is False and cfg.strict is True and cfg.checked is False
     assert cfg.faults is None and cfg.retries == 0 and cfg.certify is False
+    assert cfg.shards is None and cfg.shard_timeout is None
+
+
+@pytest.mark.parametrize("bad", [0, -0.5, float("inf"), float("nan"), "30"])
+def test_bad_shard_timeout_rejected(bad):
+    with pytest.raises(ValueError, match="shard_timeout"):
+        ExecutionConfig(shard_timeout=bad)
+
+
+def test_shard_timeout_accepted_and_fingerprinted():
+    cfg = ExecutionConfig(shard_timeout=2.5)
+    assert cfg.shard_timeout == 2.5
+    assert cfg.fingerprint() != ExecutionConfig().fingerprint()
+    assert cfg.with_overrides(shard_timeout=None).shard_timeout is None
 
 
 def test_unknown_strategy_rejected_at_construction():

@@ -295,6 +295,46 @@ def test_row_block_minima_rejects_implicit():
         row_block_minima(imp, 2)
 
 
+# --------------------------------------------------------------------- #
+# wholesale ShardError -> serial fallback (the outermost degradation ring)
+# --------------------------------------------------------------------- #
+def test_wholesale_shard_error_falls_back_bit_identical(monkeypatch):
+    """A bucket whose sharded execution is unrecoverable (ShardError
+    from the supervisor) re-runs through the in-process fused path:
+    results bit-identical, ``shard.fallbacks`` incremented exactly once
+    per failed bucket."""
+    from repro.obs.metrics import metrics
+    from repro.shard.executor import ShardExecutor
+
+    _, refs = _serial_refs("rowmin", ARRAYS, trace=True)
+
+    def explode(self, payloads, **kw):
+        raise ShardError("injected: pool unavailable")
+
+    monkeypatch.setattr(ShardExecutor, "run_bucket", explode)
+    metrics().reset()
+    batch = Session("pram-crcw").solve_many("rowmin", ARRAYS, trace=True, shards=3)
+    c = metrics().snapshot()["counters"]
+    assert c["shard.fallbacks"] == 1  # one failed bucket -> one fallback
+    assert c.get("engine.batch.sharded_queries", 0) == 0
+    for ref, got in zip(refs, batch):
+        np.testing.assert_array_equal(ref.values, got.values)
+        np.testing.assert_array_equal(ref.witnesses, got.witnesses)
+        assert got.snapshot == ref.snapshot
+        assert got.trace.totals() == ref.trace.totals()
+
+    # two incompatible buckets that both fail -> exactly two increments
+    metrics().reset()
+    tall = [random_monge(21, 9, np.random.default_rng(900 + k)) for k in range(2)]
+    probs = [("rowmin", a) for a in ARRAYS] + [("rowmin", a) for a in tall]
+    batch2 = Session("pram-crcw").solve_many(probs, shards=3)
+    assert metrics().snapshot()["counters"]["shard.fallbacks"] == 2
+    for (_, a), got in zip(probs, batch2):
+        ref = repro.solve("rowmin", a)
+        np.testing.assert_array_equal(ref.values, got.values)
+        assert got.snapshot == ref.snapshot
+
+
 def test_set_default_shards_roundtrip():
     prev = set_default_shards(5)
     try:

@@ -1,0 +1,470 @@
+"""Shard supervision: recovery without a single wrong bit (DESIGN.md §12).
+
+The contract under test: every supervised recovery mechanism —
+retry/backoff after worker death, deadline timeouts, straggler hedging,
+shared-memory repair, per-shard in-process quarantine — changes
+wall-clock and counters only.  Values, witnesses, per-query snapshots,
+and session totals stay bit-identical to the serial path under every
+seeded chaos regime, because a recovered shard re-runs the same
+deterministic sweep.
+"""
+
+import multiprocessing
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionConfig, Session
+from repro.monge.generators import random_monge
+from repro.obs.metrics import metrics
+from repro.resilience.faults import FaultPlan
+from repro.shard import (
+    ShardError,
+    ShardIntegrityError,
+    ShardTimeout,
+    ShardWorkerLost,
+    SupervisePolicy,
+    SupervisionReport,
+    policy_override,
+    reap_orphans,
+    resolve_shard_timeout,
+    run_supervised,
+    shutdown_executors,
+)
+from repro.shard.config import _reload_env_defaults, resolve_shards
+from repro.shard.executor import ShardExecutor, get_executor
+from repro.shard.shm import HEADER_BYTES, ShmArena, attach_readonly, detach
+from repro.shard.supervise import TaskReport, _validate_result, default_policy
+
+ARRAYS = [random_monge(12, 9, np.random.default_rng(700 + k)) for k in range(4)]
+PROBS = [("rowmin", a) for a in ARRAYS]
+
+
+def _serial_results():
+    return Session("pram-crcw").solve_many(PROBS, config=ExecutionConfig(shards=1))
+
+
+def _assert_identical(refs, got):
+    for a, b in zip(refs, got):
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.witnesses, b.witnesses)
+        assert a.snapshot == b.snapshot
+
+
+# --------------------------------------------------------------------- #
+# error taxonomy
+# --------------------------------------------------------------------- #
+def test_taxonomy_subclasses_and_coordinates():
+    err = ShardTimeout("late", shard=3, attempt=2, owners=(4, 7))
+    assert isinstance(err, ShardError) and isinstance(err, RuntimeError)
+    assert (err.shard, err.attempt, err.owners) == (3, 2, (4, 7))
+    for cls in (ShardWorkerLost, ShardIntegrityError):
+        assert issubclass(cls, ShardError)
+    # coordinates are optional: worker-side raises unpickle with args only
+    bare = ShardWorkerLost("gone")
+    assert bare.shard is None and bare.attempt is None and bare.owners is None
+
+
+# --------------------------------------------------------------------- #
+# policy
+# --------------------------------------------------------------------- #
+def test_policy_validation():
+    SupervisePolicy()  # defaults valid
+    with pytest.raises(ValueError, match="timeout_s"):
+        SupervisePolicy(timeout_s=0)
+    with pytest.raises(ValueError, match="max_attempts"):
+        SupervisePolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="hedge_quantile"):
+        SupervisePolicy(hedge_quantile=1.5)
+
+
+def test_policy_backoff_grows_and_jitters_deterministically():
+    p = SupervisePolicy(backoff_base_s=0.1, backoff_factor=2.0, backoff_jitter=0.5)
+    a = p.backoff(1, random.Random(0))
+    b = p.backoff(2, random.Random(0))
+    assert 0.1 <= a <= 0.15 and 0.2 <= b <= 0.3
+    assert p.backoff(1, random.Random(7)) == p.backoff(1, random.Random(7))
+
+
+def test_default_policy_folds_timeout_and_override_round_trips():
+    assert default_policy().timeout_s is None
+    assert default_policy(2.5).timeout_s == 2.5
+    pinned = SupervisePolicy(hedge_after_s=0.125)
+    with policy_override(pinned):
+        assert default_policy().hedge_after_s == 0.125
+        assert default_policy(1.0).timeout_s == 1.0  # still folds in
+    assert default_policy().hedge_after_s is None
+
+
+# --------------------------------------------------------------------- #
+# env validation (satellite 1)
+# --------------------------------------------------------------------- #
+def test_malformed_repro_shards_raises_with_variable_name(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "four")
+    _reload_env_defaults()
+    try:
+        with pytest.raises(ValueError, match=r"REPRO_SHARDS.*integer >= 0.*'four'"):
+            resolve_shards(None)
+        monkeypatch.setenv("REPRO_SHARDS", "-2")
+        _reload_env_defaults()
+        with pytest.raises(ValueError, match="REPRO_SHARDS"):
+            resolve_shards(None)
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        _reload_env_defaults()
+        assert resolve_shards(None) == 3
+    finally:
+        monkeypatch.delenv("REPRO_SHARDS")
+        _reload_env_defaults()
+
+
+@pytest.mark.parametrize("bad", ["soon", "-1", "0", "inf", "nan"])
+def test_malformed_shard_timeout_raises_with_variable_name(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", bad)
+    with pytest.raises(ValueError, match="REPRO_SHARD_TIMEOUT"):
+        resolve_shard_timeout(None)
+
+
+def test_shard_timeout_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_TIMEOUT", raising=False)
+    assert resolve_shard_timeout(None) is None
+    assert resolve_shard_timeout(3) == 3.0
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "30")
+    assert resolve_shard_timeout(None) == 30.0
+    assert resolve_shard_timeout(0.5) == 0.5  # explicit config wins
+
+
+def test_execution_config_validates_shard_timeout():
+    assert ExecutionConfig(shard_timeout=None).shard_timeout is None
+    assert ExecutionConfig(shard_timeout=1.5).shard_timeout == 1.5
+    for bad in (0, -1, float("inf"), float("nan"), "soon"):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            ExecutionConfig(shard_timeout=bad)
+    # deadline joins the fusion fingerprint
+    assert (
+        ExecutionConfig(shard_timeout=1.0).fingerprint()
+        != ExecutionConfig().fingerprint()
+    )
+
+
+# --------------------------------------------------------------------- #
+# crash-safe shared memory
+# --------------------------------------------------------------------- #
+def test_attach_verifies_header_and_repair_restores():
+    arena = ShmArena()
+    mat = np.arange(12.0).reshape(3, 4)
+    ref = arena.place(mat)
+    np.testing.assert_array_equal(attach_readonly(ref), mat)
+    assert arena.corrupt_header(ref.name)
+    with pytest.raises(ShardIntegrityError, match="failed verification"):
+        attach_readonly(ref)
+    assert arena.repair(ref.name)
+    np.testing.assert_array_equal(attach_readonly(ref), mat)
+    detach([ref.name])
+    arena.release_all()
+
+
+def test_stale_generation_is_detected():
+    arena = ShmArena()
+    ref = arena.place(np.ones((2, 2)))
+    stale = type(ref)(
+        name=ref.name, shape=ref.shape, generation=ref.generation + 1
+    )
+    with pytest.raises(ShardIntegrityError, match="generation"):
+        attach_readonly(stale)
+    detach([ref.name])
+    arena.release_all()
+
+
+def test_vanished_segment_is_integrity_error():
+    arena = ShmArena()
+    ref = arena.place(np.ones((2, 3)))
+    arena.release_all()
+    detach([ref.name])
+    with pytest.raises(ShardIntegrityError, match="does not exist"):
+        attach_readonly(ref)
+
+
+def test_cache_hit_self_heals_corrupt_header():
+    arena = ShmArena()
+    mat = np.arange(6.0).reshape(2, 3)
+    ref = arena.place(mat)
+    arena.corrupt_header(ref.name)
+    ref2 = arena.place(mat)  # same identity -> cache hit -> heal
+    assert ref2.name == ref.name and ref2.generation == ref.generation
+    np.testing.assert_array_equal(attach_readonly(ref2), mat)
+    detach([ref.name])
+    arena.release_all()
+
+
+def test_repair_and_corrupt_miss_on_unknown_name():
+    arena = ShmArena()
+    assert not arena.repair("repro-shm-0-nope")
+    assert not arena.corrupt_header("repro-shm-0-nope")
+    arena.release_all()
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm")
+def test_reap_orphans_unlinks_dead_pid_segments_only():
+    from multiprocessing import shared_memory
+
+    proc = multiprocessing.get_context("fork").Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    dead_pid = proc.pid
+    orphan = shared_memory.SharedMemory(
+        create=True, size=HEADER_BYTES + 8, name=f"repro-shm-{dead_pid}-feedbeef"
+    )
+    orphan.close()
+    arena = ShmArena()  # own (live-pid) segments must survive a reap
+    live_ref = arena.place(np.ones((2, 2)))
+    try:
+        reaped = reap_orphans()
+        assert f"repro-shm-{dead_pid}-feedbeef" in reaped
+        np.testing.assert_array_equal(attach_readonly(live_ref), np.ones((2, 2)))
+        assert reap_orphans() == []  # idempotent: nothing left to reap
+    finally:
+        detach([live_ref.name])
+        arena.release_all()
+
+
+def test_release_all_is_idempotent():
+    arena = ShmArena()
+    arena.place(np.ones((2, 2)))
+    arena.release_all()
+    arena.release_all()
+    assert len(arena) == 0 and arena.bytes_resident == 0
+
+
+# --------------------------------------------------------------------- #
+# atexit reaper (satellite 2)
+# --------------------------------------------------------------------- #
+def test_shutdown_executors_idempotent_and_exception_proof():
+    ex = get_executor(workers=2, start_method="fork")
+    ref = ex.ref_for(np.ones((3, 3)))
+    assert ref.name is not None
+    # simulate a worker/pool already gone: a pool whose shutdown raises
+    class _AngryPool:
+        def shutdown(self, *a, **k):
+            raise OSError("already dead")
+
+    ex._pool = _AngryPool()
+    shutdown_executors()  # must not raise, must still unlink the arena
+    assert len(ex.arena) == 0
+    shutdown_executors()  # second call over an empty registry: no-op
+    shutdown_executors()
+
+
+def test_respawn_pool_preserves_arena_placements():
+    ex = ShardExecutor(workers=1, start_method="fork")
+    mat = np.arange(4.0).reshape(2, 2)
+    ref = ex.ref_for(mat)
+    ex._ensure_pool()
+    ex.respawn_pool()
+    assert ex._pool is None
+    assert ex.ref_for(mat).name == ref.name  # placement survived
+    ex.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# supervised dispatch building blocks
+# --------------------------------------------------------------------- #
+def test_validate_result_rejects_malformed_payloads():
+    task = {"refs": [None, None]}
+    with pytest.raises(ShardIntegrityError, match="malformed"):
+        _validate_result(["not a dict"], task, shard=0, attempt=1)
+    with pytest.raises(ShardIntegrityError, match="malformed"):
+        _validate_result({"outs": []}, task, shard=0, attempt=1)
+    good = {"outs": [1, 2], "events": [], "evals": [], "sweep": {}, "wall_s": 0.0}
+    _validate_result(good, task, shard=0, attempt=1)
+    with pytest.raises(ShardIntegrityError, match="owner results"):
+        _validate_result({**good, "outs": [1]}, task, shard=0, attempt=1)
+
+
+def test_run_supervised_empty_tasks():
+    ex = ShardExecutor(workers=1, start_method="thread")
+    results, report = run_supervised(ex, [])
+    assert results == [] and isinstance(report, SupervisionReport)
+    assert not report.recovered
+    ex.shutdown()
+
+
+def test_report_recovered_flag():
+    assert not SupervisionReport().recovered
+    assert SupervisionReport(retries=1).recovered
+    assert SupervisionReport(hedges=1).recovered
+    assert SupervisionReport(timeouts=1).recovered
+    assert SupervisionReport(partial_fallbacks=1).recovered
+    tr = TaskReport(shard=0)
+    assert tr.attempts == 0 and not tr.hedged
+
+
+# --------------------------------------------------------------------- #
+# seeded chaos regimes end-to-end: bit-identity survives recovery
+# --------------------------------------------------------------------- #
+def test_worker_kill_chaos_recovers_bit_identical():
+    refs = _serial_results()
+    metrics().reset()
+    plan = FaultPlan(seed=3, worker_kill=1.0)
+    assert plan.shard_only
+    got = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, trace=True, faults=plan)
+    )
+    _assert_identical(refs, got)
+    c = metrics().snapshot()["counters"]
+    # every pool attempt dies -> retries exhaust -> per-shard quarantine
+    assert c["shard.partial_fallbacks"] == 2
+    assert c["shard.retries"] > 0
+    assert plan.counts()["worker_kill"] > 0
+
+
+def test_task_delay_with_deadline_times_out_and_recovers():
+    refs = _serial_results()
+    metrics().reset()
+    plan = FaultPlan(seed=7, task_delay=1.0, delay_s=0.4)
+    got = Session("pram-crcw").solve_many(
+        PROBS,
+        config=ExecutionConfig(shards=2, faults=plan, shard_timeout=0.1),
+    )
+    _assert_identical(refs, got)
+    c = metrics().snapshot()["counters"]
+    assert c["shard.timeouts"] > 0
+    assert c["shard.partial_fallbacks"] == 2  # bucket budget = 4x deadline
+
+
+def test_shm_corrupt_chaos_repairs_and_recovers():
+    refs = _serial_results()
+    metrics().reset()
+    plan = FaultPlan(seed=11, shm_corrupt=1.0)
+    got = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan)
+    )
+    _assert_identical(refs, got)
+    assert plan.counts()["shm_corrupt"] > 0
+    c = metrics().snapshot()["counters"]
+    assert c["shard.retries"] > 0 or c["shard.partial_fallbacks"] > 0
+
+
+def test_result_drop_chaos_recovers():
+    refs = _serial_results()
+    metrics().reset()
+    plan = FaultPlan(seed=13, result_drop=1.0)
+    got = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan)
+    )
+    _assert_identical(refs, got)
+    assert plan.counts()["result_drop"] > 0
+
+
+def test_mixed_chaos_low_rates_recovers():
+    refs = _serial_results()
+    plan = FaultPlan(
+        seed=17, worker_kill=0.3, task_delay=0.3, shm_corrupt=0.3,
+        result_drop=0.3, delay_s=0.05,
+    )
+    got = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan)
+    )
+    _assert_identical(refs, got)
+
+
+def test_chaos_schedule_is_seed_deterministic():
+    plan_a = FaultPlan(seed=23, worker_kill=0.5, shm_corrupt=0.5)
+    plan_b = FaultPlan(seed=23, worker_kill=0.5, shm_corrupt=0.5)
+    Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan_a)
+    )
+    Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan_b)
+    )
+    # recording order follows wall-clock completion order, but the fired
+    # schedule (which kind struck which shard, how many times) is a pure
+    # function of the seed — draws are keyed by (shard, attempt)
+    assert sorted((e.kind, e.site) for e in plan_a.events) == sorted(
+        (e.kind, e.site) for e in plan_b.events
+    )
+    assert plan_a.counts() == plan_b.counts()
+
+
+def test_thread_mode_worker_kill_recovers():
+    from repro.shard.config import set_default_start_method
+
+    refs = _serial_results()
+    prev = set_default_start_method("thread")
+    try:
+        plan = FaultPlan(seed=29, worker_kill=1.0)
+        got = Session("pram-crcw").solve_many(
+            PROBS, config=ExecutionConfig(shards=2, faults=plan)
+        )
+        _assert_identical(refs, got)
+    finally:
+        set_default_start_method(prev)
+
+
+# --------------------------------------------------------------------- #
+# straggler hedging
+# --------------------------------------------------------------------- #
+def test_hedging_first_identical_result_wins():
+    refs = _serial_results()
+    metrics().reset()
+    plan = FaultPlan(seed=5, task_delay=1.0, delay_s=0.6)
+    with policy_override(SupervisePolicy(hedge_after_s=0.05)):
+        got = Session("pram-crcw").solve_many(
+            PROBS, config=ExecutionConfig(shards=2, faults=plan)
+        )
+    _assert_identical(refs, got)
+    snap = metrics().snapshot()
+    assert snap["counters"]["shard.hedges"] == 2
+    assert snap["histograms"]["shard.hedge_latency_s"]["count"] == 2
+    assert snap["derived"]["shard_hedge_rate"] == 1.0
+
+
+def test_hedged_span_attributes_surface():
+    metrics().reset()
+    plan = FaultPlan(seed=5, task_delay=1.0, delay_s=0.6)
+    with policy_override(SupervisePolicy(hedge_after_s=0.05)):
+        got = Session("pram-crcw").solve_many(
+            PROBS, config=ExecutionConfig(shards=2, trace=True, faults=plan)
+        )
+    # trace totals still serial-identical even though every shard hedged
+    refs = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=1, trace=True)
+    )
+    for a, b in zip(refs, got):
+        assert a.trace.totals() == b.trace.totals()
+
+
+# --------------------------------------------------------------------- #
+# fusion eligibility: shard-only plans keep the fused/sharded path
+# --------------------------------------------------------------------- #
+def test_shard_only_plan_does_not_disqualify_fusion():
+    plan = FaultPlan(seed=1, worker_kill=0.1)
+    batch = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan)
+    )
+    assert batch.groups[0]["shards"] == 2
+    assert batch.groups[0]["fused"]
+
+
+def test_machine_fault_plan_still_disqualifies_fusion():
+    plan = FaultPlan(seed=1, processor_drop=0.01, worker_kill=0.1)
+    assert not plan.shard_only
+    batch = Session("pram-crcw").solve_many(
+        PROBS, config=ExecutionConfig(shards=2, faults=plan)
+    )
+    assert all(not g["fused"] for g in batch.groups)
+
+
+# --------------------------------------------------------------------- #
+# derived metrics
+# --------------------------------------------------------------------- #
+def test_derived_shard_rates_present_only_with_tasks():
+    metrics().reset()
+    assert "shard_retry_rate" not in metrics().snapshot()["derived"]
+    metrics().counter("shard.tasks").inc(4)
+    metrics().counter("shard.retries").inc(1)
+    d = metrics().snapshot()["derived"]
+    assert d["shard_retry_rate"] == 0.25
+    assert d["shard_hedge_rate"] == 0.0
+    metrics().reset()
