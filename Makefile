@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke
+.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke bench-tier bench-tier-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -50,6 +50,16 @@ bench-shard-smoke:
 chaos-shard-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q tests/test_shard_supervise.py
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_shard_chaos.py --smoke --out /tmp/BENCH_shard_chaos_smoke.json
+
+## bench-tier-smoke: fused-vs-blocked kernel-tier sweep at smoke sizes;
+## refuses to pass unless every blocked run is bit-identical to fused
+## and the peak resident tile stays within each budget
+bench-tier-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_tier.py --smoke --out /tmp/BENCH_tier_smoke.json
+
+## bench-tier: full kernel-tier throughput sweep -> BENCH_tier.json
+bench-tier:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_tier.py
 
 ## bench-obs: observability overhead budget -> BENCH_obs.json
 ## (fails if disabled-tracer overhead >= 5%)

@@ -1,19 +1,24 @@
 """Perf-regression harness: the repo's wall-clock baseline.
 
 Runs a pinned workload matrix — the Table 1.1–1.3 algorithm paths plus
-the string-editing application (A4) — through three simulator
-configurations:
+the string-editing application (A4) — through four simulator
+configurations, each pinned to a kernel tier (DESIGN.md §13):
 
 ``ref``
-    fused fast path off (``REPRO_FAST_PATH=0`` semantics): primitives
-    execute their reference round-by-round NumPy loops;
+    the ``reference`` tier: primitives execute their round-by-round
+    NumPy loops (the old ``REPRO_FAST_PATH=0`` semantics);
 ``fast``
-    fused grouped-extremum kernels + charge replay on (the default);
+    the ``fused`` tier — vectorized grouped-extremum kernels + charge
+    replay (the default);
 ``fast_cache``
-    fast path plus the opt-in :class:`~repro.monge.arrays.CachedArray`
-    entry-evaluation memoizer.
+    ``fused`` plus the opt-in :class:`~repro.monge.arrays.CachedArray`
+    entry-evaluation memoizer;
+``blocked``
+    the out-of-core ``blocked`` tier with a deliberately small 64 KiB
+    tile budget, so the streaming chokepoint engages even at bench
+    sizes (``benchmarks/bench_tier.py`` sweeps the budget itself).
 
-For every workload the three configurations must produce bit-identical
+For every workload all configurations must produce bit-identical
 results *and* bit-identical ledger snapshots (rounds, work, peak
 processors, phases) — the fused-kernel invariant; the harness verifies
 this on every run and refuses to emit a baseline that violates it.
@@ -53,13 +58,15 @@ from repro.monge.generators import (
     random_monge,
     random_staircase_monge,
 )
+from repro.kernels import tier_context
 from repro.perf import Timer, WorkloadRecord, emit_json, environment_fingerprint
-from repro.pram.fastpath import fast_path
 
-CONFIGS: Tuple[Tuple[str, bool, bool], ...] = (
-    ("ref", False, False),
-    ("fast", True, False),
-    ("fast_cache", True, True),
+#: (config name, kernel tier, tile budget override, entry cache)
+CONFIGS: Tuple[Tuple[str, str, Optional[int], bool], ...] = (
+    ("ref", "reference", None, False),
+    ("fast", "fused", None, False),
+    ("fast_cache", "fused", None, True),
+    ("blocked", "blocked", 64 * 1024, False),
 )
 
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -163,15 +170,18 @@ def _results_equal(a, b) -> bool:
 def run_workload(name: str, run: Callable, params: Dict, repeats: int) -> WorkloadRecord:
     # shards=1: these are single-query hot-path workloads, which the
     # engine never shards; the column aligns rows with BENCH_shard.json.
-    rec = WorkloadRecord(name=name, params=params, shards=1)
+    rec = WorkloadRecord(
+        name=name, params=params, shards=1,
+        kernel_tiers={config: tier for config, tier, _, _ in CONFIGS},
+    )
     outputs = {}
     # Interleave configurations within each repeat (rather than best-of
     # per config sequentially) so all configs sample the same host-load
     # epochs — speedup ratios stay stable on noisy machines.
-    best: Dict[str, float] = {config: float("inf") for config, _, _ in CONFIGS}
+    best: Dict[str, float] = {config: float("inf") for config, _, _, _ in CONFIGS}
     for _ in range(repeats):
-        for config, fp, cache in CONFIGS:
-            with fast_path(fp):
+        for config, tier, tile, cache in CONFIGS:
+            with tier_context(tier, tile):
                 with Timer() as t:
                     outputs[config] = run(cache)
             best[config] = min(best[config], t.seconds)
@@ -181,8 +191,10 @@ def run_workload(name: str, run: Callable, params: Dict, repeats: int) -> Worklo
     rec.work = ref_snapshot["work"]
     rec.peak_processors = ref_snapshot["peak_processors"]
     rec.evals = ref_evals
-    rec.ledger_identical = all(outputs[c][1] == ref_snapshot for c, _, _ in CONFIGS)
-    rec.results_identical = all(_results_equal(outputs[c][0], ref_result) for c, _, _ in CONFIGS)
+    rec.ledger_identical = all(outputs[c][1] == ref_snapshot for c, _, _, _ in CONFIGS)
+    rec.results_identical = all(
+        _results_equal(outputs[c][0], ref_result) for c, _, _, _ in CONFIGS
+    )
     return rec
 
 
@@ -198,7 +210,8 @@ def run_matrix(smoke: bool, repeats: int) -> Dict:
         )
     return {
         "meta": {**environment_fingerprint(), "smoke": smoke, "repeats": repeats,
-                 "configs": [c for c, _, _ in CONFIGS]},
+                 "configs": [c for c, _, _, _ in CONFIGS],
+                 "kernel_tiers": {c: t for c, t, _, _ in CONFIGS}},
         "workloads": {r.name: r.as_json() for r in records},
         # process-wide engine/cache counters for the whole matrix
         # (DESIGN.md §10.2): cache hit-rate, rounds/query, retry counts
@@ -266,12 +279,15 @@ def compare_to_baseline(payload: Dict, baseline: Optional[Dict]) -> None:
 
 def _print_table(payload: Dict) -> None:
     print(f"{'workload':<28} {'ref(s)':>9} {'fast(s)':>9} {'x':>6} "
-          f"{'+cache':>9} {'x':>6} {'rounds':>8} {'evals':>10}")
+          f"{'+cache':>9} {'x':>6} {'blocked':>9} {'x':>6} "
+          f"{'rounds':>8} {'evals':>10}")
     for name, w in payload["workloads"].items():
         ws = w["wall_s"]
         print(f"{name:<28} {ws['ref']:>9.4f} {ws['fast']:>9.4f} "
               f"{w.get('speedup_fast', 0):>6.2f} {ws['fast_cache']:>9.4f} "
-              f"{w.get('speedup_fast_cache', 0):>6.2f} {w['rounds']:>8} {w['evals']:>10}")
+              f"{w.get('speedup_fast_cache', 0):>6.2f} {ws['blocked']:>9.4f} "
+              f"{w.get('speedup_blocked', 0):>6.2f} "
+              f"{w['rounds']:>8} {w['evals']:>10}")
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,211 @@
+"""Kernel-tier throughput sweep: fused vs blocked across tile budgets.
+
+The ``blocked`` tier trades wall-clock for bounded residency: the
+grouped-extremum chokepoint streams candidate tensors through tiles of
+at most ``tile_bytes`` instead of materializing them whole (DESIGN.md
+§13).  This harness measures that trade on the pinned hot-path
+workloads: one dense ``fused`` baseline per workload, then the
+``blocked`` tier at several tile budgets chosen so the stacked
+candidate tensor exceeds the budget and genuinely streams.
+
+Every timing is **equivalence-gated**: a blocked run whose values,
+witnesses, or ledger snapshot differ from the fused baseline aborts the
+harness rather than emitting a baseline — wall-clock numbers for a
+wrong answer are worse than no numbers.  Per-run tile telemetry
+(``kernel.tile_bytes`` histogram: tile count and max resident bytes)
+is embedded next to each timing, so the JSON also certifies that the
+peak resident tile stayed within the budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tier.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_tier.py --smoke    # fast CI smoke
+    PYTHONPATH=src python benchmarks/bench_tier.py --out /tmp/t.json
+
+Under pytest (``pytest benchmarks/bench_tier.py``) the smoke sweep runs
+and the equivalence gate + budget ceiling are asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _common import crcw_session
+
+from repro.kernels import tier_context
+from repro.obs import reset_metrics
+from repro.obs.metrics import metrics
+from repro.monge.generators import random_monge, random_staircase_monge
+from repro.perf import Timer, emit_json, environment_fingerprint, throughput
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                           "BENCH_tier.json")
+
+#: Tile budgets in bytes — ascending, all below the largest candidate
+#: tensor the full workload scales materialize (the sqrt-recursion caps
+#: per-sweep candidates near 48 KiB at n=2048), so every blocked run
+#: genuinely streams rather than taking the in-budget dense branch.
+TILE_BYTES = (4 * 1024, 8 * 1024, 16 * 1024)
+SMOKE_TILE_BYTES = (1024, 2048, 4096)
+
+
+def _wl_rowmin(n: int):
+    a = random_monge(n, n, np.random.default_rng(n))
+
+    def run():
+        before = a.eval_count
+        r = crcw_session(n).solve("rowmin", a)
+        return (r.values, r.witnesses), r.snapshot, a.eval_count - before
+
+    return run, {"n": n, "model": "CRCW", "algorithm": "rowmin"}
+
+
+def _wl_staircase(n: int):
+    a = random_staircase_monge(n, n, np.random.default_rng(n))
+
+    def run():
+        before = a.eval_count
+        r = crcw_session(n).solve("staircase_min", a)
+        return (r.values, r.witnesses), r.snapshot, a.eval_count - before
+
+    return run, {"n": n, "model": "CRCW", "algorithm": "staircase_min"}
+
+
+def workload_matrix(smoke: bool) -> List[Tuple[str, Callable, Dict]]:
+    if smoke:
+        specs = [
+            ("rowmin_crcw_n128", _wl_rowmin(128)),
+            ("staircase_crcw_n64", _wl_staircase(64)),
+        ]
+    else:
+        specs = [
+            ("rowmin_crcw_n1024", _wl_rowmin(1024)),
+            ("rowmin_crcw_n2048", _wl_rowmin(2048)),
+            ("staircase_crcw_n256", _wl_staircase(256)),
+        ]
+    return [(name, run, params) for name, (run, params) in specs]
+
+
+def _results_equal(a, b) -> bool:
+    return len(a) == len(b) and all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def _timed(run: Callable, tier: str, tile, repeats: int):
+    """Best-of-``repeats`` under one tier; returns (best_s, last output,
+    last run's tile histogram summary or None)."""
+    best, out, tiles = float("inf"), None, None
+    for _ in range(repeats):
+        metrics().reset()
+        with tier_context(tier, tile):
+            with Timer() as t:
+                out = run()
+        best = min(best, t.seconds)
+        h = metrics().snapshot()["histograms"].get("kernel.tile_bytes")
+        tiles = {"count": h["count"], "max_bytes": h["max"]} if h else None
+    return best, out, tiles
+
+
+def run_workload(name: str, run: Callable, params: Dict,
+                 tile_bytes: Tuple[int, ...], repeats: int) -> Dict:
+    fused_s, fused_out, _ = _timed(run, "fused", None, repeats)
+    (ref_result, ref_snapshot, ref_evals) = fused_out
+    row: Dict = {
+        "params": params,
+        "evals": ref_evals,
+        "rounds": ref_snapshot["rounds"],
+        "fused": {"wall_s": round(fused_s, 6),
+                  "evals_per_s": round(throughput(ref_evals, fused_s), 1)},
+        "blocked": {},
+    }
+    for tb in tile_bytes:
+        blocked_s, blocked_out, tiles = _timed(run, "blocked", tb, repeats)
+        result, snapshot, _ = blocked_out
+        if not _results_equal(result, ref_result) or snapshot != ref_snapshot:
+            raise RuntimeError(
+                f"equivalence gate failed: {name} blocked@{tb}B diverged "
+                "from the fused baseline — refusing to emit timings"
+            )
+        if tiles is not None and tiles["max_bytes"] > tb:
+            raise RuntimeError(
+                f"residency gate failed: {name} blocked@{tb}B observed a "
+                f"{tiles['max_bytes']:.0f}B tile — refusing to emit timings"
+            )
+        row["blocked"][str(tb)] = {
+            "wall_s": round(blocked_s, 6),
+            "evals_per_s": round(throughput(ref_evals, blocked_s), 1),
+            "slowdown_vs_fused": round(blocked_s / max(fused_s, 1e-12), 3),
+            "tiles": tiles,
+            "equivalent": True,
+        }
+    return row
+
+
+def run_matrix(smoke: bool, repeats: int) -> Dict:
+    reset_metrics()
+    tile_bytes = SMOKE_TILE_BYTES if smoke else TILE_BYTES
+    workloads = {name: run_workload(name, run, params, tile_bytes, repeats)
+                 for name, run, params in workload_matrix(smoke)}
+    return {
+        "meta": {**environment_fingerprint(), "smoke": smoke, "repeats": repeats,
+                 "tile_bytes": list(tile_bytes)},
+        "workloads": workloads,
+    }
+
+
+def _print_table(payload: Dict) -> None:
+    print(f"{'workload':<24} {'config':<16} {'wall(s)':>9} {'evals/s':>12} "
+          f"{'tiles':>6} {'max tile(B)':>12}")
+    for name, w in payload["workloads"].items():
+        print(f"{name:<24} {'fused (dense)':<16} {w['fused']['wall_s']:>9.4f} "
+              f"{w['fused']['evals_per_s']:>12.0f} {'-':>6} {'-':>12}")
+        for tb, b in w["blocked"].items():
+            tiles = b["tiles"] or {}
+            print(f"{'':<24} {'blocked@' + tb:<16} {b['wall_s']:>9.4f} "
+                  f"{b['evals_per_s']:>12.0f} {tiles.get('count', 0):>6} "
+                  f"{tiles.get('max_bytes', 0):>12.0f}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="small sizes, 1 repeat (CI smoke)")
+    ap.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    ap.add_argument("--out", default=None, help=f"output JSON path (default {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    payload = run_matrix(args.smoke, repeats)
+    _print_table(payload)
+    if args.out is not None:
+        out = args.out
+    elif args.smoke:
+        # never let a smoke run silently replace the pinned full baseline
+        out = DEFAULT_OUT.replace(".json", "_smoke.json")
+    else:
+        out = DEFAULT_OUT
+    emit_json(out, payload)
+    print(f"\nwrote {out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pytest face: smoke sweep + equivalence / residency gates
+# --------------------------------------------------------------------- #
+def test_smoke_tier_sweep(tmp_path):
+    payload = run_matrix(smoke=True, repeats=1)
+    emit_json(str(tmp_path / "BENCH_tier_smoke.json"), payload)
+    for name, w in payload["workloads"].items():
+        assert len(w["blocked"]) >= 3, name  # >= 3 tile sizes swept
+        for tb, b in w["blocked"].items():
+            assert b["equivalent"], (name, tb)
+            if b["tiles"] is not None:
+                assert b["tiles"]["max_bytes"] <= int(tb), (name, tb)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

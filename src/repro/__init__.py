@@ -22,7 +22,11 @@ A production-grade reproduction of Aggarwal, Kravets, Park, and Sen
   the paper's tables;
 - :mod:`repro.shard` — sharded multi-process execution of fused
   ``solve_many`` buckets over shared memory (``shards=k`` /
-  ``REPRO_SHARDS``), bit-identical to serial (DESIGN.md §11).
+  ``REPRO_SHARDS``), bit-identical to serial (DESIGN.md §11);
+- :mod:`repro.kernels` — the kernel-tier registry: named execution
+  tiers (``reference`` / ``fused`` / ``blocked`` / optional ``numba``)
+  selected via ``kernel_tier=`` / ``REPRO_KERNEL_TIER``, all charging
+  identical ledgers (DESIGN.md §13).
 
 Quickstart::
 
@@ -41,7 +45,18 @@ Quickstart::
     assert r.certified
 """
 
-from repro import analysis, apps, core, engine, monge, networks, obs, pram, shard
+from repro import (
+    analysis,
+    apps,
+    core,
+    engine,
+    kernels,
+    monge,
+    networks,
+    obs,
+    pram,
+    shard,
+)
 from repro.engine import (
     BatchResult,
     CapabilityError,
@@ -63,6 +78,7 @@ __all__ = [
     "engine",
     "obs",
     "shard",
+    "kernels",
     "generators",
     "solve",
     "solve_many",
@@ -73,4 +89,4 @@ __all__ = [
     "CapabilityError",
 ]
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"

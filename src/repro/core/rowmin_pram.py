@@ -54,7 +54,8 @@ from repro.monge.arrays import (
     SearchArray,
     as_search_array,
 )
-from repro.pram.fastpath import ChargeFan
+from repro.kernels.api import eval_grouped_min
+from repro.kernels.chargefan import ChargeFan
 from repro.pram.machine import Pram
 from repro.pram.primitives import grouped_min
 from repro.resilience import degrade
@@ -248,7 +249,7 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch, fan: Optional[Char
     alongside every global ``pram.charge`` the same site's per-owner
     unit counts are charged to each owner's sub-account, reproducing
     each query's serial charge sequence exactly (see
-    :class:`~repro.pram.fastpath.ChargeFan`).
+    :class:`~repro.kernels.chargefan.ChargeFan`).
     """
     B = len(batch)
     total_rows = batch.total_rows
@@ -278,11 +279,17 @@ def _solve_batch(pram: Pram, arr: SearchArray, batch: _Batch, fan: Optional[Char
         if fan is not None:
             group_counts = fan.counts(sb.owner, sb.rcount)
             fan.charge(group_counts)
-        values_flat = arr.eval(rows_flat, cols_flat, checked=False)
-        pram.charge_eval(values_flat.size)
         if fan is not None:
+            # fan charges land on disjoint per-owner ledgers, so issuing
+            # them before the (possibly tiled) evaluation preserves every
+            # sub-account's serial charge sequence exactly
             fan.charge(fan.counts(sb.owner, sb.rcount * sb.ccount))
-        gv, gi = grouped_min(pram, values_flat, offsets)
+        gv, gi = eval_grouped_min(
+            pram,
+            lambda lo, hi: arr.eval(rows_flat[lo:hi], cols_flat[lo:hi], checked=False),
+            rows_flat.size,
+            offsets,
+        )
         if fan is not None:
             fan.grouped_min(widths, np.repeat(sb.owner, sb.rcount))
         got_cols = np.where(gi >= 0, cols_flat[np.maximum(gi, 0)], -1)
@@ -606,9 +613,14 @@ def _solve_halving(pram: Pram, arr: SearchArray):
             rows_flat = new_rows[owner]
             cols_flat = lo[owner] + local
             pram.charge(rounds=2, processors=max(1, widths.size))  # allocation
-            values_flat = arr.eval(rows_flat, cols_flat, checked=False)
-            pram.charge_eval(values_flat.size)
-            gv, gi = grouped_min(pram, values_flat, offsets)
+            gv, gi = eval_grouped_min(
+                pram,
+                lambda lo, hi: arr.eval(
+                    rows_flat[lo:hi], cols_flat[lo:hi], checked=False
+                ),
+                rows_flat.size,
+                offsets,
+            )
             vals[new_rows] = gv
             cols[new_rows] = np.where(gi >= 0, cols_flat[np.maximum(gi, 0)], -1)
             pram.charge(rounds=1, processors=max(1, new_rows.size))

@@ -54,6 +54,7 @@ from repro.monge.arrays import CachedArray, SearchArray
 from repro.monge.staircase_seq import effective_boundary
 from repro.pram.ansv import nearest_smaller_left_threshold
 from repro.pram.machine import Pram
+from repro.kernels.api import eval_grouped_min
 from repro.pram.primitives import grouped_min
 from repro.core.rowmin_pram import _Batch, _solve_batch
 from repro.resilience import degrade
@@ -255,9 +256,14 @@ def _stair_solve(pram: Pram, arr: SearchArray, f: np.ndarray, batch: _StairBatch
         cols_flat = sb.cs[owner][rowgrp] + local_col
         pram.charge(rounds=2, processors=max(1, widths.size))
         if cols_flat.size:
-            values_flat = arr.eval(rows_flat, cols_flat, checked=False)
-            pram.charge_eval(values_flat.size)
-            gv, gi = grouped_min(pram, values_flat, offsets)
+            gv, gi = eval_grouped_min(
+                pram,
+                lambda lo, hi: arr.eval(
+                    rows_flat[lo:hi], cols_flat[lo:hi], checked=False
+                ),
+                cols_flat.size,
+                offsets,
+            )
         else:
             gv = np.full(widths.size, np.inf)
             gi = np.full(widths.size, -1, dtype=np.int64)

@@ -43,7 +43,7 @@ from repro._util.ragged import ragged as _ragged
 from repro._util.validation import as_float_tensor
 from repro.monge.arrays import CachedArray, MongeComposite, SearchArray
 from repro.pram.machine import Pram
-from repro.pram.primitives import grouped_min
+from repro.kernels.api import eval_grouped_min
 from repro.resilience import degrade
 
 __all__ = ["tube_minima_pram", "tube_maxima_pram"]
@@ -164,13 +164,6 @@ def _tube_maxima_impl(
 
 
 # --------------------------------------------------------------------- #
-def _eval_candidates(pram: Pram, c: MongeComposite, ii, jj, kk) -> np.ndarray:
-    """One synchronous round: each processor combines its d and e entry."""
-    out = c.D.eval(ii, jj, checked=False) + c.E.eval(jj, kk, checked=False)
-    pram.charge_eval(out.size)
-    return out
-
-
 def _fill_rows(pram, c, rows, lo, hi, J, V):
     """Grouped minima for output cells (rows × their [lo, hi] j-ranges).
 
@@ -187,8 +180,13 @@ def _fill_rows(pram, c, rows, lo, hi, J, V):
     ii = cell_i[owner]
     kk = cell_k[owner]
     pram.charge(rounds=2, processors=max(1, widths.size))  # telescoped allocation
-    vals = _eval_candidates(pram, c, ii, jj, kk)
-    gv, gi = grouped_min(pram, vals, offsets)
+    gv, gi = eval_grouped_min(
+        pram,
+        lambda lo_, hi_: c.D.eval(ii[lo_:hi_], jj[lo_:hi_], checked=False)
+        + c.E.eval(jj[lo_:hi_], kk[lo_:hi_], checked=False),
+        jj.size,
+        offsets,
+    )
     J[cell_i, cell_k] = np.where(gi >= 0, jj[np.maximum(gi, 0)], -1)
     V[cell_i, cell_k] = gv
     pram.charge(rounds=1, processors=max(1, cell_i.size))

@@ -52,6 +52,20 @@ consolidates all of it:
     ``shards > 1`` on a non-shardable solver is a declared-capability
     error (memoization is per-worker; see
     :class:`~repro.monge.arrays.CachedArray`).
+``kernel_tier``
+    Which execution tier the hot-path kernels run in (DESIGN.md §13):
+    ``"reference"`` (round-by-round), ``"fused"`` (vectorized NumPy
+    with ledger charge replay), ``"blocked"`` (fused kernels streaming
+    over byte-budgeted row tiles), or ``"numba"`` (optional JIT stub,
+    available only when the package is importable).  ``None`` (default)
+    defers to the process-wide tier — itself ``REPRO_KERNEL_TIER``,
+    then the deprecated ``REPRO_FAST_PATH`` shim, then ``"fused"``.
+    Results, witnesses, ledger snapshots, traces, and certificates are
+    bit-identical across tiers (the fused-kernel invariant).
+``tile_bytes``
+    Byte budget for one resident candidate tile in the ``blocked``
+    tier.  ``None`` (default) defers to ``REPRO_TILE_BYTES`` (itself
+    unset → 64 MiB); ignored by the dense tiers.
 ``shard_timeout``
     Per-shard-task deadline in seconds for supervised dispatch
     (DESIGN.md §12).  ``None`` (default) defers to the
@@ -98,6 +112,8 @@ class ExecutionConfig:
     trace: bool = False
     shards: Optional[int] = None
     shard_timeout: Optional[float] = None
+    kernel_tier: Optional[str] = None
+    tile_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -136,6 +152,19 @@ class ExecutionConfig:
                     f"shard_timeout must be a positive finite number of "
                     f"seconds or None, got {self.shard_timeout!r}"
                 )
+        if self.kernel_tier is not None:
+            from repro.kernels.registry import get_tier
+
+            get_tier(self.kernel_tier)  # ValueError lists the known tiers
+        if self.tile_bytes is not None:
+            if not isinstance(self.tile_bytes, int) or isinstance(self.tile_bytes, bool):
+                raise ValueError(
+                    f"tile_bytes must be a positive int or None, got {self.tile_bytes!r}"
+                )
+            if self.tile_bytes <= 0:
+                raise ValueError(
+                    f"tile_bytes must be a positive byte budget, got {self.tile_bytes}"
+                )
 
     def with_overrides(self, **kw) -> "ExecutionConfig":
         """A copy with the given fields replaced (and re-validated)."""
@@ -152,10 +181,13 @@ class ExecutionConfig:
         the per-owner span bookkeeping for all its members.  ``shards``
         and ``shard_timeout`` are included so differently-sharded (or
         differently-deadlined) queries never share a bucket: both decide
-        how the whole bucket executes.
+        how the whole bucket executes.  ``kernel_tier`` and
+        ``tile_bytes`` are included so mixed-tier (or mixed-budget)
+        queries never fuse — one bucket runs under exactly one tier.
         """
         return (self.cache, self.strict, self.checked, self.certify, self.trace,
-                self.shards, self.shard_timeout)
+                self.shards, self.shard_timeout, self.kernel_tier,
+                self.tile_bytes)
 
     # ------------------------------------------------------------------ #
     def resolve_strategy(self, problem: str, crcw: bool) -> str:

@@ -35,11 +35,12 @@ A plan is *fusable* (``fused_key is not None``) iff all of:
 
 Two fusable plans share a bucket iff their keys agree: same problem,
 backend, strategy, shape, and :meth:`ExecutionConfig.fingerprint` —
-which includes the ``shards`` width, so differently-sharded queries
-never share a bucket (the shard count decides how the whole bucket
-executes; see DESIGN.md §11).
+which includes the ``shards`` width (the shard count decides how the
+whole bucket executes; see DESIGN.md §11) and the ``kernel_tier`` /
+``tile_bytes`` pair, so mixed-tier queries never fuse: one bucket runs
+under exactly one kernel tier (DESIGN.md §13).
 The session adds machine-level conditions at execution time (plain
-:class:`~repro.pram.machine.Pram`, fast path enabled, unbounded
+:class:`~repro.pram.machine.Pram`, a fused-class kernel tier, unbounded
 processor budget); a bucket that fails those simply runs serially —
 grouping never changes results, only wall-clock.
 """

@@ -119,6 +119,13 @@ class SolverSpec:
     #: ``cache=True`` is also set, which is a CapabilityError (the
     #: per-worker memoization contract cannot be honored).
     shardable: bool = False
+    #: Kernel tiers this solver's hot path can honor (DESIGN.md §13).
+    #: Simulated-PRAM solvers run under every tier; network solvers
+    #: execute the grouped minimum genuinely on the interconnect and
+    #: sequential baselines have no simulated machine, so both declare
+    #: only ``reference`` — an explicit fused-class tier there would be
+    #: silently meaningless, which we surface as a CapabilityError.
+    kernel_tiers: Tuple[str, ...] = ("reference",)
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -137,6 +144,40 @@ class SolverSpec:
                 f"solver ({self.problem}, {self.backend}) does not support "
                 f"strategy {strategy!r}; declared: {self.strategies or ('<none>',)}"
             )
+
+    def check_kernel_tier(self, tier: Optional[str]) -> None:
+        """Raise :class:`CapabilityError` on an undeclared/unavailable tier.
+
+        ``None`` (defer to the process default) always passes — the
+        default tier degrades to the dense kernels wherever a solver
+        cannot honor it, whereas an *explicit* request must be honored
+        exactly or refused with the nearest supported alternative.
+        """
+        if tier is None:
+            return
+        from repro.kernels.registry import get_tier
+
+        t = get_tier(tier)  # ValueError on unknown names (config also checks)
+        declared_available = tuple(
+            n for n in self.kernel_tiers if get_tier(n).available
+        )
+        if t.name in self.kernel_tiers and t.available:
+            return
+        nearest = next(
+            (n for n in t.proximity if n in declared_available),
+            declared_available[0] if declared_available else "reference",
+        )
+        if t.name not in self.kernel_tiers:
+            raise CapabilityError(
+                f"solver ({self.problem}, {self.backend}) does not support "
+                f"kernel tier {t.name!r}; declared: {self.kernel_tiers} — "
+                f"nearest supported alternative: {nearest!r}"
+            )
+        raise CapabilityError(
+            f"kernel tier {t.name!r} is unavailable (requires the "
+            f"{t.requires!r} package); nearest supported alternative for "
+            f"({self.problem}, {self.backend}): {nearest!r}"
+        )
 
     def within_bound(self, snapshot: Optional[dict], shape: Tuple[int, ...]) -> bool:
         """Does a measured ledger snapshot respect the declared bound?
@@ -472,6 +513,11 @@ def _banded_bound_crew(shape):  # halving levels x binary grouped min
 # --------------------------------------------------------------------- #
 # Populate the registry.
 # --------------------------------------------------------------------- #
+#: Every registered kernel tier (availability is checked at request
+#: time, so the optional numba stub stays declarable without the
+#: package installed).
+_ALL_TIERS = ("reference", "fused", "blocked", "numba")
+
 _PRAM_FAMILY = (
     ("rowmin", _rowmin, ("sqrt", "halving"), _certify_rowmin,
      "T1.1: O(lg n) CRCW / O(lg n lg lg n) CREW"),
@@ -502,6 +548,7 @@ for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
         machine="pram", certifier=_cert, bound_hint=_hint,
         bound_rounds=_tube_bound_crcw if _tube else _row_bound_crcw,
         nodes_for=_nodes, batchable=_batch, shardable=_batch,
+        kernel_tiers=_ALL_TIERS,
     ))
     register(SolverSpec(
         problem=_problem, backend="pram-crew", fn=_fn,
@@ -511,6 +558,7 @@ for _problem, _fn, _strats, _cert, _hint in _PRAM_FAMILY:
         machine="pram", certifier=_cert, bound_hint=_hint,
         bound_rounds=_tube_bound_crew if _tube else _row_bound_crew,
         nodes_for=_nodes, batchable=_batch, shardable=_batch,
+        kernel_tiers=_ALL_TIERS,
     ))
     for _net in NETWORK_BACKENDS:
         register(SolverSpec(
@@ -563,11 +611,13 @@ for _problem, _fn, _seqfn, _hint in _WINDOW_FAMILY:
         problem=_problem, backend="pram-crcw", fn=_fn, strategies=(),
         machine="pram", bound_hint=_hint,
         bound_rounds=_banded_bound_crcw, nodes_for=_row_shape_nodes,
+        kernel_tiers=_ALL_TIERS,
     ))
     register(SolverSpec(
         problem=_problem, backend="pram-crew", fn=_fn, strategies=(),
         machine="pram", bound_hint=_hint,
         bound_rounds=_banded_bound_crew, nodes_for=_row_shape_nodes,
+        kernel_tiers=_ALL_TIERS,
     ))
     if _seqfn is not None:
         for _net in NETWORK_BACKENDS:
@@ -582,5 +632,5 @@ for _problem, _fn, _seqfn, _hint in _WINDOW_FAMILY:
             bound_rounds=None, nodes_for=None,
         ))
 
-del (_PRAM_FAMILY, _SEQUENTIAL, _WINDOW_FAMILY, _problem, _fn, _seqfn,
-     _strats, _cert, _hint, _net, _tube, _nodes, _batch)
+del (_PRAM_FAMILY, _SEQUENTIAL, _WINDOW_FAMILY, _ALL_TIERS, _problem,
+     _fn, _seqfn, _strats, _cert, _hint, _net, _tube, _nodes, _batch)

@@ -14,7 +14,7 @@ declarative :class:`~repro.engine.planner.QueryPlan`,
 :func:`~repro.engine.planner.group_plans` buckets compatible plans, and
 the session executes each bucket — fused buckets as one stacked
 multi-query sweep (:func:`repro.core.rowmin_pram.batched_row_extrema`
-with a :class:`~repro.pram.fastpath.ChargeFan` replaying each query's
+with a :class:`~repro.kernels.chargefan.ChargeFan` replaying each query's
 serial charges), everything else through the unchanged serial path.
 :meth:`Session.solve` is simply a one-plan pipeline.
 
@@ -185,6 +185,7 @@ class Session:
             raise CapabilityError(
                 f"({spec.problem}, sequential) has no fault surface to retry over"
             )
+        spec.check_kernel_tier(cfg.kernel_tier)
         if cfg.cache and not spec.shardable:
             from repro.shard.config import resolve_shards
 
@@ -214,7 +215,10 @@ class Session:
 
     # -- stage 3a: serial execution (the unchanged per-query path) ------ #
     def _execute_serial(self, plan: QueryPlan) -> SearchResult:
+        from repro.kernels.registry import resolve_kernel_tier, tier_context
+
         spec, cfg, data = plan.spec, plan.config, plan.data
+        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
         nodes = spec.nodes_for(plan.shape) if spec.nodes_for is not None else 2
         machine = self.machine(nodes)
 
@@ -233,6 +237,7 @@ class Session:
                 backend=self.backend,
                 strategy=plan.strategy,
                 shape=plan.shape,
+                kernel_tier=kernel_tier,
             )
             if qledger is not None:
                 tracer.bind(qledger, solve_span)
@@ -285,28 +290,29 @@ class Session:
         try:
             certificate = None
             retries = 0
-            if cfg.retries > 0 and spec.machine != "none":
-                from repro.resilience.executor import run_resilient
+            with tier_context(cfg.kernel_tier, cfg.tile_bytes):
+                if cfg.retries > 0 and spec.machine != "none":
+                    from repro.resilience.executor import run_resilient
 
-                certifier = (
-                    (lambda out: spec.certifier(data, out[0], out[1]))
-                    if cfg.certify
-                    else None
-                )
-                report = run_resilient(
-                    attempt,
-                    certify=certifier,
-                    plan=fault_plan,
-                    max_attempts=cfg.retries + 1,
-                )
-                values, witnesses = report.result
-                certificate = report.attempts[-1].certificate
-                retries = report.n_attempts - 1
-            else:
-                values, witnesses = attempt()
-                if cfg.certify:
-                    certificate = spec.certifier(data, values, witnesses)
-                    certificate.require()
+                    certifier = (
+                        (lambda out: spec.certifier(data, out[0], out[1]))
+                        if cfg.certify
+                        else None
+                    )
+                    report = run_resilient(
+                        attempt,
+                        certify=certifier,
+                        plan=fault_plan,
+                        max_attempts=cfg.retries + 1,
+                    )
+                    values, witnesses = report.result
+                    certificate = report.attempts[-1].certificate
+                    retries = report.n_attempts - 1
+                else:
+                    values, witnesses = attempt()
+                    if cfg.certify:
+                        certificate = spec.certifier(data, values, witnesses)
+                        certificate.require()
         finally:
             if tracer is not None and qledger is not None:
                 span = attempt_state["span"]
@@ -361,10 +367,14 @@ class Session:
         """Machine-level fusion conditions (plan-level ones live in the
         planner).  A bucket that fails these runs serially — same
         results, same per-query snapshots, just no shared sweep."""
-        from repro.pram.fastpath import fast_path_enabled
+        from repro.kernels.registry import get_tier, resolve_kernel_tier
         from repro.pram.machine import Pram
 
-        if plan.fused_key is None or not fast_path_enabled():
+        if plan.fused_key is None:
+            return False
+        if not get_tier(resolve_kernel_tier(plan.config.kernel_tier)).fused:
+            # the reference tier has no stacked-sweep kernel: every
+            # query runs its own round-by-round simulation
             return False
         nodes = plan.spec.nodes_for(plan.shape) if plan.spec.nodes_for is not None else 2
         machine = self.machine(nodes)
@@ -388,14 +398,16 @@ class Session:
     def _execute_fused(self, bucket: List[QueryPlan]) -> List[SearchResult]:
         """Execute one bucket of fused-compatible plans as a single
         stacked sweep.  Per-query ledgers are populated by a
-        :class:`~repro.pram.fastpath.ChargeFan` replaying each owner's
+        :class:`~repro.kernels.chargefan.ChargeFan` replaying each owner's
         serial charge sequence — snapshots come out bit-identical to
         the serial path's (tests/test_engine_batch.py pins this)."""
         from repro.core.rowmin_pram import batched_row_extrema
-        from repro.pram.fastpath import ChargeFan
+        from repro.kernels.chargefan import ChargeFan
+        from repro.kernels.registry import resolve_kernel_tier, tier_context
 
         spec = bucket[0].spec
         cfg = bucket[0].config
+        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
         nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
         machine = self.machine(nodes)
         limit = machine.ledger.processor_limit
@@ -421,6 +433,7 @@ class Session:
                 shape=bucket[0].shape,
                 count=len(bucket),
                 fused=True,
+                kernel_tier=kernel_tier,
             )
             sweep_span = tracer.begin("stacked-sweep", "sweep", parent=bucket_span)
             tracer.bind(scratch, sweep_span)
@@ -442,13 +455,14 @@ class Session:
         machine.ledger = scratch
         machine.faults = None
         try:
-            outs = batched_row_extrema(
-                machine,
-                [p.data for p in bucket],
-                problem=spec.problem,
-                cache=cfg.cache,
-                fan=fan,
-            )
+            with tier_context(cfg.kernel_tier, cfg.tile_bytes):
+                outs = batched_row_extrema(
+                    machine,
+                    [p.data for p in bucket],
+                    problem=spec.problem,
+                    cache=cfg.cache,
+                    fan=fan,
+                )
         finally:
             machine.ledger, machine.faults = saved
             if tracer is not None:
@@ -533,6 +547,7 @@ class Session:
         unrecoverable even in-process; the caller then falls back to
         in-process execution of the whole bucket.
         """
+        from repro.kernels.registry import resolve_kernel_tier, resolve_tile_bytes
         from repro.shard.config import resolve_shard_timeout
         from repro.shard.executor import get_executor, shardable_payload
         from repro.shard.recording import replay_events
@@ -540,6 +555,10 @@ class Session:
 
         spec = bucket[0].spec
         cfg = bucket[0].config
+        # resolve tier and tile budget parent-side: workers (fork or
+        # spawn) receive explicit values and never consult env state
+        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
+        tile_bytes = resolve_tile_bytes(cfg.tile_bytes)
         nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
         machine = self.machine(nodes)
         limit = machine.ledger.processor_limit
@@ -561,6 +580,7 @@ class Session:
                 fused=True,
                 shards=shards,
                 start_method=executor.start_method,
+                kernel_tier=kernel_tier,
             )
         # shard-only fault plans reach the supervisor (machine plans never
         # get here: they disqualify fusion, hence sharding, at plan time)
@@ -574,6 +594,8 @@ class Session:
             shards=shards,
             policy=default_policy(resolve_shard_timeout(cfg.shard_timeout)),
             faults=faults,
+            kernel_tier=kernel_tier,
+            tile_bytes=tile_bytes,
         )
 
         walls = [res["wall_s"] for res in shard_results]
@@ -689,8 +711,11 @@ class Session:
             retries=result.retries,
             within_bound=within_bound,
         ))
+        from repro.kernels.registry import resolve_kernel_tier
+
         m = metrics()
         m.counter("engine.queries").inc()
+        m.counter(f"kernel.tier.{resolve_kernel_tier(plan.config.kernel_tier)}").inc()
         snap = result.snapshot
         if snap is not None:
             m.counter("engine.rounds").inc(snap["rounds"])

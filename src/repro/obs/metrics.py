@@ -2,7 +2,9 @@
 
 A single :class:`MetricsRegistry` accumulates engine-level telemetry —
 queries, simulated rounds/work, retry and degradation counts,
-certification cost, entry-cache hits/misses, batch fusion — with
+certification cost, entry-cache hits/misses, batch fusion, kernel-tier
+selection (``kernel.tier.*`` counters and the blocked tier's
+``kernel.tile_bytes`` residency histogram, DESIGN.md §13) — with
 near-zero overhead (one dict lookup and an integer add per update).
 The registry is *always on*: unlike tracing it never allocates per
 query, so there is nothing to enable.

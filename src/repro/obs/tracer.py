@@ -13,7 +13,7 @@ resilient retry (tagged with the faults that fired), one ``bucket`` /
 
 Attribution is **per ledger**, not per thread: the tracer keeps one open
 span stack for each bound :class:`CostLedger`.  This is what makes fused
-batched sweeps traceable — a :class:`~repro.pram.fastpath.ChargeFan`
+batched sweeps traceable — a :class:`~repro.kernels.chargefan.ChargeFan`
 replays each owner query's serial charge sequence into that query's own
 sub-account, and the events land on that query's span, even though the
 replay interleaves owners arbitrarily.

@@ -104,6 +104,9 @@ class WorkloadRecord:
     #: Keeps BENCH_hotpath.json rows schema-aligned with the sharded
     #: tier in BENCH_shard.json so baselines can be compared column-wise.
     shards: int = 1
+    #: Configuration name -> kernel tier it ran under (DESIGN.md §13),
+    #: e.g. ``{"ref": "reference", "fast": "fused", "blocked": "blocked"}``.
+    kernel_tiers: Dict[str, str] = field(default_factory=dict)
     ledger_identical: bool = False
     results_identical: bool = False
 
@@ -125,6 +128,8 @@ class WorkloadRecord:
             "ledger_identical": self.ledger_identical,
             "results_identical": self.results_identical,
         }
+        if self.kernel_tiers:
+            payload["kernel_tiers"] = dict(self.kernel_tiers)
         for config in self.wall_s:
             if config == "ref":
                 continue

@@ -1,123 +1,83 @@
-"""Wall-clock fast-path switch for the simulator hot paths.
+"""Deprecation shim: the boolean fast-path switch, mapped onto kernel tiers.
 
-The simulator's measured quantities — synchronous rounds, work, peak
-processors — are *observations* of the algorithm being simulated, not
-of the Python code that simulates it.  That separation is what makes a
-wall-clock fast path legal: a primitive may compute its result with any
-vectorized kernel it likes, **provided it charges the ledger the exact
+The process-global boolean that used to live here grew into the kernel-
+tier registry (:mod:`repro.kernels.registry`, DESIGN.md §13): named
+tiers ``reference`` / ``fused`` / ``blocked`` (plus an optional
+``numba`` stub), selected via ``ExecutionConfig.kernel_tier`` or
+``REPRO_KERNEL_TIER``.  This module keeps the legacy surface alive and
+coherent:
+
+- :func:`fast_path_enabled` → true for every fused-class tier;
+- :func:`set_fast_path` / :func:`fast_path` map ``True`` → the
+  ``fused`` tier and ``False`` → ``reference``.  The context manager
+  saves and restores the exact tier *name*, so e.g. an active
+  ``blocked`` tier survives a ``fast_path(False)`` round-trip;
+- the ``REPRO_FAST_PATH`` environment variable still works (``0`` /
+  ``false`` / ``no`` → ``reference``, else ``fused``) but emits one
+  ``DeprecationWarning`` per process, and conflicting with
+  ``REPRO_KERNEL_TIER`` raises (see the registry module docstring for
+  the precedence table);
+- :class:`~repro.kernels.chargefan.ChargeFan` is re-exported from its
+  new home in :mod:`repro.kernels`.
+
+The fused-kernel invariant itself is unchanged: a primitive may compute
+with any vectorized kernel **provided it charges the ledger the exact
 sequence of charges the reference (round-by-round) execution would
-have issued**.  We call this the *fused-kernel invariant*:
-
-    ledger snapshots (rounds, work, peak processors, per-phase stats)
-    are bit-identical with the fast path on or off.
-
-``tests/test_fastpath_cache.py`` asserts the invariant end-to-end for
-the Table 1.1–1.3 algorithms; ``benchmarks/bench_regress.py`` measures
-the wall-clock gap the fast path buys.
-
-The switch is process-global (the simulator has no per-call config
-object threading through every primitive) and defaults to **on**; set
-``REPRO_FAST_PATH=0`` in the environment or use
-:func:`set_fast_path` / the :func:`fast_path` context manager to pin it
-either way — the reference path is kept alive precisely so the
-invariant stays testable.
+have issued** — ledger snapshots are bit-identical across tiers.
 """
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Iterator
 
-import numpy as np
+from repro.kernels.chargefan import ChargeFan
+from repro.kernels.registry import (
+    current_tier,
+    current_tier_name,
+    set_kernel_tier,
+)
 
 __all__ = ["fast_path_enabled", "set_fast_path", "fast_path", "ChargeFan"]
 
-_ENABLED: bool = os.environ.get("REPRO_FAST_PATH", "1") not in ("0", "false", "no")
-
 
 def fast_path_enabled() -> bool:
-    """True when primitives should use the fused wall-clock kernels."""
-    return _ENABLED
+    """True when primitives should use the fused wall-clock kernels.
+
+    Deprecated spelling of
+    :func:`repro.kernels.registry.fused_kernels_enabled`.
+    """
+    return current_tier().fused
 
 
 def set_fast_path(enabled: bool) -> bool:
-    """Set the global switch; returns the previous value."""
-    global _ENABLED
-    prev = _ENABLED
-    _ENABLED = bool(enabled)
+    """Set the global switch; returns the previous boolean value.
+
+    ``True`` activates the ``fused`` tier unless a fused-class tier
+    (``fused``/``blocked``/``numba``) is already active; ``False``
+    activates ``reference``.  Prefer
+    :func:`repro.kernels.registry.set_kernel_tier`, which can name any
+    tier.
+    """
+    prev = current_tier().fused
+    if enabled:
+        if not prev:
+            set_kernel_tier("fused")
+    else:
+        set_kernel_tier("reference")
     return prev
 
 
 @contextmanager
 def fast_path(enabled: bool) -> Iterator[None]:
-    """Temporarily force the fast path on or off."""
-    prev = set_fast_path(enabled)
+    """Temporarily force the fast path on or off.
+
+    Restores the exact prior tier name on exit (not just the boolean),
+    so nesting inside an active ``blocked``/``numba`` tier round-trips.
+    """
+    prev = current_tier_name()
+    set_fast_path(enabled)
     try:
         yield
     finally:
-        set_fast_path(prev)
-
-
-class ChargeFan:
-    """Per-query ledger fan-out for one fused batched sweep.
-
-    The fused-kernel invariant extends across queries: a batched kernel
-    may stack ``B`` same-shape queries and compute all results in one
-    global pass, provided each query's sub-account receives **the exact
-    charge sequence its own serial run would have issued**.  The batched
-    ``sqrt``-recursion makes this possible because its row structure
-    (sample strides, block sizes, recursion depth) is data-independent
-    for same-shape inputs, so the global charge at every site decomposes
-    into per-owner unit counts; this class performs that decomposition.
-
-    ``ledgers[q]`` is query ``q``'s :class:`~repro.pram.ledger.CostLedger`
-    sub-account.  ``crcw``/``budget`` reproduce the machine context the
-    per-owner grouped-minimum strategy resolution needs.
-    """
-
-    def __init__(self, ledgers: Sequence, *, crcw: bool, budget: int) -> None:
-        self.ledgers = list(ledgers)
-        self.crcw = bool(crcw)
-        self.budget = int(budget)
-
-    def counts(self, owner: np.ndarray, weights=None) -> np.ndarray:
-        """Per-owner unit totals: ``sum(weights)`` (or multiplicity) by owner."""
-        owner = np.asarray(owner, dtype=np.int64)
-        if weights is None:
-            c = np.bincount(owner, minlength=len(self.ledgers))
-        else:
-            c = np.bincount(
-                owner,
-                weights=np.asarray(weights, dtype=np.float64),
-                minlength=len(self.ledgers),
-            )
-        return np.rint(c).astype(np.int64)
-
-    def charge(self, counts: np.ndarray, rounds: int = 1) -> None:
-        """Charge each owner with a positive count ``rounds`` rounds at
-        ``counts[q]`` processors — owners absent from a site charge
-        nothing, exactly as their serial run would skip the branch."""
-        for q in np.nonzero(counts)[0]:
-            self.ledgers[int(q)].charge(rounds=rounds, processors=int(counts[q]))
-
-    def grouped_min(self, widths: np.ndarray, group_owner: np.ndarray) -> None:
-        """Replay one serial ``grouped_min(strategy="auto")`` per owner
-        over that owner's own groups (``group_owner`` is nondecreasing —
-        the batch layout keeps owners contiguous)."""
-        from repro.pram.primitives import replay_grouped_min_charges
-
-        widths = np.asarray(widths, dtype=np.int64)
-        owner = np.asarray(group_owner, dtype=np.int64)
-        if owner.size == 0:
-            return
-        change = np.nonzero(np.diff(owner))[0] + 1
-        bounds = np.concatenate([[0], change, [owner.size]])
-        for k in range(bounds.size - 1):
-            lo, hi = int(bounds[k]), int(bounds[k + 1])
-            replay_grouped_min_charges(
-                self.ledgers[int(owner[lo])],
-                widths[lo:hi],
-                crcw=self.crcw,
-                budget=self.budget,
-            )
+        set_kernel_tier(prev)

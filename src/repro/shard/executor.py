@@ -206,6 +206,8 @@ class ShardExecutor:
         shards: int,
         policy: Optional[SupervisePolicy] = None,
         faults=None,
+        kernel_tier: Optional[str] = None,
+        tile_bytes: Optional[int] = None,
     ) -> Tuple[ShardPlan, List[Dict], SupervisionReport]:
         """Scatter one fused bucket across ≤ ``shards`` owner-block tasks.
 
@@ -228,6 +230,11 @@ class ShardExecutor:
                 "model": model,
                 "budget": int(budget),
                 "retired": list(self._retired_log),
+                # parent-resolved kernel tier + tile budget: explicit in
+                # the task payload so fork AND spawn workers run the
+                # same tier without consulting their own environment
+                "tier": kernel_tier,
+                "tile_bytes": tile_bytes,
             }
 
         tasks = [make_task(lo, hi) for lo, hi in plan.ranges]

@@ -4,7 +4,7 @@ A worker process cannot charge the parent's per-query
 :class:`~repro.pram.ledger.CostLedger` sub-accounts directly, and it
 must not try — the parent's ledgers carry observers (tracer bindings)
 and feed the session aggregate.  Instead each worker hands its
-:class:`~repro.pram.fastpath.ChargeFan` a :class:`RecordingLedger` per
+:class:`~repro.kernels.chargefan.ChargeFan` a :class:`RecordingLedger` per
 owner: a ledger-shaped sink that appends every charge and kernel
 notification, in order, to a plain event list.  The parent then calls
 :func:`replay_events` on the real sub-account, re-issuing the identical
@@ -13,7 +13,7 @@ notification, in order, to a plain event list.  The parent then calls
 
 Because the ChargeFan invariant guarantees each owner's fanned-out
 charge sequence equals its *serial* charge sequence regardless of
-bucket composition (see :class:`~repro.pram.fastpath.ChargeFan`),
+bucket composition (see :class:`~repro.kernels.chargefan.ChargeFan`),
 replaying a worker's per-owner log reproduces the serial snapshot —
 and, through the sub-account's observer, the serial trace — bit for
 bit.  ``tests/test_shard_equivalence.py`` pins this end to end.

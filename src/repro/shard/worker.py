@@ -24,7 +24,8 @@ from time import perf_counter
 from typing import Dict
 
 from repro.monge.arrays import ExplicitArray
-from repro.pram.fastpath import ChargeFan
+from repro.kernels.chargefan import ChargeFan
+from repro.kernels.registry import tier_context
 from repro.pram.ledger import CostLedger
 from repro.pram.machine import Pram
 from repro.pram.models import CRCW_ARBITRARY, CRCW_COMMON, CRCW_PRIORITY, CREW, EREW
@@ -95,9 +96,10 @@ def run_shard_task(task: Dict) -> Dict:
     )
     recorders = [RecordingLedger() for _ in bases]
     fan = ChargeFan(recorders, crcw=pram.model.is_crcw, budget=pram.processors)
-    outs = batched_row_extrema(
-        pram, bases, problem=task["problem"], cache=task["cache"], fan=fan
-    )
+    with tier_context(task.get("tier"), task.get("tile_bytes")):
+        outs = batched_row_extrema(
+            pram, bases, problem=task["problem"], cache=task["cache"], fan=fan
+        )
     return {
         "outs": outs,
         "events": [r.events for r in recorders],

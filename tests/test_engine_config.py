@@ -15,6 +15,7 @@ def test_defaults():
     assert cfg.cache is False and cfg.strict is True and cfg.checked is False
     assert cfg.faults is None and cfg.retries == 0 and cfg.certify is False
     assert cfg.shards is None and cfg.shard_timeout is None
+    assert cfg.kernel_tier is None and cfg.tile_bytes is None
 
 
 @pytest.mark.parametrize("bad", [0, -0.5, float("inf"), float("nan"), "30"])
@@ -28,6 +29,58 @@ def test_shard_timeout_accepted_and_fingerprinted():
     assert cfg.shard_timeout == 2.5
     assert cfg.fingerprint() != ExecutionConfig().fingerprint()
     assert cfg.with_overrides(shard_timeout=None).shard_timeout is None
+
+
+# --------------------------------------------------------------------- #
+# kernel tier / tile budget (DESIGN.md §13)
+# --------------------------------------------------------------------- #
+def test_kernel_tier_validated_at_construction():
+    assert ExecutionConfig(kernel_tier="blocked").kernel_tier == "blocked"
+    with pytest.raises(ValueError, match="unknown kernel tier"):
+        ExecutionConfig(kernel_tier="warp")
+    # the tier joins the fusion fingerprint: mixed-tier queries never fuse
+    assert (
+        ExecutionConfig(kernel_tier="blocked").fingerprint()
+        != ExecutionConfig(kernel_tier="fused").fingerprint()
+    )
+    assert ExecutionConfig(kernel_tier="blocked").fingerprint() != (
+        ExecutionConfig().fingerprint()
+    )
+
+
+@pytest.mark.parametrize("bad", [0, -4096, 2.5, "64MB", True])
+def test_bad_tile_bytes_rejected(bad):
+    with pytest.raises(ValueError, match="tile_bytes"):
+        ExecutionConfig(tile_bytes=bad)
+
+
+def test_tile_bytes_accepted_and_fingerprinted():
+    cfg = ExecutionConfig(tile_bytes=4096)
+    assert cfg.tile_bytes == 4096
+    assert cfg.fingerprint() != ExecutionConfig().fingerprint()
+    assert cfg.with_overrides(tile_bytes=None).tile_bytes is None
+
+
+def test_env_tier_and_tile_validated_parent_side(monkeypatch):
+    """Malformed env values fail with a ValueError naming the variable
+    before any worker is spawned, exactly like REPRO_SHARDS."""
+    from repro.kernels.registry import (
+        _reload_env_defaults,
+        resolve_kernel_tier,
+        resolve_tile_bytes,
+    )
+
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "bogus")
+    _reload_env_defaults()
+    with pytest.raises(ValueError, match="REPRO_KERNEL_TIER"):
+        resolve_kernel_tier(None)
+    monkeypatch.delenv("REPRO_KERNEL_TIER")
+    monkeypatch.setenv("REPRO_TILE_BYTES", "lots")
+    _reload_env_defaults()
+    with pytest.raises(ValueError, match="REPRO_TILE_BYTES"):
+        resolve_tile_bytes(None)
+    monkeypatch.delenv("REPRO_TILE_BYTES")
+    _reload_env_defaults()
 
 
 def test_unknown_strategy_rejected_at_construction():
