@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke bench-tier bench-tier-smoke
+.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke bench-tier bench-tier-smoke bench-index bench-index-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -60,6 +60,17 @@ bench-tier-smoke:
 ## bench-tier: full kernel-tier throughput sweep -> BENCH_tier.json
 bench-tier:
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_tier.py
+
+## bench-index-smoke: build-once index amortization smoke; refuses to
+## pass unless index, one-shot solve, and brute force agree on every
+## query rectangle (values AND witnesses)
+bench-index-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_index.py --smoke --out /tmp/BENCH_index_smoke.json
+
+## bench-index: full amortization matrix (covers the n>=512, Q>=100
+## acceptance point) -> BENCH_index.json
+bench-index:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_index.py
 
 ## bench-obs: observability overhead budget -> BENCH_obs.json
 ## (fails if disabled-tracer overhead >= 5%)

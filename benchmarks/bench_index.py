@@ -1,0 +1,219 @@
+"""Build-once amortization for the Monge submatrix index.
+
+Answers ``Q`` random query rectangles over one ``n×n`` Monge array two
+ways on a CRCW engine session:
+
+``solve``
+    ``Q`` independent one-shot ``Session.solve("submatrix_max", …)``
+    calls — each pays the full row-maxima recursion over its rectangle;
+``index``
+    one :meth:`Session.prepare` build of the
+    :class:`~repro.monge.index.MongeIndex` followed by ``Q``
+    ``handle.query`` calls — each scans ``O(lg n · width)`` envelope
+    entries.
+
+Equivalence is asserted on every run, smoke or full: both paths must
+equal the brute-force rectangle maximum (value AND the column-major
+first maximizer witness) on every query; the harness refuses to emit a
+baseline otherwise.  The reported ``speedup_amortized`` folds the build
+into the index side — ``t_solve / (t_build + t_queries)`` — so the
+acceptance gate (≥5× at n≥512, Q≥100) genuinely pays for the
+precompute.  The JSON lands in ``BENCH_index.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_index.py            # full matrix
+    PYTHONPATH=src python benchmarks/bench_index.py --smoke    # fast CI smoke
+    PYTHONPATH=src python benchmarks/bench_index.py --out /tmp/i.json
+
+Under pytest the smoke matrix runs with the equivalence assertions plus
+the amortization acceptance gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.engine import Session
+from repro.monge.generators import random_monge
+from repro.obs import reset_metrics
+from repro.obs import snapshot as obs_snapshot
+from repro.perf import Timer, emit_json, environment_fingerprint, throughput
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                           "BENCH_index.json")
+
+
+def make_workload(n: int, Q: int, seed: int = 0):
+    """One n×n Monge array plus ``Q`` seeded random query rectangles."""
+    rng = np.random.default_rng([seed, n, Q])
+    array = random_monge(n, n, rng, integer=True)  # integer -> real ties
+    rects = []
+    for _ in range(Q):
+        r0 = int(rng.integers(0, n))
+        r1 = int(rng.integers(r0 + 1, n + 1))
+        c0 = int(rng.integers(0, n))
+        c1 = int(rng.integers(c0 + 1, n + 1))
+        rects.append(((r0, r1), (c0, c1)))
+    return array, rects
+
+
+def brute_answers(array, rects) -> List[Tuple[float, np.ndarray]]:
+    dense = array.materialize()
+    out = []
+    for (r0, r1), (c0, c1) in rects:
+        sub = dense[r0:r1, c0:c1]
+        k = int(np.argmax(sub.T))  # column-major: leftmost col, topmost row
+        col, row = divmod(k, sub.shape[0])
+        out.append((float(sub[row, col]),
+                    np.array([r0 + row, c0 + col], dtype=np.int64)))
+    return out
+
+
+def check_equivalence(want, got_pairs, side: str) -> List[str]:
+    problems = []
+    for k, ((want_v, want_w), (got_v, got_w)) in enumerate(zip(want, got_pairs)):
+        if float(got_v) != want_v:
+            problems.append(f"{side} query {k}: value differs")
+        elif not np.array_equal(np.asarray(got_w), want_w):
+            problems.append(f"{side} query {k}: witness differs")
+    return problems
+
+
+def run_workload(n: int, Q: int, repeats: int) -> Dict:
+    array, rects = make_workload(n, Q)
+    want = brute_answers(array, rects)
+    best = {"solve": float("inf"), "build": float("inf"), "queries": float("inf")}
+    solve_pairs = index_pairs = None
+    build_evals = index_nbytes = 0
+    # interleave the two sides within each repeat so both sample the
+    # same host-load epochs (stable ratios on noisy machines)
+    for _ in range(repeats):
+        s = Session("pram-crcw")
+        with Timer() as t:
+            solve_pairs = [
+                (r.values, r.witnesses)
+                for r in (s.solve("submatrix_max", (array, rows, cols))
+                          for rows, cols in rects)
+            ]
+        best["solve"] = min(best["solve"], t.seconds)
+
+        s = Session("pram-crcw")
+        with Timer() as t:
+            handle = s.prepare(array)
+        best["build"] = min(best["build"], t.seconds)
+        build_evals = handle.index.build_evals
+        index_nbytes = handle.index.nbytes
+        with Timer() as t:
+            index_pairs = [(r.values, r.witnesses)
+                           for r in (handle.query(rows, cols)
+                                     for rows, cols in rects)]
+        best["queries"] = min(best["queries"], t.seconds)
+
+    violations = (check_equivalence(want, solve_pairs, "solve")
+                  + check_equivalence(want, index_pairs, "index"))
+    amortized = best["build"] + best["queries"]
+    speedup = best["solve"] / max(amortized, 1e-12)
+    return {
+        "params": {"n": n, "Q": Q, "model": "CRCW", "problem": "submatrix_max"},
+        "wall_s": {k: round(v, 6) for k, v in best.items()},
+        "speedup_amortized": round(speedup, 3),
+        "queries_per_s_solve": round(throughput(Q, best["solve"]), 1),
+        "queries_per_s_index": round(throughput(Q, best["queries"]), 1),
+        "build_amortized_over": round(
+            best["build"] / max(best["solve"] / Q, 1e-12), 2
+        ),  # builds repaid after this many avoided one-shot solves
+        "build_evals": build_evals,
+        "index_nbytes": index_nbytes,
+        "identical": not violations,
+        "violations": violations[:20],
+    }
+
+
+def matrix(smoke: bool) -> List[Tuple[int, int]]:
+    """(n, Q) sizes; the full matrix covers the n≥512, Q≥100 gate."""
+    if smoke:
+        return [(48, 40), (64, 60)]
+    return [(256, 100), (512, 100), (512, 200)]
+
+
+def run_matrix(smoke: bool, repeats: int) -> Dict:
+    reset_metrics()
+    workloads = {}
+    for n, Q in matrix(smoke):
+        workloads[f"submatrix_n{n}_Q{Q}"] = run_workload(n, Q, repeats)
+    bad = [name for name, w in workloads.items() if not w["identical"]]
+    if bad:
+        raise RuntimeError(
+            f"index/solve/brute equivalence violated by: {', '.join(bad)} — "
+            "refusing to emit a baseline"
+        )
+    return {
+        "meta": {**environment_fingerprint(), "smoke": smoke, "repeats": repeats},
+        "workloads": workloads,
+        # process-wide engine counters — index build/query/LRU rates
+        "metrics": obs_snapshot(),
+    }
+
+
+def _print_table(payload: Dict) -> None:
+    print(f"{'workload':<24} {'solve(s)':>9} {'build(s)':>9} {'queries(s)':>11} "
+          f"{'x':>7} {'q/s index':>10}")
+    for name, w in payload["workloads"].items():
+        ws = w["wall_s"]
+        print(f"{name:<24} {ws['solve']:>9.4f} {ws['build']:>9.4f} "
+              f"{ws['queries']:>11.4f} {w['speedup_amortized']:>7.2f} "
+              f"{w['queries_per_s_index']:>10.1f}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes, 1 repeat (CI equivalence smoke)")
+    ap.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    ap.add_argument("--out", default=None, help=f"output JSON path (default {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    payload = run_matrix(args.smoke, repeats)
+    _print_table(payload)
+    if args.out is not None:
+        out = args.out
+    elif args.smoke:
+        # never let a smoke run silently replace the pinned full baseline
+        out = DEFAULT_OUT.replace(".json", "_smoke.json")
+    else:
+        out = DEFAULT_OUT
+    emit_json(out, payload)
+    print(f"\nwrote {out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pytest face: smoke equivalence + acceptance amortization
+# --------------------------------------------------------------------- #
+def test_smoke_equivalence(tmp_path):
+    payload = run_matrix(smoke=True, repeats=1)
+    emit_json(str(tmp_path / "BENCH_index_smoke.json"), payload)
+    for name, w in payload["workloads"].items():
+        assert w["identical"], (name, w["violations"])
+
+
+def test_index_speedup_acceptance():
+    """Acceptance: build + 100 index queries ≥5× faster than 100
+    one-shot solves at n=512 (ISSUE 9)."""
+    rec = run_workload(512, 100, repeats=1)
+    assert rec["identical"], rec["violations"]
+    assert rec["speedup_amortized"] >= 5.0, (
+        f"amortized speedup {rec['speedup_amortized']:.2f} < 5.0"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

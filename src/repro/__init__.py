@@ -43,6 +43,9 @@ Quickstart::
     s = repro.Session("hypercube")                     # reusable machines
     r = s.solve("rowmin", a, certify=True)
     assert r.certified
+
+    h = repro.prepare(a)                               # build once ...
+    r = h.query((10, 200), (32, 400))                  # ... query many
 """
 
 from repro import (
@@ -61,8 +64,10 @@ from repro.engine import (
     BatchResult,
     CapabilityError,
     ExecutionConfig,
+    PreparedHandle,
     SearchResult,
     Session,
+    prepare,
     solve,
     solve_many,
 )
@@ -82,6 +87,8 @@ __all__ = [
     "generators",
     "solve",
     "solve_many",
+    "prepare",
+    "PreparedHandle",
     "Session",
     "ExecutionConfig",
     "SearchResult",
@@ -89,4 +96,4 @@ __all__ = [
     "CapabilityError",
 ]
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"

@@ -37,6 +37,11 @@ from repro.core.banded import (
     banded_row_minima_pram,
 )
 from repro.core.windowed import windowed_monge_row_minima
+from repro.core.submatrix import (
+    monge_submatrix_maximum,
+    submatrix_max_pram,
+    submatrix_max_sequential,
+)
 from repro.core.network_machine import NetworkMachine
 from repro.core.rowmin_network import (
     inverse_monge_row_maxima_network,
@@ -60,6 +65,9 @@ __all__ = [
     "banded_row_minima_pram",
     "banded_row_maxima_pram",
     "windowed_monge_row_minima",
+    "monge_submatrix_maximum",
+    "submatrix_max_pram",
+    "submatrix_max_sequential",
     "NetworkMachine",
     "monge_row_minima_network",
     "monge_row_maxima_network",

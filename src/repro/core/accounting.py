@@ -9,9 +9,12 @@ parent as ``rounds = max``, ``work = sum``, ``processors = sum of
 peaks`` (they run concurrently).
 
 The implementations now live in :mod:`repro.engine.machines`, next to
-the engine's machine builders; this module is a deprecated shim that
-re-exports them (with a :class:`DeprecationWarning`) so existing import
-sites keep working for one more release.
+the engine's machine builders; this module is a deprecated shim.  Each
+re-exported symbol is resolved lazily (PEP 562) and warns — once per
+symbol per process — with a :class:`DeprecationWarning` naming its
+concrete replacement (``repro.engine.machines.fresh_clone`` /
+``repro.engine.machines.charge_parallel``), so a caller that only uses
+one of them is pointed at exactly the import to write.
 """
 
 from __future__ import annotations
@@ -19,19 +22,48 @@ from __future__ import annotations
 import warnings
 
 from repro.engine import machines as _machines
-from repro.engine.machines import charge_parallel, fresh_clone
-
-# Warn once per process, not once per import: the flag lives on the
-# (stable) target module, so a reload of this shim — e.g. a test popping
-# it from sys.modules — does not re-fire the warning.
-if not getattr(_machines, "_accounting_shim_warned", False):
-    _machines._accounting_shim_warned = True
-    warnings.warn(
-        "repro.core.accounting is deprecated: import fresh_clone and "
-        "charge_parallel from repro.engine.machines (or repro.engine), and "
-        "CostLedger from repro.pram.ledger",
-        DeprecationWarning,
-        stacklevel=2,
-    )
 
 __all__ = ["fresh_clone", "charge_parallel"]
+
+#: Shim symbol → the fully qualified replacement the warning names.
+_REPLACEMENTS = {
+    "fresh_clone": "repro.engine.machines.fresh_clone",
+    "charge_parallel": "repro.engine.machines.charge_parallel",
+}
+
+
+def _warned_symbols() -> set:
+    """The per-process warn-once record, stored on the (stable) target
+    module so a reload of this shim — e.g. a test popping it from
+    ``sys.modules``, or the engine lifecycle modules re-importing — does
+    not re-fire warnings."""
+    warned = getattr(_machines, "_accounting_shim_warned", None)
+    if not isinstance(warned, set):
+        # bool values are the pre-per-symbol latch: True means "already
+        # warned for everything", False/absent means a clean slate.
+        warned = set(_REPLACEMENTS) if warned is True else set()
+        _machines._accounting_shim_warned = warned
+    return warned
+
+
+def __getattr__(name: str):
+    replacement = _REPLACEMENTS.get(name)
+    if replacement is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}; this shim "
+            f"re-exports only {list(_REPLACEMENTS)}"
+        )
+    warned = _warned_symbols()
+    if name not in warned:
+        warned.add(name)
+        warnings.warn(
+            f"repro.core.accounting.{name} is deprecated: use "
+            f"{replacement} (also re-exported by repro.engine)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return getattr(_machines, name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_REPLACEMENTS))

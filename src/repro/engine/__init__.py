@@ -9,8 +9,11 @@ unpacks as ``(values, witnesses)``.  Batches of queries go through
 the plan → group → execute pipeline (DESIGN.md §9):
 :meth:`Session.solve_many` lowers each query to a
 :class:`~repro.engine.planner.QueryPlan`, groups compatible plans,
-and serves fused buckets with one stacked sweep, returning a
-:class:`BatchResult` in input order.
+and :func:`repro.engine.lifecycle.run_plans` walks each bucket down
+the executor chain (sharded → fused → serial), returning a
+:class:`BatchResult` in input order.  :meth:`Session.prepare` is the
+build-once entry: it returns a :class:`PreparedHandle` answering many
+queries against one precomputed index (DESIGN.md §14).
 
 Quick start::
 
@@ -44,18 +47,37 @@ from repro.engine.registry import (
     register,
     registry,
 )
+from repro.engine.lifecycle import (
+    EXECUTORS,
+    Executor,
+    FusedExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    execute_bucket,
+    run_plans,
+)
 from repro.engine.planner import QueryPlan, group_plans, plan_query
+from repro.engine.prepared import PreparedHandle, prepare
 from repro.engine.result import BatchResult, SearchResult
 from repro.engine.session import QueryRecord, Session, dispatch_on, solve, solve_many
 
 __all__ = [
     "solve",
     "solve_many",
+    "prepare",
+    "PreparedHandle",
     "Session",
     "QueryRecord",
     "QueryPlan",
     "plan_query",
     "group_plans",
+    "Executor",
+    "SerialExecutor",
+    "FusedExecutor",
+    "ShardedExecutor",
+    "EXECUTORS",
+    "execute_bucket",
+    "run_plans",
     "BatchResult",
     "ExecutionConfig",
     "SearchResult",

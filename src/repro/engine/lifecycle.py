@@ -1,0 +1,756 @@
+"""The staged query lifecycle: executors behind one interface.
+
+A query moves through five stages (DESIGN.md §14): **plan** (lower the
+request to a :class:`~repro.engine.planner.QueryPlan`), **admit** (each
+:class:`Executor` inspects a bucket and claims it or passes), **group**
+(:func:`~repro.engine.planner.group_plans` buckets compatible plans),
+**execute** (the claiming executor runs the bucket), and **settle**
+(merge sub-accounts, re-emit warnings, record the query).  The
+:class:`~repro.engine.session.Session` owns machine construction and
+bookkeeping; *how* a bucket runs — serially, as one fused stacked
+sweep, or scattered across worker processes — is decided here, by
+walking :data:`EXECUTORS` in priority order and taking the first
+executor whose :meth:`~Executor.admit` accepts the bucket.
+
+The three executors are ports of the former ``Session._execute_*``
+branches and preserve their observable behavior bit-for-bit (values,
+witnesses, per-query ledger snapshots, trace totals —
+``tests/data/pre_refactor_snapshots.json`` pins this):
+
+* :class:`SerialExecutor` — the unchanged per-query path: a private
+  :class:`~repro.pram.ledger.CostLedger` sub-account per query, with
+  resilience (retry / certify) and tracing applied as stage wrappers
+  (:func:`ledger_swap`, :func:`run_attempts`, :class:`_SerialTrace`).
+* :class:`FusedExecutor` — one stacked multi-query sweep per bucket,
+  per-query charges replayed by a
+  :class:`~repro.kernels.chargefan.ChargeFan`.
+* :class:`ShardedExecutor` — the fused sweep scattered across worker
+  processes over shared memory (``repro.shard``); an unrecoverable
+  :class:`~repro.shard.executor.ShardError` falls back to the
+  in-process fused executor (wall-clock degrades, answers never do).
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+from repro.engine.planner import QueryPlan, group_plans
+from repro.engine.result import SearchResult
+from repro.obs.metrics import metrics
+from repro.obs.tracer import Tracer
+from repro.pram.ledger import CostLedger
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "FusedExecutor",
+    "ShardedExecutor",
+    "EXECUTORS",
+    "SERIAL",
+    "execute_bucket",
+    "run_plans",
+    "fused_ready",
+    "shard_width",
+    "ledger_swap",
+    "run_attempts",
+]
+
+
+# --------------------------------------------------------------------- #
+# stage wrappers (resilience / tracing / ledger sub-accounts)
+# --------------------------------------------------------------------- #
+@contextmanager
+def ledger_swap(machine, qledger, fault_plan):
+    """Swap a machine's ledger (and faults) for a query sub-account.
+
+    Covers the network ledger too (cube machines charge through it);
+    restores the saved pair(s) on exit, success or not.  A ``None``
+    machine (sequential backend) is a no-op.
+    """
+    if machine is None:
+        yield
+        return
+    saved = (machine.ledger, machine.faults)
+    machine.ledger = qledger
+    machine.faults = fault_plan
+    has_net = hasattr(machine, "network")
+    if has_net:
+        saved_net = (machine.network.ledger, machine.network.faults)
+        machine.network.ledger = qledger
+        machine.network.faults = fault_plan
+    try:
+        yield
+    finally:
+        machine.ledger, machine.faults = saved
+        if has_net:
+            machine.network.ledger, machine.network.faults = saved_net
+
+
+def run_attempts(spec, plan: QueryPlan, fault_plan, attempt):
+    """Resilience stage: run ``attempt`` plain or under ``run_resilient``.
+
+    Returns ``(values, witnesses, certificate, retries)``.  The retry
+    path certifies inside the resilience executor (a failing certificate
+    triggers a replay); the plain path certifies after the fact and
+    raises on a bad witness.
+    """
+    cfg = plan.config
+    if cfg.retries > 0 and spec.machine != "none":
+        from repro.resilience.executor import run_resilient
+
+        certifier = (
+            (lambda out: spec.certifier(plan.data, out[0], out[1]))
+            if cfg.certify
+            else None
+        )
+        report = run_resilient(
+            attempt,
+            certify=certifier,
+            plan=fault_plan,
+            max_attempts=cfg.retries + 1,
+        )
+        values, witnesses = report.result
+        return values, witnesses, report.attempts[-1].certificate, report.n_attempts - 1
+    values, witnesses = attempt()
+    certificate = None
+    if cfg.certify:
+        certificate = spec.certifier(plan.data, values, witnesses)
+        certificate.require()
+    return values, witnesses, certificate, 0
+
+
+class _SerialTrace:
+    """Tracing stage for the serial path: the solve span, per-attempt
+    spans on the resilient path, and the final :class:`Trace` assembly.
+    Every method is a no-op when tracing is off."""
+
+    def __init__(self, plan: QueryPlan, backend: str, kernel_tier: str,
+                 qledger, fault_plan, track_attempts: bool) -> None:
+        cfg = plan.config
+        self.tracer = Tracer() if cfg.trace else None
+        self.qledger = qledger
+        self.fault_plan = fault_plan
+        self.track_attempts = track_attempts
+        self.solve_span = None
+        self._span = None
+        self._n = 0
+        self._fired0 = 0
+        if self.tracer is not None:
+            self.solve_span = self.tracer.begin(
+                "solve",
+                "solve",
+                problem=plan.problem,
+                backend=backend,
+                strategy=plan.strategy,
+                shape=plan.shape,
+                kernel_tier=kernel_tier,
+            )
+            if qledger is not None:
+                self.tracer.bind(qledger, self.solve_span)
+
+    def _fired(self) -> int:
+        return self.fault_plan.total_fired if self.fault_plan is not None else 0
+
+    def before_reset(self) -> None:
+        """An attempt is about to wipe the sub-account: discard the
+        previous attempt span (its charges are being replayed)."""
+        if self.tracer is None or self.qledger is None:
+            return
+        prev = self._span
+        if prev is not None:
+            prev.discarded = True
+            prev.attrs["faults_fired"] = self._fired() - self._fired0
+            self.tracer.end(prev)
+
+    def after_reset(self) -> None:
+        """The sub-account was reset: rebind it and (on the resilient
+        path) open the next attempt span."""
+        if self.tracer is None or self.qledger is None:
+            return
+        self.tracer.rebind(self.qledger)
+        if self.track_attempts:
+            self._n += 1
+            self._fired0 = self._fired()
+            self._span = self.tracer.push(
+                self.qledger, f"attempt-{self._n}", "attempt", index=self._n
+            )
+
+    def close_attempts(self) -> None:
+        if self.tracer is not None and self.qledger is not None:
+            if self._span is not None:
+                self._span.attrs["faults_fired"] = self._fired() - self._fired0
+                self.tracer.pop(self.qledger, self._span)
+            self.tracer.unbind(self.qledger)
+
+    def finalize(self, retries: int, degradation: list, certificate):
+        if self.tracer is None:
+            return None
+        self.solve_span.attrs["retries"] = retries
+        self.solve_span.attrs["degraded"] = bool(degradation)
+        if certificate is not None:
+            self.solve_span.attrs["certified"] = bool(certificate.ok)
+            self.solve_span.attrs["certify_evals"] = int(certificate.evals)
+        self.tracer.end(self.solve_span)
+        return self.tracer.trace(self.solve_span)
+
+
+# --------------------------------------------------------------------- #
+# admission predicates (machine-level; plan-level ones live in planner)
+# --------------------------------------------------------------------- #
+def fused_ready(session, plan: QueryPlan) -> bool:
+    """Machine-level fusion conditions.  A bucket that fails these runs
+    serially — same results, same per-query snapshots, just no shared
+    sweep."""
+    from repro.kernels.registry import get_tier, resolve_kernel_tier
+    from repro.pram.machine import Pram
+
+    if plan.fused_key is None:
+        return False
+    if not get_tier(resolve_kernel_tier(plan.config.kernel_tier)).fused:
+        # the reference tier has no stacked-sweep kernel: every query
+        # runs its own round-by-round simulation
+        return False
+    nodes = plan.spec.nodes_for(plan.shape) if plan.spec.nodes_for is not None else 2
+    machine = session.machine(nodes)
+    if machine is None or type(machine) is not Pram:
+        # Brent machines time-slice charges and NetworkMachines execute
+        # genuinely on the network — both stay per-query.
+        return False
+    if machine.faults is not None and not getattr(
+        machine.faults, "shard_only", False
+    ):
+        # shard-only plans never perturb the machines (the supervisor
+        # draws them parent-side), so fusion stays legal under them.
+        return False
+    if machine.ledger.processor_limit is not None or machine.processors < (1 << 40):
+        # fused sweeps charge global (summed) sizes against the
+        # throwaway ledger; a bounded budget could reject a batch whose
+        # individual queries all fit.
+        return False
+    return True
+
+
+def shard_width(session, bucket: List[QueryPlan]) -> int:
+    """The effective worker count for one fused bucket (1 = stay
+    in-process).  Sharding is owner-granular — whole queries are
+    distributed, never rows of one query — because that is the
+    granularity at which ChargeFan replay keeps ledgers bit-identical
+    (DESIGN.md §11); single-query buckets therefore never shard, and
+    neither do buckets whose inputs would need materializing to reach
+    shared memory."""
+    from repro.shard.config import resolve_shards
+    from repro.shard.executor import shardable_payload
+
+    plan = bucket[0]
+    width = resolve_shards(plan.config.shards)
+    if width <= 1 or not plan.spec.shardable or len(bucket) < 2:
+        return 1
+    if any(shardable_payload(p.data) is None for p in bucket):
+        return 1
+    return min(width, len(bucket))
+
+
+# --------------------------------------------------------------------- #
+# the executor interface and its three implementations
+# --------------------------------------------------------------------- #
+class Executor:
+    """One way to run a bucket of compatible plans.
+
+    ``admit`` inspects a bucket and returns an admission dict (possibly
+    empty) to claim it, or ``None`` to pass; ``execute`` runs a claimed
+    bucket.  :func:`execute_bucket` walks :data:`EXECUTORS` in priority
+    order and dispatches to the first claimant; an executor whose
+    ``execute`` raises one of its :meth:`recoverable` errors is skipped
+    (after :meth:`on_fallback`) and the walk continues.
+    """
+
+    name = "executor"
+    #: group-dict flags (merged with the admission)
+    fused = False
+
+    def admit(self, session, bucket: List[QueryPlan]) -> Optional[dict]:
+        raise NotImplementedError
+
+    def execute(self, session, bucket: List[QueryPlan], admission: dict
+                ) -> List[SearchResult]:
+        raise NotImplementedError
+
+    def recoverable(self) -> tuple:
+        """Exception classes ``execute`` may raise that mean "let the
+        next executor take the bucket" rather than "fail the batch"."""
+        return ()
+
+    def on_success(self, bucket: List[QueryPlan]) -> None:
+        """Per-executor metrics, bumped after a successful execution."""
+
+    def on_fallback(self, bucket: List[QueryPlan]) -> None:
+        """Metrics for a recoverable failure handed down the chain."""
+
+    def shards_used(self, admission: dict) -> int:
+        return 1
+
+
+class SerialExecutor(Executor):
+    """The unchanged per-query path; admits every bucket (it is the
+    chain's terminal executor) and runs each plan on its own ledger
+    sub-account with resilience and tracing stage wrappers."""
+
+    name = "serial"
+    fused = False
+
+    def admit(self, session, bucket: List[QueryPlan]) -> Optional[dict]:
+        return {}
+
+    def execute(self, session, bucket, admission) -> List[SearchResult]:
+        return [self.execute_plan(session, plan) for plan in bucket]
+
+    def execute_plan(self, session, plan: QueryPlan) -> SearchResult:
+        """Run one plan serially and settle it into a SearchResult."""
+        from repro.kernels.registry import resolve_kernel_tier, tier_context
+
+        spec, cfg, data = plan.spec, plan.config, plan.data
+        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
+        nodes = spec.nodes_for(plan.shape) if spec.nodes_for is not None else 2
+        machine = session.machine(nodes)
+
+        fault_plan = cfg.faults if cfg.faults is not None else session.faults
+        limit = machine.ledger.processor_limit if machine is not None else None
+        qledger = CostLedger(processor_limit=limit) if machine is not None else None
+        caught: List[warnings.WarningMessage] = []
+
+        # attempt spans only exist on the resilient path; the plain path
+        # records charges straight onto the solve span
+        track_attempts = cfg.retries > 0 and spec.machine != "none"
+        tracing = _SerialTrace(
+            plan, session.backend, kernel_tier, qledger, fault_plan, track_attempts
+        )
+
+        def attempt():
+            caught.clear()
+            if qledger is not None:
+                tracing.before_reset()
+                # reset the sub-account so a replayed attempt starts clean
+                qledger.__init__(processor_limit=limit)
+                tracing.after_reset()
+            with warnings.catch_warnings(record=True) as rec:
+                warnings.simplefilter("always")
+                out = spec.fn(machine, data, cfg, plan.strategy)
+            caught.extend(rec)
+            return out
+
+        with ledger_swap(machine, qledger, fault_plan):
+            try:
+                with tier_context(cfg.kernel_tier, cfg.tile_bytes):
+                    values, witnesses, certificate, retries = run_attempts(
+                        spec, plan, fault_plan, attempt
+                    )
+            finally:
+                tracing.close_attempts()
+
+        snapshot = qledger.snapshot() if qledger is not None else None
+        if qledger is not None:
+            session.ledger.merge(qledger)
+        # record degradation events; re-emit everything captured so
+        # ambient filters (pytest.warns, -W error) still see the warnings
+        from repro.resilience.degrade import DegradedResultWarning
+
+        degradation = [
+            w.message for w in caught if issubclass(w.category, DegradedResultWarning)
+        ]
+        for w in caught:
+            warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
+
+        trace = tracing.finalize(retries, degradation, certificate)
+
+        return SearchResult(
+            values=values,
+            witnesses=witnesses,
+            problem=plan.problem,
+            backend=session.backend,
+            strategy=plan.strategy,
+            snapshot=snapshot,
+            ledger=qledger,
+            certificate=certificate,
+            degradation=degradation,
+            retries=retries,
+            trace=trace,
+        )
+
+
+class FusedExecutor(Executor):
+    """One stacked multi-query sweep per bucket.  Per-query ledgers are
+    populated by a :class:`~repro.kernels.chargefan.ChargeFan` replaying
+    each owner's serial charge sequence — snapshots come out
+    bit-identical to the serial path's (tests/test_engine_batch.py pins
+    this)."""
+
+    name = "fused"
+    fused = True
+
+    def admit(self, session, bucket: List[QueryPlan]) -> Optional[dict]:
+        if len(bucket) >= 2 and fused_ready(session, bucket[0]):
+            return {}
+        return None
+
+    def on_success(self, bucket: List[QueryPlan]) -> None:
+        metrics().counter("engine.batch.fused_queries").inc(len(bucket))
+
+    def execute(self, session, bucket, admission) -> List[SearchResult]:
+        from repro.core.rowmin_pram import batched_row_extrema
+        from repro.kernels.chargefan import ChargeFan
+        from repro.kernels.registry import resolve_kernel_tier, tier_context
+
+        spec = bucket[0].spec
+        cfg = bucket[0].config
+        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
+        nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
+        machine = session.machine(nodes)
+        limit = machine.ledger.processor_limit
+        qledgers = [CostLedger(processor_limit=limit) for _ in bucket]
+        fan = ChargeFan(
+            qledgers, crcw=machine.model.is_crcw, budget=machine.processors
+        )
+        scratch = CostLedger(processor_limit=limit)
+
+        # trace is part of the fusion fingerprint, so the whole bucket
+        # agrees; the sweep's global charges land on a "stacked-sweep"
+        # span while each owner's replayed charges land on its own solve
+        # span — per-query totals stay bit-identical to the serial path.
+        tracer = Tracer() if cfg.trace else None
+        qspans: List = []
+        if tracer is not None:
+            bucket_span = tracer.begin(
+                "bucket",
+                "bucket",
+                problem=spec.problem,
+                backend=session.backend,
+                strategy=bucket[0].strategy,
+                shape=bucket[0].shape,
+                count=len(bucket),
+                fused=True,
+                kernel_tier=kernel_tier,
+            )
+            sweep_span = tracer.begin("stacked-sweep", "sweep", parent=bucket_span)
+            tracer.bind(scratch, sweep_span)
+            for plan, qledger in zip(bucket, qledgers):
+                qspan = tracer.begin(
+                    "solve",
+                    "solve",
+                    parent=bucket_span,
+                    problem=plan.problem,
+                    backend=session.backend,
+                    strategy=plan.strategy,
+                    shape=plan.shape,
+                    fused=True,
+                )
+                tracer.bind(qledger, qspan)
+                qspans.append(qspan)
+
+        with ledger_swap(machine, scratch, None):
+            try:
+                with tier_context(cfg.kernel_tier, cfg.tile_bytes):
+                    outs = batched_row_extrema(
+                        machine,
+                        [p.data for p in bucket],
+                        problem=spec.problem,
+                        cache=cfg.cache,
+                        fan=fan,
+                    )
+            finally:
+                if tracer is not None:
+                    tracer.unbind(scratch)
+                    tracer.end(sweep_span)
+                    for qledger, qspan in zip(qledgers, qspans):
+                        tracer.unbind(qledger)
+                        tracer.end(qspan)
+                    tracer.end(bucket_span)
+
+        certificates = _certify_bucket(spec, bucket, outs)
+
+        results: List[SearchResult] = []
+        for i, (plan, (values, witnesses), qledger, certificate) in enumerate(zip(
+            bucket, outs, qledgers, certificates
+        )):
+            session.ledger.merge(qledger)
+            trace = None
+            if tracer is not None:
+                if certificate is not None:
+                    qspans[i].attrs["certified"] = bool(certificate.ok)
+                    qspans[i].attrs["certify_evals"] = int(certificate.evals)
+                trace = tracer.trace(qspans[i])
+            results.append(_settle(session, plan, values, witnesses, qledger,
+                                   certificate, trace))
+        return results
+
+
+class ShardedExecutor(FusedExecutor):
+    """The fused sweep scattered across worker processes.
+
+    The bucket's owner range is cut into contiguous blocks; each worker
+    runs the ordinary stacked sweep on its block against the
+    shared-memory tensors and returns values, witnesses, and a
+    charge-replay log per owner.  The parent replays each owner's log
+    onto its real ledger sub-account — observers (tracer spans) fire
+    exactly as the serial run's would — so snapshots, traces, and
+    certificates are bit-identical to the in-process fused path
+    (tests/test_shard_equivalence.py pins this).  Dispatch runs under
+    supervision (deadlines / retry / hedging / quarantine, DESIGN.md
+    §12), driven by ``shard_timeout`` and any shard-only fault plan in
+    play.  ``execute`` raises
+    :class:`~repro.shard.executor.ShardError` only when a shard is
+    unrecoverable even in-process; the driver then hands the bucket to
+    the in-process :class:`FusedExecutor`.
+    """
+
+    name = "sharded"
+    fused = True
+
+    def admit(self, session, bucket: List[QueryPlan]) -> Optional[dict]:
+        if FusedExecutor.admit(self, session, bucket) is None:
+            return None
+        width = shard_width(session, bucket)
+        if width <= 1:
+            return None
+        return {"shards": width}
+
+    def recoverable(self) -> tuple:
+        from repro.shard.executor import ShardError
+
+        return (ShardError,)
+
+    def on_success(self, bucket: List[QueryPlan]) -> None:
+        m = metrics()
+        m.counter("engine.batch.sharded_queries").inc(len(bucket))
+        m.counter("engine.batch.fused_queries").inc(len(bucket))
+
+    def on_fallback(self, bucket: List[QueryPlan]) -> None:
+        # a broken pool degrades wall-clock, never answers
+        metrics().counter("shard.fallbacks").inc()
+
+    def shards_used(self, admission: dict) -> int:
+        return admission["shards"]
+
+    def execute(self, session, bucket, admission) -> List[SearchResult]:
+        from repro.kernels.registry import resolve_kernel_tier, resolve_tile_bytes
+        from repro.shard.config import resolve_shard_timeout
+        from repro.shard.executor import get_executor, shardable_payload
+        from repro.shard.recording import replay_events
+        from repro.shard.supervise import default_policy
+
+        shards = admission["shards"]
+        spec = bucket[0].spec
+        cfg = bucket[0].config
+        # resolve tier and tile budget parent-side: workers (fork or
+        # spawn) receive explicit values and never consult env state
+        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
+        tile_bytes = resolve_tile_bytes(cfg.tile_bytes)
+        nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
+        machine = session.machine(nodes)
+        limit = machine.ledger.processor_limit
+        qledgers = [CostLedger(processor_limit=limit) for _ in bucket]
+        payloads = [shardable_payload(p.data) for p in bucket]
+        executor = get_executor(workers=shards)
+
+        tracer = Tracer() if cfg.trace else None
+        bucket_span = None
+        if tracer is not None:
+            bucket_span = tracer.begin(
+                "bucket",
+                "bucket",
+                problem=spec.problem,
+                backend=session.backend,
+                strategy=bucket[0].strategy,
+                shape=bucket[0].shape,
+                count=len(bucket),
+                fused=True,
+                shards=shards,
+                start_method=executor.start_method,
+                kernel_tier=kernel_tier,
+            )
+        # shard-only fault plans reach the supervisor (machine plans never
+        # get here: they disqualify fusion, hence sharding, at plan time)
+        faults = cfg.faults if cfg.faults is not None else machine.faults
+        shard_plan, shard_results, report = executor.run_bucket(
+            payloads,
+            problem=spec.problem,
+            cache=cfg.cache,
+            model=machine.model.name,
+            budget=machine.processors,
+            shards=shards,
+            policy=default_policy(resolve_shard_timeout(cfg.shard_timeout)),
+            faults=faults,
+            kernel_tier=kernel_tier,
+            tile_bytes=tile_bytes,
+        )
+
+        walls = [res["wall_s"] for res in shard_results]
+        imbalance = (max(walls) / (sum(walls) / len(walls))) if sum(walls) > 0 else 1.0
+        m = metrics()
+        m.histogram("shard.imbalance").observe(imbalance)
+        m.counter("shard.buckets").inc()
+        m.counter("shard.tasks").inc(len(shard_results))
+        if tracer is not None:
+            bucket_span.attrs["imbalance"] = imbalance
+            if report.recovered:
+                bucket_span.attrs["recovered"] = True
+            for k, ((lo, hi), res) in enumerate(zip(shard_plan.ranges, shard_results)):
+                tr = report.tasks[k]
+                span = tracer.begin(
+                    f"shard-{k}",
+                    "shard",
+                    parent=bucket_span,
+                    owners=hi - lo,
+                    rows=int(sum(shard_plan.weights[lo:hi])),
+                    wall_s=res["wall_s"],
+                    sweep_rounds=res["sweep"]["rounds"],
+                    attempt=tr.attempts,
+                    hedged=tr.hedged,
+                )
+                if tr.timeouts:
+                    span.attrs["timeouts"] = tr.timeouts
+                if tr.partial_fallback:
+                    span.attrs["fallback"] = "in-process"
+                tracer.end(span)
+
+        outs = [pair for res in shard_results for pair in res["outs"]]
+        events = [log for res in shard_results for log in res["events"]]
+        evals = [count for res in shard_results for count in res["evals"]]
+
+        qspans: List = []
+        for i, (plan, qledger) in enumerate(zip(bucket, qledgers)):
+            qspan = None
+            if tracer is not None:
+                qspan = tracer.begin(
+                    "solve",
+                    "solve",
+                    parent=bucket_span,
+                    problem=plan.problem,
+                    backend=session.backend,
+                    strategy=plan.strategy,
+                    shape=plan.shape,
+                    fused=True,
+                )
+                tracer.bind(qledger, qspan)
+                qspans.append(qspan)
+            replay_events(qledger, events[i])
+            if tracer is not None:
+                tracer.unbind(qledger)
+                tracer.end(qspan)
+            # workers evaluated entries on their own mappings; fold the
+            # counts back so the source arrays' eval_count stays the
+            # observable quantity it is on every other path
+            counted = getattr(plan.data, "eval_count", None)
+            if counted is not None:
+                plan.data.eval_count = counted + evals[i]
+        if tracer is not None:
+            tracer.end(bucket_span)
+
+        certificates = _certify_bucket(spec, bucket, outs)
+
+        results: List[SearchResult] = []
+        for i, (plan, (values, witnesses), qledger, certificate) in enumerate(zip(
+            bucket, outs, qledgers, certificates
+        )):
+            session.ledger.merge(qledger)
+            trace = None
+            if tracer is not None:
+                if certificate is not None:
+                    qspans[i].attrs["certified"] = bool(certificate.ok)
+                    qspans[i].attrs["certify_evals"] = int(certificate.evals)
+                trace = tracer.trace(qspans[i])
+            results.append(_settle(session, plan, values, witnesses, qledger,
+                                   certificate, trace))
+        return results
+
+
+def _certify_bucket(spec, bucket: List[QueryPlan], outs) -> List:
+    """Compute every requested certificate first, then require() them —
+    a failing query reports after all certificates exist (matches the
+    pre-refactor two-loop behavior)."""
+    certificates: List = []
+    for plan, (values, witnesses) in zip(bucket, outs):
+        if plan.config.certify:
+            certificates.append(spec.certifier(plan.data, values, witnesses))
+        else:
+            certificates.append(None)
+    for certificate in certificates:
+        if certificate is not None:
+            certificate.require()
+    return certificates
+
+
+def _settle(session, plan: QueryPlan, values, witnesses, qledger,
+            certificate, trace) -> SearchResult:
+    """The settle stage for fused-class results (the qledger is already
+    merged by the caller, which interleaves merging with span reads)."""
+    return SearchResult(
+        values=values,
+        witnesses=witnesses,
+        problem=plan.problem,
+        backend=session.backend,
+        strategy=plan.strategy,
+        snapshot=qledger.snapshot(),
+        ledger=qledger,
+        certificate=certificate,
+        degradation=[],
+        retries=0,
+        trace=trace,
+    )
+
+
+#: Priority-ordered executor chain; the terminal SerialExecutor admits
+#: everything, so the walk in :func:`execute_bucket` always terminates.
+SERIAL = SerialExecutor()
+EXECUTORS: Tuple[Executor, ...] = (ShardedExecutor(), FusedExecutor(), SERIAL)
+
+
+def execute_bucket(session, bucket: List[QueryPlan]
+                   ) -> Tuple[List[SearchResult], dict]:
+    """Run one bucket through the executor chain.
+
+    Walks :data:`EXECUTORS` in priority order, dispatches to the first
+    executor that admits the bucket, and falls through to the next on a
+    recoverable error.  Returns the results plus the group dict
+    recording what actually ran (``fused`` flag, effective ``shards``).
+    """
+    for executor in EXECUTORS:
+        admission = executor.admit(session, bucket)
+        if admission is None:
+            continue
+        try:
+            results = executor.execute(session, bucket, admission)
+        except executor.recoverable():
+            executor.on_fallback(bucket)
+            continue
+        executor.on_success(bucket)
+        return results, {
+            "problem": bucket[0].problem,
+            "backend": session.backend,
+            "strategy": bucket[0].strategy,
+            "shape": bucket[0].shape,
+            "count": len(bucket),
+            "fused": executor.fused,
+            "shards": executor.shards_used(admission),
+        }
+    raise AssertionError("executor chain exhausted (SerialExecutor admits all)")
+
+
+def run_plans(session, plans: List[QueryPlan]
+              ) -> Tuple[List[SearchResult], List[dict]]:
+    """Stages 2–4 for a batch: group the plans, walk the buckets through
+    the executor chain, and return results (input order) plus the group
+    dicts (bucket order)."""
+    buckets = group_plans(plans)
+    m = metrics()
+    m.counter("engine.batch.calls").inc()
+    m.counter("engine.batch.queries").inc(len(plans))
+    results: List[Optional[SearchResult]] = [None] * len(plans)
+    groups: List[dict] = []
+    for bucket in buckets:
+        outs, group = execute_bucket(session, bucket)
+        for plan, result in zip(bucket, outs):
+            results[plan.index] = result
+        groups.append(group)
+    return results, groups

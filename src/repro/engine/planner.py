@@ -76,6 +76,16 @@ def shape_of(problem: str, data) -> Tuple[int, ...]:
                 "search array plus per-row column windows"
             )
         return tuple(as_search_array(data[0]).shape)
+    if problem == "submatrix_max" and isinstance(data, (tuple, list)):
+        # one-shot form: (array, (r0, r1), (c0, c1)); the shape key is
+        # the full array's — the rectangle is query state, not shape
+        # class.  A bare array (the prepare entry) falls through below.
+        if len(data) != 3:
+            raise TypeError(
+                "'submatrix_max' data must be an (array, (r0, r1), (c0, c1)) "
+                "triple: the search array plus a half-open query rectangle"
+            )
+        return tuple(as_search_array(data[0]).shape)
     return tuple(as_search_array(data).shape)
 
 

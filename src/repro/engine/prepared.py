@@ -1,0 +1,214 @@
+"""The precompute-once entry shape: ``prepare → query`` (DESIGN.md §14).
+
+``solve`` pays for each request in full; :meth:`Session.prepare` instead
+runs a registered solver's ``prepare`` capability once — for
+``submatrix_max`` that builds a
+:class:`~repro.monge.index.MongeIndex` — and returns a
+:class:`PreparedHandle` whose :meth:`~PreparedHandle.query` answers many
+requests against the built structure.  Builds and queries charge the
+session ledger exactly like solves do (each on its own
+:class:`~repro.pram.ledger.CostLedger` sub-account, merged back), emit
+``index-build`` / ``index-query`` spans when tracing is on, and bump the
+``index.*`` metrics; they are **not** appended to ``Session.queries`` —
+the query log stays the record of solve-shaped requests, while prepared
+work is visible through the ledger, metrics, and traces.
+
+Handles are cached per session in a small LRU keyed on
+``(problem, backend, id(data), config fingerprint)`` — preparing the
+same array twice under the same config returns the same handle
+(``index.lru.hits``) without rebuilding.  The handle keeps a strong
+reference to the data, so an ``id``-keyed hit can never alias a
+recycled object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.config import ExecutionConfig
+from repro.engine.lifecycle import ledger_swap
+from repro.engine.registry import CapabilityError, registry
+from repro.engine.result import SearchResult
+from repro.obs.metrics import metrics
+from repro.obs.tracer import Tracer
+from repro.pram.ledger import CostLedger
+
+__all__ = ["PreparedHandle", "prepare_handle", "prepare"]
+
+
+class PreparedHandle:
+    """A built index bound to its session, config, and machine.
+
+    ``handle.query(rows, cols)`` returns a full
+    :class:`~repro.engine.result.SearchResult` (strategy ``"index"``)
+    whose snapshot is the query's own ledger sub-account.  ``handle.index``
+    exposes the underlying structure (e.g.
+    :class:`~repro.monge.index.MongeIndex`) for direct, uncharged reads.
+    """
+
+    def __init__(self, session, problem: str, spec, cfg: ExecutionConfig,
+                 index, machine, data, build_snapshot: Optional[dict],
+                 build_trace) -> None:
+        self.session = session
+        self.problem = problem
+        self.spec = spec
+        self.config = cfg
+        self.index = index
+        self.machine = machine
+        self.data = data  # strong ref: keeps the id()-keyed LRU sound
+        #: Ledger snapshot of the build sub-account (``None`` sequentially).
+        self.build_snapshot = build_snapshot
+        #: Trace of the build span when the config enables tracing.
+        self.build_trace = build_trace
+
+    @property
+    def shape(self):
+        return self.index.shape
+
+    def query(self, rows, cols) -> SearchResult:
+        """Answer one ``(row_range, col_range)`` rectangle.
+
+        Charges the scanned envelope entries plus one combine round on a
+        private sub-account, merges it into the session ledger, and
+        returns the result with its snapshot — the same accounting shape
+        a :meth:`Session.solve` result carries.
+        """
+        session = self.session
+        machine = self.machine
+        cfg = self.config
+        limit = machine.ledger.processor_limit if machine is not None else None
+        qledger = CostLedger(processor_limit=limit) if machine is not None else None
+
+        tracer = Tracer() if cfg.trace else None
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "index-query",
+                "query",
+                problem=self.problem,
+                backend=session.backend,
+                strategy="index",
+                shape=self.index.shape,
+            )
+            if qledger is not None:
+                tracer.bind(qledger, span)
+
+        with ledger_swap(machine, qledger, None):
+            values, witnesses, info = self.index.query_on(machine, rows, cols)
+
+        trace = None
+        if tracer is not None:
+            if qledger is not None:
+                tracer.unbind(qledger)
+            span.attrs["nodes"] = info["nodes"]
+            span.attrs["scanned"] = info["scanned"]
+            tracer.end(span)
+            trace = tracer.trace(span)
+
+        snapshot = qledger.snapshot() if qledger is not None else None
+        if qledger is not None:
+            session.ledger.merge(qledger)
+        metrics().counter("index.queries").inc()
+
+        return SearchResult(
+            values=values,
+            witnesses=witnesses,
+            problem=self.problem,
+            backend=session.backend,
+            strategy="index",
+            snapshot=snapshot,
+            ledger=qledger,
+            certificate=None,
+            degradation=[],
+            retries=0,
+            trace=trace,
+        )
+
+
+def prepare_handle(session, problem: str, data, cfg: ExecutionConfig
+                   ) -> PreparedHandle:
+    """Build (or fetch from the session LRU) a prepared handle."""
+    from repro.engine.planner import shape_of
+    from repro.kernels.registry import resolve_kernel_tier, tier_context
+
+    spec = registry.lookup(problem, session.backend)
+    if not spec.preparable:
+        preparable = sorted(
+            {p for p, b in registry.keys()
+             if b == session.backend and registry.lookup(p, b).preparable}
+        )
+        raise CapabilityError(
+            f"({problem}, {session.backend}) declares no prepare capability; "
+            f"preparable problems on this backend: {preparable or ['<none>']}"
+        )
+    spec.check_kernel_tier(cfg.kernel_tier)
+    shape = shape_of(problem, data)
+
+    m = metrics()
+    key = (problem, session.backend, id(data), cfg.fingerprint())
+    cached = session._prepared.get(key)
+    if cached is not None:
+        session._prepared.move_to_end(key)
+        m.counter("index.lru.hits").inc()
+        return cached
+    m.counter("index.lru.misses").inc()
+
+    nodes = spec.nodes_for(shape) if spec.nodes_for is not None else 2
+    machine = session.machine(nodes)
+    limit = machine.ledger.processor_limit if machine is not None else None
+    qledger = CostLedger(processor_limit=limit) if machine is not None else None
+
+    tracer = Tracer() if cfg.trace else None
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            "index-build",
+            "prepare",
+            problem=problem,
+            backend=session.backend,
+            shape=shape,
+            kernel_tier=resolve_kernel_tier(cfg.kernel_tier),
+        )
+        if qledger is not None:
+            tracer.bind(qledger, span)
+
+    with ledger_swap(machine, qledger, None):
+        with tier_context(cfg.kernel_tier, cfg.tile_bytes):
+            index = spec.prepare(machine, data, cfg)
+
+    trace = None
+    if tracer is not None:
+        if qledger is not None:
+            tracer.unbind(qledger)
+        span.attrs["build_evals"] = index.build_evals
+        tracer.end(span)
+        trace = tracer.trace(span)
+
+    snapshot = qledger.snapshot() if qledger is not None else None
+    if qledger is not None:
+        session.ledger.merge(qledger)
+    m.counter("index.builds").inc()
+
+    handle = PreparedHandle(
+        session, problem, spec, cfg, index, machine, data, snapshot, trace
+    )
+    session._prepared[key] = handle
+    while len(session._prepared) > session.index_cache:
+        session._prepared.popitem(last=False)
+        m.counter("index.lru.evictions").inc()
+    return handle
+
+
+def prepare(problem, data=None, backend: str = "auto",
+            config: Optional[ExecutionConfig] = None, *, machine=None,
+            **overrides) -> PreparedHandle:
+    """One-shot front door: ``repro.prepare(array).query(rows, cols)``.
+
+    Spins a throwaway session (see
+    :meth:`repro.engine.session.Session.prepare`); the handle keeps the
+    session alive, so its ledger keeps aggregating across queries.
+    """
+    from repro.engine.session import Session
+
+    session = Session(backend, machine=machine)
+    return session.prepare(problem, data, config, **overrides)

@@ -126,6 +126,12 @@ class SolverSpec:
     #: only ``reference`` — an explicit fused-class tier there would be
     #: silently meaningless, which we surface as a CapabilityError.
     kernel_tiers: Tuple[str, ...] = ("reference",)
+    #: Build-once entry of the precompute-once path (DESIGN.md §14):
+    #: ``prepare(machine, data, config)`` returns an index object whose
+    #: ``query`` method answers many requests without re-searching.
+    #: ``None`` (the default) means :meth:`Session.prepare` refuses this
+    #: pair with a CapabilityError.
+    prepare: Optional[Callable] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -134,6 +140,10 @@ class SolverSpec:
     @property
     def certifiable(self) -> bool:
         return self.certifier is not None
+
+    @property
+    def preparable(self) -> bool:
+        return self.prepare is not None
 
     def check_strategy(self, strategy: str) -> None:
         """Raise :class:`CapabilityError` on an undeclared strategy."""
@@ -445,6 +455,31 @@ def _seq_banded_max(machine, data, cfg, strategy):
     return banded_row_maxima(_windowed_array(array, cfg), lo, hi)
 
 
+# -- submatrix maxima (precompute-once family; DESIGN.md §14) ----------- #
+def _submatrix_max(machine, data, cfg, strategy):
+    from repro.core.submatrix import submatrix_max_pram
+
+    if not cfg.strict:
+        raise CapabilityError(
+            "(submatrix_max, pram) declares no degradation path; the query "
+            "rectangle already confines the search — run with strict=True"
+        )
+    return submatrix_max_pram(machine, data, cache=cfg.cache)
+
+
+def _seq_submatrix_max(machine, data, cfg, strategy):
+    from repro.core.submatrix import submatrix_max_sequential
+
+    _require_sequential_capable(cfg, "submatrix_max")
+    return submatrix_max_sequential(data, cache=cfg.cache)
+
+
+def _prepare_submatrix(machine, data, cfg):
+    from repro.monge.index import MongeIndex
+
+    return MongeIndex.build(machine, data, cache=cfg.cache)
+
+
 # -- certifiers (minima problems only; see resilience.certify) ---------- #
 def _certify_rowmin(data, values, witnesses):
     from repro.resilience.certify import certify_row_minima
@@ -632,5 +667,31 @@ for _problem, _fn, _seqfn, _hint in _WINDOW_FAMILY:
             bound_rounds=None, nodes_for=None,
         ))
 
+# Submatrix maxima: the precompute-once family.  The one-shot solver
+# answers a single (row_range, col_range) rectangle by row maxima over
+# the sub-array; the `prepare` capability instead builds a MongeIndex
+# (envelope segment tree over row blocks) that amortizes the build cost
+# across many rectangles.  Not batchable/shardable: rectangle queries
+# have data-dependent sub-shapes, so ChargeFan replay has nothing
+# uniform to fan out over.
+for _backend, _bound in (
+    ("pram-crcw", _row_bound_crcw),
+    ("pram-crew", _row_bound_crew),
+):
+    register(SolverSpec(
+        problem="submatrix_max", backend=_backend, fn=_submatrix_max,
+        strategies=(), machine="pram",
+        bound_hint="row maxima over the rectangle + one reduce round",
+        bound_rounds=_bound, nodes_for=_row_shape_nodes,
+        prepare=_prepare_submatrix, kernel_tiers=_ALL_TIERS,
+    ))
+register(SolverSpec(
+    problem="submatrix_max", backend="sequential", fn=_seq_submatrix_max,
+    strategies=(), machine="none",
+    bound_hint="SMAWK row maxima over the rectangle: O(h+w) evaluations",
+    bound_rounds=None, nodes_for=None, prepare=_prepare_submatrix,
+))
+
 del (_PRAM_FAMILY, _SEQUENTIAL, _WINDOW_FAMILY, _ALL_TIERS, _problem,
-     _fn, _seqfn, _strats, _cert, _hint, _net, _tube, _nodes, _batch)
+     _fn, _seqfn, _strats, _cert, _hint, _net, _tube, _nodes, _batch,
+     _backend, _bound)

@@ -8,15 +8,16 @@ the sub-account back afterwards), so callers get both the per-query
 snapshot on the :class:`~repro.engine.result.SearchResult` and a running
 session total on :attr:`Session.ledger`.
 
-Queries execute through a three-stage pipeline (DESIGN.md §9):
+Queries execute through the staged lifecycle (DESIGN.md §14):
 :func:`~repro.engine.planner.plan_query` lowers each request to a
 declarative :class:`~repro.engine.planner.QueryPlan`,
 :func:`~repro.engine.planner.group_plans` buckets compatible plans, and
-the session executes each bucket — fused buckets as one stacked
-multi-query sweep (:func:`repro.core.rowmin_pram.batched_row_extrema`
-with a :class:`~repro.kernels.chargefan.ChargeFan` replaying each query's
-serial charges), everything else through the unchanged serial path.
-:meth:`Session.solve` is simply a one-plan pipeline.
+:func:`repro.engine.lifecycle.run_plans` walks each bucket down the
+executor chain (:data:`~repro.engine.lifecycle.EXECUTORS`: sharded →
+fused → serial) — the session itself never branches on *how* a bucket
+runs.  :meth:`Session.solve` is simply a one-plan serial execution, and
+:meth:`Session.prepare` is the build-once entry of the precompute-once
+path (:mod:`repro.engine.prepared`).
 
 :func:`solve` / :func:`solve_many` are the one-shot module-level
 entries: they resolve a backend (``"auto"`` picks the CRCW PRAM, the
@@ -32,13 +33,14 @@ bit-identical ledgers.
 
 from __future__ import annotations
 
-import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.engine.config import ExecutionConfig
+from repro.engine.lifecycle import SERIAL, run_plans
 from repro.engine.machines import backend_of, build_machine
-from repro.engine.planner import QueryPlan, group_plans, plan_query, shape_of
+from repro.engine.planner import QueryPlan, plan_query, shape_of
 from repro.engine.registry import (
     BACKENDS,
     CapabilityError,
@@ -47,7 +49,6 @@ from repro.engine.registry import (
 )
 from repro.engine.result import BatchResult, SearchResult
 from repro.obs.metrics import metrics
-from repro.obs.tracer import Tracer
 from repro.pram.ledger import CostLedger
 
 __all__ = ["Session", "QueryRecord", "solve", "solve_many", "dispatch_on"]
@@ -120,6 +121,7 @@ class Session:
         faults=None,
         retry_limit: int = 8,
         config: Optional[ExecutionConfig] = None,
+        index_cache: int = 8,
     ) -> None:
         if machine is not None:
             backend = backend_of(machine)
@@ -140,6 +142,9 @@ class Session:
         self.ledger = CostLedger()
         #: One :class:`QueryRecord` per completed query.
         self.queries: List[QueryRecord] = []
+        #: LRU capacity for prepared handles (repro.engine.prepared).
+        self.index_cache = index_cache
+        self._prepared: "OrderedDict" = OrderedDict()
         self._machine = machine
         self._adopted = machine is not None
 
@@ -213,489 +218,6 @@ class Session:
         self._capability_check(plan.spec, cfg)
         return plan
 
-    # -- stage 3a: serial execution (the unchanged per-query path) ------ #
-    def _execute_serial(self, plan: QueryPlan) -> SearchResult:
-        from repro.kernels.registry import resolve_kernel_tier, tier_context
-
-        spec, cfg, data = plan.spec, plan.config, plan.data
-        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
-        nodes = spec.nodes_for(plan.shape) if spec.nodes_for is not None else 2
-        machine = self.machine(nodes)
-
-        fault_plan = cfg.faults if cfg.faults is not None else self.faults
-        limit = machine.ledger.processor_limit if machine is not None else None
-        qledger = CostLedger(processor_limit=limit) if machine is not None else None
-        caught: List[warnings.WarningMessage] = []
-
-        tracer = Tracer() if cfg.trace else None
-        solve_span = None
-        if tracer is not None:
-            solve_span = tracer.begin(
-                "solve",
-                "solve",
-                problem=plan.problem,
-                backend=self.backend,
-                strategy=plan.strategy,
-                shape=plan.shape,
-                kernel_tier=kernel_tier,
-            )
-            if qledger is not None:
-                tracer.bind(qledger, solve_span)
-        # attempt spans only exist on the resilient path; the plain path
-        # records charges straight onto the solve span
-        track_attempts = cfg.retries > 0 and spec.machine != "none"
-        attempt_state: dict = {"span": None, "n": 0, "fired0": 0}
-
-        def _fired() -> int:
-            return fault_plan.total_fired if fault_plan is not None else 0
-
-        def attempt():
-            caught.clear()
-            if qledger is not None:
-                if tracer is not None:
-                    prev = attempt_state["span"]
-                    if prev is not None:
-                        # the reset below wipes its charges — mirror that
-                        prev.discarded = True
-                        prev.attrs["faults_fired"] = _fired() - attempt_state["fired0"]
-                        tracer.end(prev)
-                # reset the sub-account so a replayed attempt starts clean
-                qledger.__init__(processor_limit=limit)
-                if tracer is not None:
-                    tracer.rebind(qledger)
-                    if track_attempts:
-                        attempt_state["n"] += 1
-                        attempt_state["fired0"] = _fired()
-                        attempt_state["span"] = tracer.push(
-                            qledger,
-                            f"attempt-{attempt_state['n']}",
-                            "attempt",
-                            index=attempt_state["n"],
-                        )
-            with warnings.catch_warnings(record=True) as rec:
-                warnings.simplefilter("always")
-                out = spec.fn(machine, data, cfg, plan.strategy)
-            caught.extend(rec)
-            return out
-
-        swapped = machine is not None
-        if swapped:
-            saved = (machine.ledger, machine.faults)
-            machine.ledger = qledger
-            machine.faults = fault_plan
-            if hasattr(machine, "network"):
-                saved_net = (machine.network.ledger, machine.network.faults)
-                machine.network.ledger = qledger
-                machine.network.faults = fault_plan
-        try:
-            certificate = None
-            retries = 0
-            with tier_context(cfg.kernel_tier, cfg.tile_bytes):
-                if cfg.retries > 0 and spec.machine != "none":
-                    from repro.resilience.executor import run_resilient
-
-                    certifier = (
-                        (lambda out: spec.certifier(data, out[0], out[1]))
-                        if cfg.certify
-                        else None
-                    )
-                    report = run_resilient(
-                        attempt,
-                        certify=certifier,
-                        plan=fault_plan,
-                        max_attempts=cfg.retries + 1,
-                    )
-                    values, witnesses = report.result
-                    certificate = report.attempts[-1].certificate
-                    retries = report.n_attempts - 1
-                else:
-                    values, witnesses = attempt()
-                    if cfg.certify:
-                        certificate = spec.certifier(data, values, witnesses)
-                        certificate.require()
-        finally:
-            if tracer is not None and qledger is not None:
-                span = attempt_state["span"]
-                if span is not None:
-                    span.attrs["faults_fired"] = _fired() - attempt_state["fired0"]
-                    tracer.pop(qledger, span)
-                tracer.unbind(qledger)
-            if swapped:
-                machine.ledger, machine.faults = saved
-                if hasattr(machine, "network"):
-                    machine.network.ledger, machine.network.faults = saved_net
-
-        snapshot = qledger.snapshot() if qledger is not None else None
-        if qledger is not None:
-            self.ledger.merge(qledger)
-        # record degradation events; re-emit everything captured so
-        # ambient filters (pytest.warns, -W error) still see the warnings
-        from repro.resilience.degrade import DegradedResultWarning
-
-        degradation = [
-            w.message for w in caught if issubclass(w.category, DegradedResultWarning)
-        ]
-        for w in caught:
-            warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
-
-        trace = None
-        if tracer is not None:
-            solve_span.attrs["retries"] = retries
-            solve_span.attrs["degraded"] = bool(degradation)
-            if certificate is not None:
-                solve_span.attrs["certified"] = bool(certificate.ok)
-                solve_span.attrs["certify_evals"] = int(certificate.evals)
-            tracer.end(solve_span)
-            trace = tracer.trace(solve_span)
-
-        return SearchResult(
-            values=values,
-            witnesses=witnesses,
-            problem=plan.problem,
-            backend=self.backend,
-            strategy=plan.strategy,
-            snapshot=snapshot,
-            ledger=qledger,
-            certificate=certificate,
-            degradation=degradation,
-            retries=retries,
-            trace=trace,
-        )
-
-    # -- stage 3b: fused execution (one stacked sweep per bucket) ------- #
-    def _fused_ready(self, plan: QueryPlan) -> bool:
-        """Machine-level fusion conditions (plan-level ones live in the
-        planner).  A bucket that fails these runs serially — same
-        results, same per-query snapshots, just no shared sweep."""
-        from repro.kernels.registry import get_tier, resolve_kernel_tier
-        from repro.pram.machine import Pram
-
-        if plan.fused_key is None:
-            return False
-        if not get_tier(resolve_kernel_tier(plan.config.kernel_tier)).fused:
-            # the reference tier has no stacked-sweep kernel: every
-            # query runs its own round-by-round simulation
-            return False
-        nodes = plan.spec.nodes_for(plan.shape) if plan.spec.nodes_for is not None else 2
-        machine = self.machine(nodes)
-        if machine is None or type(machine) is not Pram:
-            # Brent machines time-slice charges and NetworkMachines
-            # execute genuinely on the network — both stay per-query.
-            return False
-        if machine.faults is not None and not getattr(
-            machine.faults, "shard_only", False
-        ):
-            # shard-only plans never perturb the machines (the supervisor
-            # draws them parent-side), so fusion stays legal under them.
-            return False
-        if machine.ledger.processor_limit is not None or machine.processors < (1 << 40):
-            # fused sweeps charge global (summed) sizes against the
-            # throwaway ledger; a bounded budget could reject a batch
-            # whose individual queries all fit.
-            return False
-        return True
-
-    def _execute_fused(self, bucket: List[QueryPlan]) -> List[SearchResult]:
-        """Execute one bucket of fused-compatible plans as a single
-        stacked sweep.  Per-query ledgers are populated by a
-        :class:`~repro.kernels.chargefan.ChargeFan` replaying each owner's
-        serial charge sequence — snapshots come out bit-identical to
-        the serial path's (tests/test_engine_batch.py pins this)."""
-        from repro.core.rowmin_pram import batched_row_extrema
-        from repro.kernels.chargefan import ChargeFan
-        from repro.kernels.registry import resolve_kernel_tier, tier_context
-
-        spec = bucket[0].spec
-        cfg = bucket[0].config
-        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
-        nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
-        machine = self.machine(nodes)
-        limit = machine.ledger.processor_limit
-        qledgers = [CostLedger(processor_limit=limit) for _ in bucket]
-        fan = ChargeFan(
-            qledgers, crcw=machine.model.is_crcw, budget=machine.processors
-        )
-        scratch = CostLedger(processor_limit=limit)
-
-        # trace is part of the fusion fingerprint, so the whole bucket
-        # agrees; the sweep's global charges land on a "stacked-sweep"
-        # span while each owner's replayed charges land on its own solve
-        # span — per-query totals stay bit-identical to the serial path.
-        tracer = Tracer() if cfg.trace else None
-        qspans: List = []
-        if tracer is not None:
-            bucket_span = tracer.begin(
-                "bucket",
-                "bucket",
-                problem=spec.problem,
-                backend=self.backend,
-                strategy=bucket[0].strategy,
-                shape=bucket[0].shape,
-                count=len(bucket),
-                fused=True,
-                kernel_tier=kernel_tier,
-            )
-            sweep_span = tracer.begin("stacked-sweep", "sweep", parent=bucket_span)
-            tracer.bind(scratch, sweep_span)
-            for plan, qledger in zip(bucket, qledgers):
-                qspan = tracer.begin(
-                    "solve",
-                    "solve",
-                    parent=bucket_span,
-                    problem=plan.problem,
-                    backend=self.backend,
-                    strategy=plan.strategy,
-                    shape=plan.shape,
-                    fused=True,
-                )
-                tracer.bind(qledger, qspan)
-                qspans.append(qspan)
-
-        saved = (machine.ledger, machine.faults)
-        machine.ledger = scratch
-        machine.faults = None
-        try:
-            with tier_context(cfg.kernel_tier, cfg.tile_bytes):
-                outs = batched_row_extrema(
-                    machine,
-                    [p.data for p in bucket],
-                    problem=spec.problem,
-                    cache=cfg.cache,
-                    fan=fan,
-                )
-        finally:
-            machine.ledger, machine.faults = saved
-            if tracer is not None:
-                tracer.unbind(scratch)
-                tracer.end(sweep_span)
-                for qledger, qspan in zip(qledgers, qspans):
-                    tracer.unbind(qledger)
-                    tracer.end(qspan)
-                tracer.end(bucket_span)
-
-        certificates: List = []
-        for plan, (values, witnesses) in zip(bucket, outs):
-            if plan.config.certify:
-                certificates.append(spec.certifier(plan.data, values, witnesses))
-            else:
-                certificates.append(None)
-        for certificate in certificates:
-            if certificate is not None:
-                certificate.require()
-
-        results: List[SearchResult] = []
-        for i, (plan, (values, witnesses), qledger, certificate) in enumerate(zip(
-            bucket, outs, qledgers, certificates
-        )):
-            self.ledger.merge(qledger)
-            trace = None
-            if tracer is not None:
-                if certificate is not None:
-                    qspans[i].attrs["certified"] = bool(certificate.ok)
-                    qspans[i].attrs["certify_evals"] = int(certificate.evals)
-                trace = tracer.trace(qspans[i])
-            results.append(SearchResult(
-                values=values,
-                witnesses=witnesses,
-                problem=plan.problem,
-                backend=self.backend,
-                strategy=plan.strategy,
-                snapshot=qledger.snapshot(),
-                ledger=qledger,
-                certificate=certificate,
-                degradation=[],
-                retries=0,
-                trace=trace,
-            ))
-        return results
-
-    # -- stage 3c: sharded execution (multi-process fused bucket) -------- #
-    def _shard_width(self, bucket: List[QueryPlan]) -> int:
-        """The effective worker count for one fused bucket (1 = stay
-        in-process).  Sharding is owner-granular — whole queries are
-        distributed, never rows of one query — because that is the
-        granularity at which ChargeFan replay keeps ledgers
-        bit-identical (DESIGN.md §11); single-query buckets therefore
-        never shard, and neither do buckets whose inputs would need
-        materializing to reach shared memory."""
-        from repro.shard.config import resolve_shards
-        from repro.shard.executor import shardable_payload
-
-        plan = bucket[0]
-        width = resolve_shards(plan.config.shards)
-        if width <= 1 or not plan.spec.shardable or len(bucket) < 2:
-            return 1
-        if any(shardable_payload(p.data) is None for p in bucket):
-            return 1
-        return min(width, len(bucket))
-
-    def _execute_sharded(self, bucket: List[QueryPlan], shards: int) -> List[SearchResult]:
-        """Execute one fused bucket across ``shards`` worker processes.
-
-        The bucket's owner range is cut into contiguous blocks; each
-        worker runs the ordinary stacked sweep on its block against the
-        shared-memory tensors and returns values, witnesses, and a
-        charge-replay log per owner.  The parent replays each owner's
-        log onto its real ledger sub-account — observers (tracer spans)
-        fire exactly as the serial run's would — so snapshots, traces,
-        and certificates are bit-identical to the in-process fused path
-        (tests/test_shard_equivalence.py pins this).  Dispatch runs
-        under supervision (deadlines / retry / hedging / quarantine,
-        DESIGN.md §12), driven by ``shard_timeout`` and any shard-only
-        fault plan in play.  Raises
-        :class:`~repro.shard.executor.ShardError` only when a shard is
-        unrecoverable even in-process; the caller then falls back to
-        in-process execution of the whole bucket.
-        """
-        from repro.kernels.registry import resolve_kernel_tier, resolve_tile_bytes
-        from repro.shard.config import resolve_shard_timeout
-        from repro.shard.executor import get_executor, shardable_payload
-        from repro.shard.recording import replay_events
-        from repro.shard.supervise import default_policy
-
-        spec = bucket[0].spec
-        cfg = bucket[0].config
-        # resolve tier and tile budget parent-side: workers (fork or
-        # spawn) receive explicit values and never consult env state
-        kernel_tier = resolve_kernel_tier(cfg.kernel_tier)
-        tile_bytes = resolve_tile_bytes(cfg.tile_bytes)
-        nodes = spec.nodes_for(bucket[0].shape) if spec.nodes_for is not None else 2
-        machine = self.machine(nodes)
-        limit = machine.ledger.processor_limit
-        qledgers = [CostLedger(processor_limit=limit) for _ in bucket]
-        payloads = [shardable_payload(p.data) for p in bucket]
-        executor = get_executor(workers=shards)
-
-        tracer = Tracer() if cfg.trace else None
-        bucket_span = None
-        if tracer is not None:
-            bucket_span = tracer.begin(
-                "bucket",
-                "bucket",
-                problem=spec.problem,
-                backend=self.backend,
-                strategy=bucket[0].strategy,
-                shape=bucket[0].shape,
-                count=len(bucket),
-                fused=True,
-                shards=shards,
-                start_method=executor.start_method,
-                kernel_tier=kernel_tier,
-            )
-        # shard-only fault plans reach the supervisor (machine plans never
-        # get here: they disqualify fusion, hence sharding, at plan time)
-        faults = cfg.faults if cfg.faults is not None else machine.faults
-        shard_plan, shard_results, report = executor.run_bucket(
-            payloads,
-            problem=spec.problem,
-            cache=cfg.cache,
-            model=machine.model.name,
-            budget=machine.processors,
-            shards=shards,
-            policy=default_policy(resolve_shard_timeout(cfg.shard_timeout)),
-            faults=faults,
-            kernel_tier=kernel_tier,
-            tile_bytes=tile_bytes,
-        )
-
-        walls = [res["wall_s"] for res in shard_results]
-        imbalance = (max(walls) / (sum(walls) / len(walls))) if sum(walls) > 0 else 1.0
-        m = metrics()
-        m.histogram("shard.imbalance").observe(imbalance)
-        m.counter("shard.buckets").inc()
-        m.counter("shard.tasks").inc(len(shard_results))
-        if tracer is not None:
-            bucket_span.attrs["imbalance"] = imbalance
-            if report.recovered:
-                bucket_span.attrs["recovered"] = True
-            for k, ((lo, hi), res) in enumerate(zip(shard_plan.ranges, shard_results)):
-                tr = report.tasks[k]
-                span = tracer.begin(
-                    f"shard-{k}",
-                    "shard",
-                    parent=bucket_span,
-                    owners=hi - lo,
-                    rows=int(sum(shard_plan.weights[lo:hi])),
-                    wall_s=res["wall_s"],
-                    sweep_rounds=res["sweep"]["rounds"],
-                    attempt=tr.attempts,
-                    hedged=tr.hedged,
-                )
-                if tr.timeouts:
-                    span.attrs["timeouts"] = tr.timeouts
-                if tr.partial_fallback:
-                    span.attrs["fallback"] = "in-process"
-                tracer.end(span)
-
-        outs = [pair for res in shard_results for pair in res["outs"]]
-        events = [log for res in shard_results for log in res["events"]]
-        evals = [count for res in shard_results for count in res["evals"]]
-
-        qspans: List = []
-        for i, (plan, qledger) in enumerate(zip(bucket, qledgers)):
-            qspan = None
-            if tracer is not None:
-                qspan = tracer.begin(
-                    "solve",
-                    "solve",
-                    parent=bucket_span,
-                    problem=plan.problem,
-                    backend=self.backend,
-                    strategy=plan.strategy,
-                    shape=plan.shape,
-                    fused=True,
-                )
-                tracer.bind(qledger, qspan)
-                qspans.append(qspan)
-            replay_events(qledger, events[i])
-            if tracer is not None:
-                tracer.unbind(qledger)
-                tracer.end(qspan)
-            # workers evaluated entries on their own mappings; fold the
-            # counts back so the source arrays' eval_count stays the
-            # observable quantity it is on every other path
-            counted = getattr(plan.data, "eval_count", None)
-            if counted is not None:
-                plan.data.eval_count = counted + evals[i]
-        if tracer is not None:
-            tracer.end(bucket_span)
-
-        certificates: List = []
-        for plan, (values, witnesses) in zip(bucket, outs):
-            if plan.config.certify:
-                certificates.append(spec.certifier(plan.data, values, witnesses))
-            else:
-                certificates.append(None)
-        for certificate in certificates:
-            if certificate is not None:
-                certificate.require()
-
-        results: List[SearchResult] = []
-        for i, (plan, (values, witnesses), qledger, certificate) in enumerate(zip(
-            bucket, outs, qledgers, certificates
-        )):
-            self.ledger.merge(qledger)
-            trace = None
-            if tracer is not None:
-                if certificate is not None:
-                    qspans[i].attrs["certified"] = bool(certificate.ok)
-                    qspans[i].attrs["certify_evals"] = int(certificate.evals)
-                trace = tracer.trace(qspans[i])
-            results.append(SearchResult(
-                values=values,
-                witnesses=witnesses,
-                problem=plan.problem,
-                backend=self.backend,
-                strategy=plan.strategy,
-                snapshot=qledger.snapshot(),
-                ledger=qledger,
-                certificate=certificate,
-                degradation=[],
-                retries=0,
-                trace=trace,
-            ))
-        return results
-
     # -- bookkeeping ----------------------------------------------------- #
     def _record(self, plan: QueryPlan, result: SearchResult) -> None:
         within_bound = plan.spec.within_bound(result.snapshot, plan.shape)
@@ -747,9 +269,49 @@ class Session:
         """
         cfg = self._derive_config(config, overrides)
         plan = self._plan(problem, data, cfg)
-        result = self._execute_serial(plan)
+        result = SERIAL.execute_plan(self, plan)
         self._record(plan, result)
         return result
+
+    def prepare(
+        self,
+        problem,
+        data=None,
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ):
+        """Build a precompute-once index and return a query handle.
+
+        Two calling forms::
+
+            session.prepare("submatrix_max", array)
+            session.prepare(array)            # problem defaults
+
+        The handle's ``query((r0, r1), (c0, c1))`` answers half-open
+        rectangle maxima against the built
+        :class:`~repro.monge.index.MongeIndex`, charging the session
+        ledger like any solve (see :mod:`repro.engine.prepared`).
+        Handles are LRU-cached per session (``index_cache`` capacity);
+        requires the registry pair to declare a ``prepare`` capability
+        (:class:`CapabilityError` otherwise).
+        """
+        from repro.engine.prepared import prepare_handle
+
+        if not isinstance(problem, str):
+            if data is not None:
+                raise TypeError(
+                    "prepare(data) and prepare(problem, data) are the only "
+                    "calling forms: the first argument must be a problem key "
+                    "when data is passed separately"
+                )
+            problem, data = "submatrix_max", problem
+        elif data is None:
+            raise TypeError(
+                "prepare(problem, data) requires the data argument when the "
+                "first argument is a problem key"
+            )
+        cfg = self._derive_config(config, overrides)
+        return prepare_handle(self, problem, data, cfg)
 
     def solve_many(
         self,
@@ -815,45 +377,7 @@ class Session:
             self._plan(qproblem, qdata, qcfg, index=i)
             for i, (qproblem, qdata, qcfg) in enumerate(queries)
         ]
-        buckets = group_plans(plans)
-
-        m = metrics()
-        m.counter("engine.batch.calls").inc()
-        m.counter("engine.batch.queries").inc(len(plans))
-        results: List[Optional[SearchResult]] = [None] * len(plans)
-        groups: List[dict] = []
-        for bucket in buckets:
-            fused = len(bucket) >= 2 and self._fused_ready(bucket[0])
-            shards_used = 1
-            if fused:
-                shards_used = self._shard_width(bucket)
-                if shards_used > 1:
-                    from repro.shard.executor import ShardError
-
-                    try:
-                        outs = self._execute_sharded(bucket, shards_used)
-                        m.counter("engine.batch.sharded_queries").inc(len(bucket))
-                    except ShardError:
-                        # a broken pool degrades wall-clock, never answers
-                        shards_used = 1
-                        m.counter("shard.fallbacks").inc()
-                        outs = self._execute_fused(bucket)
-                else:
-                    outs = self._execute_fused(bucket)
-                m.counter("engine.batch.fused_queries").inc(len(bucket))
-            else:
-                outs = [self._execute_serial(plan) for plan in bucket]
-            for plan, result in zip(bucket, outs):
-                results[plan.index] = result
-            groups.append({
-                "problem": bucket[0].problem,
-                "backend": self.backend,
-                "strategy": bucket[0].strategy,
-                "shape": bucket[0].shape,
-                "count": len(bucket),
-                "fused": fused,
-                "shards": shards_used,
-            })
+        results, groups = run_plans(self, plans)
         # the query log mirrors input order, not bucket order
         for plan in sorted(plans, key=lambda p: p.index):
             self._record(plan, results[plan.index])

@@ -53,6 +53,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro._util.env import env_choice, env_int
+
 __all__ = [
     "KernelTier",
     "register_tier",
@@ -186,14 +188,7 @@ _LEGACY_WARNED = False
 
 
 def _env_tier() -> Optional[str]:
-    raw = os.environ.get("REPRO_KERNEL_TIER", "").strip().lower()
-    if not raw:
-        return None
-    if raw not in _TIERS:
-        raise ValueError(
-            f"REPRO_KERNEL_TIER must be one of {tuple(_TIERS)}; got {raw!r}"
-        )
-    return raw
+    return env_choice("REPRO_KERNEL_TIER", tuple(_TIERS))
 
 
 def _env_legacy() -> Optional[str]:
@@ -316,23 +311,14 @@ _TILE_OVERRIDE: Optional[int] = None
 
 
 def _env_tile_bytes() -> Optional[int]:
-    raw = os.environ.get("REPRO_TILE_BYTES", "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_TILE_BYTES must be a positive integer byte budget "
-            f"for the blocked kernel tier (e.g. REPRO_TILE_BYTES="
-            f"{DEFAULT_TILE_BYTES}); got {raw!r}"
-        ) from None
-    if value <= 0:
-        raise ValueError(
-            f"REPRO_TILE_BYTES must be a positive integer byte budget "
-            f"for the blocked kernel tier; got {value}"
-        )
-    return value
+    return env_int(
+        "REPRO_TILE_BYTES",
+        requirement=(
+            f"a positive integer byte budget for the blocked kernel tier "
+            f"(e.g. REPRO_TILE_BYTES={DEFAULT_TILE_BYTES})"
+        ),
+        exclusive_minimum=0,
+    )
 
 
 def _default_tile_bytes() -> Optional[int]:

@@ -14,7 +14,9 @@ on and are tested against:
 - :mod:`repro.monge.staircase_seq` — sequential staircase-Monge row
   minima baselines;
 - :mod:`repro.monge.composite` — (min,+)/(max,+) products of Monge
-  arrays ("tube" searching, sequential form).
+  arrays ("tube" searching, sequential form);
+- :mod:`repro.monge.index` — the precompute-once envelope segment tree
+  answering submatrix (rectangle) maximum queries.
 """
 
 from repro.monge.arrays import (
@@ -47,6 +49,7 @@ from repro.monge.composite import (
     tube_maxima_sequential,
     tube_minima_sequential,
 )
+from repro.monge.index import MongeIndex
 
 __all__ = [
     "CachedArray",
@@ -69,6 +72,7 @@ __all__ = [
     "monge_margin",
     "normalize_potentials",
     "reconstruct",
+    "MongeIndex",
     "product_argmin",
     "product_argmax",
     "tube_minima_sequential",

@@ -25,9 +25,10 @@ naming the variable and its accepted range — a deployment typo
 from __future__ import annotations
 
 import multiprocessing
-import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
+
+from repro._util.env import env_choice, env_float, env_int
 
 __all__ = [
     "resolve_shards",
@@ -45,22 +46,14 @@ _UNSET = object()  # "not yet resolved from the environment"
 
 
 def _env_shards() -> Optional[int]:
-    raw = os.environ.get("REPRO_SHARDS", "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_SHARDS must be an integer >= 0 (0 disables sharding, "
-            f"k >= 2 is the default worker count); got {raw!r}"
-        ) from None
-    if value < 0:
-        raise ValueError(
-            f"REPRO_SHARDS must be an integer >= 0 (0 disables sharding, "
-            f"k >= 2 is the default worker count); got {value}"
-        )
-    return value
+    return env_int(
+        "REPRO_SHARDS",
+        requirement=(
+            "an integer >= 0 (0 disables sharding, "
+            "k >= 2 is the default worker count)"
+        ),
+        minimum=0,
+    )
 
 
 #: Process-global default shard count.  ``_UNSET`` → lazily resolved
@@ -105,24 +98,15 @@ def resolve_shard_timeout(requested: Optional[float]) -> Optional[float]:
     """
     if requested is not None:
         return float(requested)
-    raw = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_SHARD_TIMEOUT must be a positive number of seconds "
-            f"(e.g. REPRO_SHARD_TIMEOUT=30), or unset for no deadline; "
-            f"got {raw!r}"
-        ) from None
-    if not value > 0 or value != value or value == float("inf"):
-        raise ValueError(
-            f"REPRO_SHARD_TIMEOUT must be a positive finite number of "
-            f"seconds (e.g. REPRO_SHARD_TIMEOUT=30), or unset for no "
-            f"deadline; got {raw!r}"
-        )
-    return value
+    return env_float(
+        "REPRO_SHARD_TIMEOUT",
+        requirement=(
+            "a positive finite number of seconds "
+            "(e.g. REPRO_SHARD_TIMEOUT=30), or unset for no deadline"
+        ),
+        positive=True,
+        finite=True,
+    )
 
 
 def set_default_shards(count: Optional[int]) -> Optional[int]:
@@ -152,8 +136,9 @@ def _reload_env_defaults() -> None:
 
 
 def _env_start_method() -> Optional[str]:
-    raw = os.environ.get("REPRO_SHARD_START", "").strip().lower()
-    return raw if raw in START_METHODS else None
+    # Unrecognized methods mean "no setting" (fall through to the
+    # platform default) rather than an error — historical behavior.
+    return env_choice("REPRO_SHARD_START", START_METHODS, strict=False)
 
 
 _START: Optional[str] = _env_start_method()

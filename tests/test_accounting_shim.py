@@ -1,4 +1,4 @@
-"""The deprecated ``repro.core.accounting`` shim: warn once, re-export all."""
+"""The deprecated ``repro.core.accounting`` shim: warn once per symbol."""
 
 import sys
 import warnings
@@ -14,21 +14,72 @@ def _fresh_import():
     return shim, [w for w in caught if issubclass(w.category, DeprecationWarning)]
 
 
-def test_warns_exactly_once_per_process():
-    machines._accounting_shim_warned = False
-    shim, first = _fresh_import()
-    assert len(first) == 1
-    assert "repro.engine.machines" in str(first[0].message)
+def _touch(shim, *names):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for name in names:
+            getattr(shim, name)
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
 
-    # Re-importing (even after a sys.modules pop) must stay silent.
-    shim, second = _fresh_import()
-    assert second == []
-    assert machines._accounting_shim_warned is True
+
+def test_import_is_silent_and_access_warns_once_per_symbol():
+    machines._accounting_shim_warned = set()
+    shim, on_import = _fresh_import()
+    # the shim is lazy: importing it alone fires nothing
+    assert on_import == []
+
+    first = _touch(shim, "fresh_clone")
+    assert len(first) == 1
+    # the warning names the concrete replacement symbol
+    assert "repro.engine.machines.fresh_clone" in str(first[0].message)
+
+    # same symbol again: silent; the other symbol: its own warning
+    assert _touch(shim, "fresh_clone") == []
+    second = _touch(shim, "charge_parallel")
+    assert len(second) == 1
+    assert "repro.engine.machines.charge_parallel" in str(second[0].message)
+    assert _touch(shim, "charge_parallel") == []
+
+
+def test_warn_once_survives_reimport_and_lifecycle_reload():
+    """The warn-once record lives on the stable target module, so neither
+    a shim re-import nor reloading the engine lifecycle stack resets it."""
+    machines._accounting_shim_warned = set()
+    shim, _ = _fresh_import()
+    assert len(_touch(shim, "fresh_clone", "charge_parallel")) == 2
+
+    # re-import (sys.modules pop) must stay silent
+    shim2, on_import = _fresh_import()
+    assert on_import == []
+    assert _touch(shim2, "fresh_clone", "charge_parallel") == []
+
+    # a fresh import of the lifecycle modules must not reset the latch
+    for mod in ("repro.engine.lifecycle", "repro.engine.prepared"):
+        sys.modules.pop(mod, None)
+    import repro.engine.lifecycle  # noqa: F401
+    import repro.engine.prepared  # noqa: F401
+
+    shim3, on_import = _fresh_import()
+    assert on_import == []
+    assert _touch(shim3, "fresh_clone", "charge_parallel") == []
+    assert machines._accounting_shim_warned == {"fresh_clone", "charge_parallel"}
+
+
+def test_legacy_boolean_latch_is_honored():
+    # pre-per-symbol processes latched a bool on the machines module;
+    # True must keep meaning "everything already warned"
+    machines._accounting_shim_warned = True
+    shim, _ = _fresh_import()
+    assert _touch(shim, "fresh_clone", "charge_parallel") == []
+    machines._accounting_shim_warned = False
+    shim, _ = _fresh_import()
+    assert len(_touch(shim, "fresh_clone")) == 1
 
 
 def test_reexports_are_the_engine_objects():
-    machines._accounting_shim_warned = True  # silence, order-independent
+    machines._accounting_shim_warned = {"fresh_clone", "charge_parallel"}
     shim, _ = _fresh_import()
     assert shim.fresh_clone is machines.fresh_clone
     assert shim.charge_parallel is machines.charge_parallel
     assert set(shim.__all__) == {"fresh_clone", "charge_parallel"}
+    assert "fresh_clone" in dir(shim) and "charge_parallel" in dir(shim)

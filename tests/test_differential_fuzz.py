@@ -33,7 +33,11 @@ _PID = {
     "staircase_min": 4, "staircase_max": 5,
     "tube_min": 6, "tube_max": 7,
     "banded_min": 8, "banded_max": 9, "windowed_min": 10,
+    "submatrix_max": 11,
 }
+
+#: Problems that run on the PRAMs and sequentially but on no network.
+_NO_NETWORK = ("submatrix_max",)
 
 #: (problem, backend) -> seed range.  Every problem class totals >= 200
 #: seeded cases across its backends (asserted below), with a handful of
@@ -47,6 +51,8 @@ for _problem in _PID:
     MATRIX += [(_problem, "pram-crcw", range(0, 80)),
                (_problem, "pram-crew", range(80, 140)),
                (_problem, "sequential", range(140, 200))]
+    if _problem in _NO_NETWORK:
+        continue
     if not _problem.startswith("tube"):
         MATRIX += [(_problem, net, range(200 + 4 * k, 204 + 4 * k))
                    for k, net in enumerate(NETWORKS)]
@@ -97,6 +103,25 @@ def _random_band(m, n, rng):
     return lo.astype(np.int64), hi.astype(np.int64)
 
 
+def _rect_brute(dense, r0, r1, c0, c1):
+    """Rectangle maximum with the column-major first maximizer: max
+    value, then leftmost column, then topmost row."""
+    sub = dense[r0:r1, c0:c1]
+    k = int(np.argmax(sub.T))
+    col, row = divmod(k, sub.shape[0])
+    return np.float64(sub[row, col]), np.array(
+        [r0 + row, c0 + col], dtype=np.int64
+    )
+
+
+def _random_rectangle(m, n, rng):
+    r0 = int(rng.integers(0, m))
+    r1 = int(rng.integers(r0 + 1, m + 1))
+    c0 = int(rng.integers(0, n))
+    c1 = int(rng.integers(c0 + 1, n + 1))
+    return (r0, r1), (c0, c1)
+
+
 def _random_windows(m, n, rng):
     base = np.cumsum(rng.integers(-2, 3, size=m))
     lo = np.clip(base, 0, n).astype(np.int64)
@@ -136,6 +161,11 @@ def _case(problem, seed, small=False):
         a = gen(m, n, rng, integer=integer)
         lo, hi = _random_band(m, n, rng)
         return (a, lo, hi), _band_brute(a.materialize(), lo, hi, mode)
+    if problem == "submatrix_max":
+        a = random_monge(m, n, rng, integer=integer)
+        rows, cols = _random_rectangle(m, n, rng)
+        want = _rect_brute(a.materialize(), rows[0], rows[1], cols[0], cols[1])
+        return (a, rows, cols), want
     assert problem == "windowed_min"
     a = random_monge(m, n, rng, integer=integer)
     lo, hi = _random_windows(m, n, rng)
@@ -204,6 +234,25 @@ def test_property_staircase_min_matches_brute(m, n, seed, integer):
     r = repro.solve("staircase_min", a)
     np.testing.assert_array_equal(np.asarray(r.values), want_v)
     np.testing.assert_array_equal(np.asarray(r.witnesses), want_w)
+
+
+@settings(max_examples=30, deadline=None)
+@given(**_common)
+def test_property_submatrix_max_paths_agree(m, n, seed, integer):
+    """One-shot ``solve`` and the prepared index answer every random
+    rectangle identically to the brute oracle (leftmost-tie included)."""
+    rng = np.random.default_rng(seed)
+    a = random_monge(m, n, rng, integer=integer)
+    handle = repro.prepare(a)
+    dense = a.materialize()
+    for _ in range(4):
+        rows, cols = _random_rectangle(m, n, rng)
+        want_v, want_w = _rect_brute(dense, rows[0], rows[1], cols[0], cols[1])
+        one = repro.solve("submatrix_max", (a, rows, cols))
+        via_index = handle.query(rows, cols)
+        for r in (one, via_index):
+            assert float(r.values) == float(want_v)
+            np.testing.assert_array_equal(np.asarray(r.witnesses), want_w)
 
 
 @settings(max_examples=25, deadline=None)

@@ -255,15 +255,19 @@ def test_farthest_neighbors_session_matches_sequential():
 
 
 def test_accounting_shim_warns_and_still_reexports():
-    # the shim warns once per process (see test_accounting_shim.py):
-    # reset the once-flag so this import genuinely re-fires it
+    # the shim warns once per symbol per process (see
+    # test_accounting_shim.py): reset the record so the accesses
+    # genuinely re-fire
     import repro.engine.machines as _machines
 
-    _machines._accounting_shim_warned = False
+    _machines._accounting_shim_warned = set()
     sys.modules.pop("repro.core.accounting", None)
-    with pytest.warns(DeprecationWarning, match="repro.engine.machines"):
-        mod = importlib.import_module("repro.core.accounting")
+    mod = importlib.import_module("repro.core.accounting")
+    with pytest.warns(DeprecationWarning, match="repro.engine.machines.fresh_clone"):
+        shim_fresh_clone = mod.fresh_clone
+    with pytest.warns(DeprecationWarning, match="repro.engine.machines.charge_parallel"):
+        shim_charge_parallel = mod.charge_parallel
     from repro.engine.machines import charge_parallel, fresh_clone
 
-    assert mod.fresh_clone is fresh_clone
-    assert mod.charge_parallel is charge_parallel
+    assert shim_fresh_clone is fresh_clone
+    assert shim_charge_parallel is charge_parallel

@@ -1,0 +1,182 @@
+"""Fused-key edge cases in :mod:`repro.engine.planner` (DESIGN.md §9).
+
+The fused key decides which queries may share one stacked sweep; these
+tests pin the three boundaries the lifecycle refactor must not move:
+
+- mixed ``kernel_tier`` (or ``tile_bytes``) never fuses — one bucket
+  runs under exactly one tier;
+- ``shard_only`` fault plans (query- or session-level) still fuse —
+  they chaos-test the shard executor, never the machines;
+- the ``prepare`` entry shape never reaches a fused bucket —
+  ``submatrix_max`` is not batchable, so its plans are always
+  singleton buckets and a prepared handle never appears in
+  ``solve_many`` at all.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import ExecutionConfig, Session
+from repro.engine.planner import group_plans, plan_query, shape_of
+from repro.monge.generators import random_monge
+from repro.resilience.faults import FaultPlan
+
+
+def _plan(cfg, *, index=0, session_faults=None, problem="rowmin",
+          backend="pram-crcw", n=6):
+    a = random_monge(n, n, np.random.default_rng(7 + index))
+    return plan_query(problem, a, cfg, backend, index=index,
+                      session_faults=session_faults)
+
+
+def _buckets(plans):
+    return group_plans(plans)
+
+
+# --------------------------------------------------------------------- #
+# kernel tier / tile bytes
+# --------------------------------------------------------------------- #
+class TestMixedTierNeverFuses:
+    def test_same_tier_fuses(self):
+        cfg = ExecutionConfig(kernel_tier="fused")
+        plans = [_plan(cfg, index=i) for i in range(3)]
+        assert all(p.fused_key is not None for p in plans)
+        assert len(_buckets(plans)) == 1
+
+    def test_mixed_tier_splits_buckets(self):
+        fused = ExecutionConfig(kernel_tier="fused")
+        blocked = ExecutionConfig(kernel_tier="blocked")
+        plans = [_plan(fused, index=0), _plan(blocked, index=1),
+                 _plan(fused, index=2)]
+        buckets = _buckets(plans)
+        # fused keys differ, so the blocked query cannot join: 2 buckets,
+        # and the two fused-tier plans still share one.
+        assert len(buckets) == 2
+        assert sorted(len(b) for b in buckets) == [1, 2]
+        assert plans[0].fused_key != plans[1].fused_key
+        assert plans[0].fused_key == plans[2].fused_key
+
+    def test_mixed_tile_bytes_splits_buckets(self):
+        small = ExecutionConfig(kernel_tier="blocked", tile_bytes=1 << 16)
+        large = ExecutionConfig(kernel_tier="blocked", tile_bytes=1 << 20)
+        plans = [_plan(small, index=0), _plan(large, index=1)]
+        assert plans[0].fused_key != plans[1].fused_key
+        assert len(_buckets(plans)) == 2
+
+    def test_default_tier_fuses_with_itself(self):
+        cfg = ExecutionConfig()
+        plans = [_plan(cfg, index=i) for i in range(2)]
+        assert len(_buckets(plans)) == 1
+
+
+# --------------------------------------------------------------------- #
+# fault plans
+# --------------------------------------------------------------------- #
+class TestShardOnlyFaultsStillFuse:
+    def test_shard_only_query_plan_fuses(self):
+        faults = FaultPlan(seed=3, worker_kill=0.5)
+        assert faults.shard_only
+        cfg = ExecutionConfig(faults=faults)
+        plans = [_plan(cfg, index=i) for i in range(2)]
+        assert all(p.fused_key is not None for p in plans)
+        assert len(_buckets(plans)) == 1
+
+    def test_machine_fault_plan_never_fuses(self):
+        faults = FaultPlan(seed=3, processor_drop=0.5)
+        assert not faults.shard_only
+        cfg = ExecutionConfig(faults=faults)
+        plan = _plan(cfg)
+        assert plan.fused_key is None
+
+    def test_mixed_fault_plan_never_fuses(self):
+        # one machine-level kind poisons an otherwise shard-only plan
+        faults = FaultPlan(seed=3, worker_kill=0.5, link_drop=0.1)
+        assert not faults.shard_only
+        assert _plan(ExecutionConfig(faults=faults)).fused_key is None
+
+    def test_shard_only_session_faults_still_fuse(self):
+        session_faults = FaultPlan(seed=9, task_delay=0.4, shm_corrupt=0.1)
+        assert session_faults.shard_only
+        cfg = ExecutionConfig()
+        plans = [_plan(cfg, index=i, session_faults=session_faults)
+                 for i in range(2)]
+        assert all(p.fused_key is not None for p in plans)
+        assert len(_buckets(plans)) == 1
+
+    def test_machine_session_faults_never_fuse(self):
+        session_faults = FaultPlan(seed=9, message_corrupt=0.2)
+        plan = _plan(ExecutionConfig(), session_faults=session_faults)
+        assert plan.fused_key is None
+
+
+# --------------------------------------------------------------------- #
+# the prepare entry shape stays out of solve_many buckets
+# --------------------------------------------------------------------- #
+class TestPreparedNeverFuses:
+    def _rect(self, n=8, seed=0):
+        a = random_monge(n, n, np.random.default_rng(seed))
+        return (a, (1, n - 1), (0, n))
+
+    def test_submatrix_max_plans_are_never_fusable(self):
+        cfg = ExecutionConfig()
+        plans = [
+            plan_query("submatrix_max", self._rect(seed=i), cfg,
+                       "pram-crcw", index=i)
+            for i in range(3)
+        ]
+        assert all(p.fused_key is None for p in plans)
+        buckets = _buckets(plans)
+        assert len(buckets) == 3
+        assert all(len(b) == 1 for b in buckets)
+
+    def test_solve_many_runs_submatrix_max_serially(self):
+        s = Session("pram-crcw")
+        rects = [self._rect(seed=i) for i in range(3)]
+        batch = s.solve_many("submatrix_max", rects)
+        assert batch.fused_queries == 0
+        for rect, r in zip(rects, batch):
+            want_v, want_w = repro.core.monge_submatrix_maximum(*rect)
+            assert float(r.values) == float(want_v)
+            np.testing.assert_array_equal(np.asarray(r.witnesses), want_w)
+
+    def test_prepared_handle_never_enters_a_bucket(self):
+        s = Session("pram-crcw")
+        a = random_monge(8, 8, np.random.default_rng(11))
+        handle = s.prepare(a)
+        before = len(s.queries)
+        handle.query((0, 8), (0, 8))
+        # prepared work bypasses plan/group entirely: no query record,
+        # and the handle type is not plannable data at all
+        assert len(s.queries) == before
+        with pytest.raises(TypeError):
+            shape_of("submatrix_max", (handle, (0, 8)))
+
+    def test_shape_of_rejects_malformed_triples(self):
+        a = random_monge(4, 4, np.random.default_rng(0))
+        with pytest.raises(TypeError, match="triple"):
+            shape_of("submatrix_max", (a, (0, 2)))
+        assert shape_of("submatrix_max", (a, (0, 2), (0, 2))) == (4, 4)
+        assert shape_of("submatrix_max", a) == (4, 4)
+
+
+# --------------------------------------------------------------------- #
+# the classic disqualifiers keep holding after the refactor
+# --------------------------------------------------------------------- #
+class TestClassicDisqualifiers:
+    @pytest.mark.parametrize("cfg", [
+        ExecutionConfig(strategy="halving"),
+        ExecutionConfig(strict=False),
+        ExecutionConfig(retries=2),
+    ], ids=["halving", "lenient", "retries"])
+    def test_never_fuses(self, cfg):
+        assert _plan(cfg).fused_key is None
+
+    def test_shape_mismatch_splits(self):
+        cfg = ExecutionConfig()
+        a = random_monge(6, 6, np.random.default_rng(1))
+        b = random_monge(6, 7, np.random.default_rng(2))
+        plans = [plan_query("rowmin", a, cfg, "pram-crcw", index=0),
+                 plan_query("rowmin", b, cfg, "pram-crcw", index=1)]
+        assert plans[0].fused_key != plans[1].fused_key
+        assert len(_buckets(plans)) == 2

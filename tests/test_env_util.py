@@ -1,0 +1,158 @@
+"""The shared typed env parser (`repro._util.env`) and its adopters."""
+
+import pytest
+
+from repro._util.env import env_choice, env_float, env_int, env_raw
+
+
+class TestEnvRaw:
+    def test_unset_and_blank_mean_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_X", raising=False)
+        assert env_raw("REPRO_X") is None
+        monkeypatch.setenv("REPRO_X", "   ")
+        assert env_raw("REPRO_X") is None
+
+    def test_strips(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "  7 ")
+        assert env_raw("REPRO_X") == "7"
+
+
+class TestEnvInt:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "42")
+        assert env_int("REPRO_X", requirement="an integer") == 42
+
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_X", raising=False)
+        assert env_int("REPRO_X", requirement="an integer") is None
+
+    def test_error_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "four")
+        with pytest.raises(ValueError, match=r"REPRO_X must be an integer; got 'four'"):
+            env_int("REPRO_X", requirement="an integer")
+
+    def test_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "-1")
+        with pytest.raises(ValueError, match=r"REPRO_X must be.*got -1"):
+            env_int("REPRO_X", requirement="an integer >= 0", minimum=0)
+        monkeypatch.setenv("REPRO_X", "0")
+        assert env_int("REPRO_X", requirement="...", minimum=0) == 0
+
+    def test_exclusive_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "0")
+        with pytest.raises(ValueError, match="REPRO_X"):
+            env_int("REPRO_X", requirement="positive", exclusive_minimum=0)
+
+
+class TestEnvFloat:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "2.5")
+        assert env_float("REPRO_X", requirement="seconds") == 2.5
+
+    def test_rejects_nonnumeric(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "soon")
+        with pytest.raises(ValueError, match=r"REPRO_X must be seconds; got 'soon'"):
+            env_float("REPRO_X", requirement="seconds")
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "nan", "inf", "-inf"])
+    def test_positive_finite(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_X", raw)
+        with pytest.raises(ValueError, match="REPRO_X"):
+            env_float("REPRO_X", requirement="positive finite", positive=True, finite=True)
+
+
+class TestEnvChoice:
+    def test_lowercases_and_matches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "  Fused ")
+        assert env_choice("REPRO_X", ("reference", "fused")) == "fused"
+
+    def test_strict_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "turbo")
+        with pytest.raises(ValueError, match=r"REPRO_X must be one of .*; got 'turbo'"):
+            env_choice("REPRO_X", ("reference", "fused"))
+
+    def test_lenient_returns_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "turbo")
+        assert env_choice("REPRO_X", ("fork", "spawn"), strict=False) is None
+
+
+class TestAdopters:
+    """The four REPRO_* switches parse through the shared helper."""
+
+    def test_repro_shards(self, monkeypatch):
+        from repro.shard import config as shard_config
+
+        monkeypatch.setenv("REPRO_SHARDS", "four")
+        shard_config._reload_env_defaults()
+        with pytest.raises(ValueError, match=r"REPRO_SHARDS must be an integer >= 0"):
+            shard_config.resolve_shards(None)
+        monkeypatch.setenv("REPRO_SHARDS", "-2")
+        shard_config._reload_env_defaults()
+        with pytest.raises(ValueError, match="REPRO_SHARDS"):
+            shard_config.resolve_shards(None)
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        shard_config._reload_env_defaults()
+        assert shard_config.resolve_shards(None) == 3
+        monkeypatch.delenv("REPRO_SHARDS")
+        shard_config._reload_env_defaults()
+        assert shard_config.resolve_shards(None) == 1
+
+    def test_repro_shard_timeout(self, monkeypatch):
+        from repro.shard.config import resolve_shard_timeout
+
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_SHARD_TIMEOUT"):
+            resolve_shard_timeout(None)
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "inf")
+        with pytest.raises(ValueError, match="REPRO_SHARD_TIMEOUT"):
+            resolve_shard_timeout(None)
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "2.5")
+        assert resolve_shard_timeout(None) == 2.5
+        assert resolve_shard_timeout(9.0) == 9.0  # explicit wins, unparsed
+
+    def test_repro_kernel_tier(self, monkeypatch):
+        from repro.kernels import registry as kreg
+
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "turbo")
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+        kreg._reload_env_defaults()
+        try:
+            with pytest.raises(ValueError, match=r"REPRO_KERNEL_TIER must be one of"):
+                kreg.current_tier_name()
+            monkeypatch.setenv("REPRO_KERNEL_TIER", "Blocked")
+            kreg._reload_env_defaults()
+            assert kreg.current_tier_name() == "blocked"
+        finally:
+            monkeypatch.delenv("REPRO_KERNEL_TIER", raising=False)
+            kreg._reload_env_defaults()
+
+    def test_repro_tile_bytes(self, monkeypatch):
+        from repro.kernels import registry as kreg
+
+        monkeypatch.setenv("REPRO_TILE_BYTES", "lots")
+        kreg._reload_env_defaults()
+        try:
+            with pytest.raises(ValueError, match="REPRO_TILE_BYTES"):
+                kreg.resolve_tile_bytes(None)
+            monkeypatch.setenv("REPRO_TILE_BYTES", "0")
+            kreg._reload_env_defaults()
+            with pytest.raises(ValueError, match="REPRO_TILE_BYTES"):
+                kreg.resolve_tile_bytes(None)
+            monkeypatch.setenv("REPRO_TILE_BYTES", "4096")
+            kreg._reload_env_defaults()
+            assert kreg.resolve_tile_bytes(None) == 4096
+        finally:
+            monkeypatch.delenv("REPRO_TILE_BYTES", raising=False)
+            kreg._reload_env_defaults()
+
+    def test_repro_shard_start_lenient(self, monkeypatch):
+        from repro.shard import config as shard_config
+
+        monkeypatch.setenv("REPRO_SHARD_START", "teleport")
+        shard_config._reload_env_defaults()
+        try:
+            # unrecognized values fall through to the platform default
+            assert shard_config.default_start_method() in shard_config.START_METHODS
+        finally:
+            monkeypatch.delenv("REPRO_SHARD_START")
+            shard_config._reload_env_defaults()
