@@ -4,7 +4,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke bench-tier bench-tier-smoke bench-index bench-index-smoke
+.PHONY: test test-fast lint cov bench-smoke bench bench-batch-smoke bench-shard-smoke bench-obs bench-obs-smoke chaos-shard-smoke bench-tier bench-tier-smoke bench-index bench-index-smoke serve-smoke bench-serve bench-serve-smoke
 
 ## test: full tier-1 suite (slow scaling/property tests included)
 test:
@@ -71,6 +71,22 @@ bench-index-smoke:
 ## acceptance point) -> BENCH_index.json
 bench-index:
 	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_index.py
+
+## serve-smoke: the serving suites (virtual-clock state machine,
+## real-asyncio concurrency + chaos) plus the served-vs-direct
+## equivalence smoke of the query-service benchmark
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest -x -q tests/test_serve_service.py tests/test_serve_concurrency.py
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_serve.py --smoke --out /tmp/BENCH_serve_smoke.json
+
+## bench-serve: full closed/open-loop serving matrix (covers the n=512
+## fused-vs-unbatched acceptance point) -> BENCH_serve.json
+bench-serve:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_serve.py
+
+## bench-serve-smoke: just the benchmark's smoke matrix
+bench-serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PY) benchmarks/bench_serve.py --smoke --out /tmp/BENCH_serve_smoke.json
 
 ## bench-obs: observability overhead budget -> BENCH_obs.json
 ## (fails if disabled-tracer overhead >= 5%)

@@ -26,7 +26,11 @@ A production-grade reproduction of Aggarwal, Kravets, Park, and Sen
 - :mod:`repro.kernels` — the kernel-tier registry: named execution
   tiers (``reference`` / ``fused`` / ``blocked`` / optional ``numba``)
   selected via ``kernel_tier=`` / ``REPRO_KERNEL_TIER``, all charging
-  identical ledgers (DESIGN.md §13).
+  identical ledgers (DESIGN.md §13);
+- :mod:`repro.serve` — the async query service: concurrent clients'
+  requests are held for an adaptive fusion window and executed as
+  fused ``solve_many`` buckets, with admission control, per-request
+  deadlines, and ``serve.*`` observability (DESIGN.md §15).
 
 Quickstart::
 
@@ -58,6 +62,7 @@ from repro import (
     networks,
     obs,
     pram,
+    serve,
     shard,
 )
 from repro.engine import (
@@ -84,6 +89,7 @@ __all__ = [
     "obs",
     "shard",
     "kernels",
+    "serve",
     "generators",
     "solve",
     "solve_many",
@@ -96,4 +102,4 @@ __all__ = [
     "CapabilityError",
 ]
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"

@@ -741,7 +741,18 @@ def run_plans(session, plans: List[QueryPlan]
               ) -> Tuple[List[SearchResult], List[dict]]:
     """Stages 2–4 for a batch: group the plans, walk the buckets through
     the executor chain, and return results (input order) plus the group
-    dicts (bucket order)."""
+    dicts (bucket order).
+
+    ``plans`` may carry *any* distinct indices — results are reassembled
+    by each plan's **position in the argument list**, not by
+    ``plan.index``.  The pre-serve implementation assumed buckets are
+    built once per ``solve_many`` call with contiguous ``0..n-1``
+    indices; the query service violates that (it plans each request at
+    admission with a service-lifetime sequence number and flushes
+    arbitrary subsets per window), so the assumption is gone and
+    tests/test_engine_planner.py pins the interleaved-arrival case.
+    """
+    position = {id(plan): i for i, plan in enumerate(plans)}
     buckets = group_plans(plans)
     m = metrics()
     m.counter("engine.batch.calls").inc()
@@ -751,6 +762,6 @@ def run_plans(session, plans: List[QueryPlan]
     for bucket in buckets:
         outs, group = execute_bucket(session, bucket)
         for plan, result in zip(bucket, outs):
-            results[plan.index] = result
+            results[position[id(plan)]] = result
         groups.append(group)
     return results, groups

@@ -174,9 +174,21 @@ def group_plans(plans: Sequence[QueryPlan]) -> List[List[QueryPlan]]:
 
     Fusable plans with equal keys share one bucket, kept in first-
     appearance order; every unfusable plan is its own singleton bucket.
-    Result order within a bucket follows input order, and the session
-    reassembles the :class:`~repro.engine.result.BatchResult` strictly
-    by each plan's ``index``, so grouping never reorders results.
+    Result order within a bucket follows input order, and
+    :func:`~repro.engine.lifecycle.run_plans` reassembles results by
+    argument position, so grouping never reorders results.
+
+    **Stability contract (DESIGN.md §15).**  Grouping is stateless and
+    deterministic: re-lowering the same ``(problem, data, config)``
+    request always yields an identical fused key (the key is built
+    purely from declarative plan fields — never from ``id()``\\ s,
+    arrival order, or planner state), and calling this function
+    repeatedly over interleaved arrivals partitions exactly as one
+    all-at-once call would.  The query service depends on this to
+    bucket *incrementally* as requests arrive: the fused key is the
+    bucketing contract, and ``QueryService`` re-lowers each plan at
+    flush time and asserts the key unchanged
+    (tests/test_engine_planner.py pins both properties).
     """
     buckets: List[List[QueryPlan]] = []
     by_key: dict = {}

@@ -91,6 +91,38 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the power-of-two buckets.
+
+        Within the bucket holding the target rank the estimate
+        interpolates linearly between the bucket bounds, clamped to the
+        observed ``[min, max]`` — coarse (buckets are octaves) but
+        monotone and cheap, which is what the serving latency gauges
+        (``serve.latency_s`` p50/p99, DESIGN.md §15) need.  Exact
+        quantiles belong to the bench harnesses, which keep raw samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * (self.count - 1)
+
+        def bounds(key: str):
+            if key == "0":
+                return 0.0, 0.0
+            k = int(key[2:])
+            return float(2.0 ** k), float(2.0 ** (k + 1))
+
+        seen = 0
+        for key, n in sorted(self.buckets.items(), key=lambda kv: bounds(kv[0])[0]):
+            if seen + n > rank:
+                lo, hi = bounds(key)
+                frac = (rank - seen) / n
+                estimate = lo + frac * (hi - lo)
+                return min(max(estimate, self.min), self.max)
+            seen += n
+        return self.max
+
     def summary(self) -> dict:
         return {
             "count": self.count,
@@ -98,6 +130,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
             "buckets": dict(sorted(self.buckets.items())),
         }
 
@@ -155,6 +189,13 @@ class MetricsRegistry:
             out["shard_hedge_rate"] = c.get("shard.hedges", 0) / st
             out["shard_timeout_rate"] = c.get("shard.timeouts", 0) / st
             out["shard_quarantine_rate"] = c.get("shard.partial_fallbacks", 0) / st
+        sr = c.get("serve.requests", 0)
+        if sr:
+            out["serve_shed_rate"] = c.get("serve.shed", 0) / (
+                sr + c.get("serve.shed", 0)
+            )
+            out["serve_expired_rate"] = c.get("serve.expired", 0) / sr
+            out["serve_fusion_rate"] = c.get("serve.fused_requests", 0) / sr
         return out
 
     def snapshot(self) -> dict:

@@ -1,0 +1,99 @@
+"""The adaptive fusion-window controller (DESIGN.md §15).
+
+The service holds compatible requests for a short *fusion window* so
+concurrent traffic gets the measured batched-sweep speedup
+(BENCH_batch.json) without any caller handing us a list.  The window is
+the classic hardware fan-in arbiter trade: a bounded hold buys
+throughput.  How long to hold is adaptive:
+
+- the controller keeps an EWMA of request interarrival time;
+- the window aims to collect ``target_width`` requests — i.e. roughly
+  ``(target_width - 1) x`` the smoothed interarrival gap;
+- the result is clamped to ``[min_window, max_window]`` so a traffic
+  burst cannot starve latency and a trickle cannot hold a request
+  beyond the configured bound.
+
+Under heavy load the gap shrinks, so the window *narrows* — requests
+pile up fast and flushing early keeps tail latency flat.  Under light
+load the gap grows and the window *widens* toward ``max_window``,
+catching stragglers that would otherwise run serially.  The controller
+is pure (fed explicit timestamps), so tests drive it deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["WindowController"]
+
+
+class WindowController:
+    """EWMA-of-arrival-rate fusion window, clamped to a latency budget.
+
+    Parameters
+    ----------
+    min_window, max_window:
+        Clamp bounds in seconds (``0 <= min <= max``).  Setting both to
+        ``0`` disables holding entirely — every request flushes
+        immediately (the "window-disabled" serial-per-request service
+        benchmarked by ``bench_serve.py``).
+    target_width:
+        How many requests one window aims to collect (``>= 2``).
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; higher adapts faster.
+    """
+
+    def __init__(self, min_window: float, max_window: float, *,
+                 target_width: int = 16, alpha: float = 0.2) -> None:
+        if min_window < 0 or max_window < 0:
+            raise ValueError(
+                f"window bounds must be >= 0, got [{min_window}, {max_window}]"
+            )
+        if min_window > max_window:
+            raise ValueError(
+                f"min_window {min_window} exceeds max_window {max_window}"
+            )
+        if target_width < 2:
+            raise ValueError(f"target_width must be >= 2, got {target_width}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.min_window = float(min_window)
+        self.max_window = float(max_window)
+        self.target_width = int(target_width)
+        self.alpha = float(alpha)
+        self._ewma_gap: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def observe_arrival(self, now: float) -> None:
+        """Fold one arrival timestamp into the interarrival EWMA."""
+        if self._last_arrival is not None:
+            gap = max(0.0, now - self._last_arrival)
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                self._ewma_gap = self.alpha * gap + (1 - self.alpha) * self._ewma_gap
+        self._last_arrival = now
+
+    def window(self) -> float:
+        """The current hold window in seconds.
+
+        Before two arrivals exist there is no rate estimate: the
+        controller returns ``max_window`` (hold as long as the latency
+        budget allows — the safest guess for a cold service)."""
+        if self._ewma_gap is None:
+            return self.max_window
+        want = (self.target_width - 1) * self._ewma_gap
+        return min(self.max_window, max(self.min_window, want))
+
+    @property
+    def interarrival(self) -> Optional[float]:
+        """The smoothed interarrival gap (``None`` before two arrivals)."""
+        return self._ewma_gap
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Smoothed arrivals per second (``None`` until estimable)."""
+        if self._ewma_gap is None or self._ewma_gap <= 0:
+            return None
+        return 1.0 / self._ewma_gap

@@ -207,6 +207,36 @@ def test_matrix_only_names_supported_pairs():
 
 
 # --------------------------------------------------------------------- #
+# served mode: the same oracle through repro.serve (DESIGN.md §15)
+# --------------------------------------------------------------------- #
+def test_served_fuzz_class_matches_brute_oracle():
+    """One fuzz class routed through :class:`QueryService` instead of
+    ``repro.solve``: 40 seeded rowmin instances submitted concurrently
+    (mixed shapes, so buckets form and flush independently) must match
+    the brute oracle on values AND leftmost-tie witnesses exactly —
+    micro-batching is not allowed to perturb a single bit."""
+    import asyncio
+
+    from repro.serve import QueryService, ServiceConfig
+
+    seeds = range(0, 40)
+    cases = [_case("rowmin", seed) for seed in seeds]
+
+    async def body():
+        policy = ServiceConfig(min_window=0.001, max_window=0.020, max_batch=64)
+        async with QueryService("pram-crcw", policy=policy) as svc:
+            return await asyncio.gather(
+                *(svc.solve("rowmin", data) for data, _ in cases)
+            )
+
+    results = asyncio.run(body())
+    for seed, (_, (want_v, want_w)), r in zip(seeds, cases, results):
+        label = f"rowmin/served/seed={seed}"
+        np.testing.assert_array_equal(np.asarray(r.values), want_v, err_msg=label)
+        np.testing.assert_array_equal(np.asarray(r.witnesses), want_w, err_msg=label)
+
+
+# --------------------------------------------------------------------- #
 # hypothesis: unseeded shrinkable properties on the flagship problems
 # --------------------------------------------------------------------- #
 _common = dict(

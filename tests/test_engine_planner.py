@@ -180,3 +180,80 @@ class TestClassicDisqualifiers:
                  plan_query("rowmin", b, cfg, "pram-crcw", index=1)]
         assert plans[0].fused_key != plans[1].fused_key
         assert len(_buckets(plans)) == 2
+
+
+# --------------------------------------------------------------------- #
+# grouping stability: the serving front-end's bucketing contract
+# --------------------------------------------------------------------- #
+class TestGroupingStability:
+    """The query service buckets *incrementally* as requests arrive and
+    relies on the planner's stability contract (planner docstring,
+    DESIGN.md §15): re-lowering a request yields an identical fused key,
+    and interleaved arrivals partition exactly as one batch call would.
+    """
+
+    def test_replanning_yields_identical_fused_key(self):
+        cfg = ExecutionConfig()
+        a = random_monge(6, 6, np.random.default_rng(3))
+        keys = [
+            plan_query("rowmin", a, cfg, "pram-crcw", index=i).fused_key
+            for i in range(5)
+        ]
+        assert keys[0] is not None
+        assert all(k == keys[0] for k in keys)
+        # a structurally equal (but distinct) config produces the same key
+        other = ExecutionConfig().with_overrides()
+        assert plan_query("rowmin", a, other, "pram-crcw").fused_key == keys[0]
+
+    def test_interleaved_arrivals_group_like_batch(self):
+        """Incremental dict-by-key bucketing == one group_plans call."""
+        cfg = ExecutionConfig()
+        plans = []
+        for i in range(12):
+            n = 5 + (i % 3)  # three interleaved shape classes
+            a = random_monge(n, n, np.random.default_rng(100 + i))
+            plans.append(plan_query("rowmin", a, cfg, "pram-crcw", index=i))
+
+        incremental: dict = {}
+        for plan in plans:  # what the service does, one arrival at a time
+            incremental.setdefault(plan.fused_key, []).append(plan)
+        batch = group_plans(plans)
+
+        batch_partition = [[p.index for p in bucket] for bucket in batch]
+        incr_partition = [[p.index for p in bucket]
+                          for bucket in incremental.values()]
+        assert sorted(batch_partition) == sorted(incr_partition)
+
+    def test_repeated_group_plans_calls_are_stable(self):
+        cfg = ExecutionConfig()
+        plans = []
+        for i in range(8):
+            n = 6 + (i % 2)
+            a = random_monge(n, n, np.random.default_rng(200 + i))
+            plans.append(plan_query("rowmin", a, cfg, "pram-crcw", index=i))
+        first = [[p.index for p in b] for b in group_plans(plans)]
+        second = [[p.index for p in b] for b in group_plans(plans)]
+        assert first == second
+
+    def test_run_plans_accepts_arbitrary_distinct_indices(self):
+        """run_plans reassembles by argument position, not plan.index —
+        the service plans with a service-lifetime sequence number."""
+        from repro.engine.lifecycle import run_plans
+
+        cfg = ExecutionConfig()
+        arrays = [random_monge(6, 6, np.random.default_rng(300 + i))
+                  for i in range(3)]
+        plans = [plan_query("rowmin", a, cfg, "pram-crcw", index=idx)
+                 for a, idx in zip(arrays, (7, 3, 11))]
+
+        s = Session("pram-crcw")
+        results, groups = run_plans(s, plans)
+        assert len(results) == 3 and all(r is not None for r in results)
+        # fused as one bucket despite the odd indices
+        assert [g["count"] for g in groups] == [3]
+        ref = Session("pram-crcw")
+        for a, got in zip(arrays, results):  # argument order, bit-identical
+            want = ref.solve("rowmin", a)
+            assert np.array_equal(want.values, got.values)
+            assert np.array_equal(want.witnesses, got.witnesses)
+            assert want.snapshot == got.snapshot

@@ -1,0 +1,659 @@
+"""Deterministic virtual-clock tests for :mod:`repro.serve` (DESIGN.md §15).
+
+Every test drives the service through a :class:`VirtualClock` (time
+moves only via ``await clock.advance(dt)``) and an
+:class:`InlineExecutor` (buckets execute synchronously on the loop
+thread) — **no wall-clock sleeps anywhere**, so window, deadline,
+admission, and drain behavior replays identically on every run.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import Session
+from repro.monge.generators import random_monge, random_staircase_monge
+from repro.obs import metrics, reset_metrics
+from repro.serve import (
+    InlineExecutor,
+    QueryService,
+    RequestExpiredError,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceOverloadedError,
+    VirtualClock,
+    WindowController,
+)
+
+
+def run(coro):
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def arrays(count, n, base_seed=0):
+    return [random_monge(n, n, np.random.default_rng(base_seed + k))
+            for k in range(count)]
+
+
+def make_service(clock, **policy_kw):
+    policy = ServiceConfig(**policy_kw)
+    return QueryService("pram-crcw", policy=policy, clock=clock,
+                        executor=InlineExecutor())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_metrics()
+    yield
+
+
+def serve_counter(name):
+    return metrics().counter(name).value
+
+
+# --------------------------------------------------------------------- #
+# fusion window: timeout flush, size-cap flush, adaptation
+# --------------------------------------------------------------------- #
+class TestFusionWindow:
+    def test_single_request_timeout_flush(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.001, max_window=0.010)
+            async with svc:
+                task = asyncio.create_task(svc.solve("rowmin", arrays(1, 6)[0]))
+                # half the (cold-start = max) window: still held
+                await clock.advance(0.005)
+                assert not task.done()
+                # window elapses: the lone request flushes by timeout
+                await clock.advance(0.006)
+                assert task.done()
+                result = await task
+                assert result.problem == "rowmin"
+            assert serve_counter("serve.buckets") == 1
+
+        run(body())
+
+    def test_size_cap_flushes_without_time_passing(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=1.0,
+                               max_batch=4)
+            async with svc:
+                tasks = [asyncio.create_task(svc.solve("rowmin", a))
+                         for a in arrays(4, 6)]
+                await clock.advance(0.0)  # drain the loop; no time passes
+                assert all(t.done() for t in tasks)
+                await asyncio.gather(*tasks)
+                assert clock.now() == 0.0
+            hist = metrics().histogram("serve.fusion_width")
+            assert hist.max == 4
+
+        run(body())
+
+    def test_overgrown_bucket_splits_at_max_batch(self):
+        """Requests can pile past ``max_batch`` before the batcher runs;
+        the cap bounds *execution* width, so the bucket must split into
+        max_batch-wide chunks rather than execute oversized."""
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=1.0,
+                               max_batch=2)
+            async with svc:
+                tasks = [asyncio.create_task(svc.solve("rowmin", a))
+                         for a in arrays(5, 6)]
+                await clock.advance(0.0)
+                await asyncio.gather(*tasks)
+            assert serve_counter("serve.buckets") == 3  # 2 + 2 + 1
+            assert metrics().histogram("serve.fusion_width").max == 2
+
+        run(body())
+
+    def test_unfusable_requests_flush_immediately(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=1.0)
+            stair = random_staircase_monge(6, 6, np.random.default_rng(3))
+            async with svc:
+                task = asyncio.create_task(svc.solve("staircase_min", stair))
+                await clock.advance(0.0)
+                assert task.done()  # no window hold for serial plans
+                await task
+
+        run(body())
+
+    def test_window_narrows_under_fast_arrivals(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.0005, max_window=0.050,
+                               target_width=4, max_batch=1000)
+            async with svc:
+                assert svc.current_window() == 0.050  # cold start: max
+                data = arrays(30, 6)
+                tasks = []
+                for a in data[:10]:  # 1 ms apart -> EWMA gap ~1 ms
+                    tasks.append(asyncio.create_task(svc.solve("rowmin", a)))
+                    await clock.advance(0.001)
+                narrowed = svc.current_window()
+                assert narrowed < 0.050
+                assert narrowed == pytest.approx(3 * 0.001, rel=0.5)
+                # slow arrivals (30 ms apart) widen it back toward max
+                for a in data[10:14]:
+                    tasks.append(asyncio.create_task(svc.solve("rowmin", a)))
+                    await clock.advance(0.030)
+                assert svc.current_window() > narrowed
+                await clock.advance(0.2)
+                await asyncio.gather(*tasks)
+
+        run(body())
+
+    def test_bucket_window_fixed_at_open(self):
+        """A bucket's flush deadline is set when it opens; later arrivals
+        join it without extending the hold (bounded latency)."""
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=0.010,
+                               max_batch=100)
+            async with svc:
+                first = asyncio.create_task(svc.solve("rowmin", arrays(1, 6)[0]))
+                await clock.advance(0.008)
+                second = asyncio.create_task(
+                    svc.solve("rowmin", arrays(1, 6, base_seed=9)[0]))
+                # 2 ms later the *bucket* (opened at t=0) flushes both
+                await clock.advance(0.002)
+                assert first.done() and second.done()
+                await asyncio.gather(first, second)
+            assert serve_counter("serve.buckets") == 1
+
+        run(body())
+
+
+class TestWindowController:
+    def test_cold_start_returns_max(self):
+        c = WindowController(0.001, 0.05)
+        assert c.window() == 0.05
+        c.observe_arrival(0.0)
+        assert c.window() == 0.05  # still no gap estimate
+
+    def test_narrows_then_widens(self):
+        c = WindowController(0.0001, 1.0, target_width=5, alpha=0.5)
+        for t in (0.0, 0.01, 0.02, 0.03):
+            c.observe_arrival(t)
+        fast = c.window()
+        assert fast == pytest.approx(4 * 0.01, rel=0.2)
+        for t in (1.0, 2.0):
+            c.observe_arrival(t)
+        assert c.window() > fast  # slower traffic -> wider window
+
+    def test_clamps_to_bounds(self):
+        c = WindowController(0.005, 0.02, target_width=16, alpha=1.0)
+        c.observe_arrival(0.0)
+        c.observe_arrival(1e-7)  # burst: raw target far below min
+        assert c.window() == 0.005
+        c.observe_arrival(10.0)  # trickle: raw target far above max
+        assert c.window() == 0.02
+
+    @pytest.mark.parametrize("kw", [
+        dict(min_window=-1, max_window=1),
+        dict(min_window=0.5, max_window=0.1),
+        dict(min_window=0, max_window=1, target_width=1),
+        dict(min_window=0, max_window=1, alpha=0.0),
+        dict(min_window=0, max_window=1, alpha=1.5),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            WindowController(**kw)
+
+
+# --------------------------------------------------------------------- #
+# admission control: shedding and backpressure
+# --------------------------------------------------------------------- #
+class TestAdmission:
+    def test_queue_full_sheds_immediately(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=1.0,
+                               max_pending=2, admission_wait=0.0)
+            async with svc:
+                data = arrays(3, 6)
+                t1 = asyncio.create_task(svc.solve("rowmin", data[0]))
+                t2 = asyncio.create_task(svc.solve("rowmin", data[1]))
+                await clock.advance(0.0)
+                assert svc.pending == 2
+                with pytest.raises(ServiceOverloadedError, match="queue full"):
+                    await svc.solve("rowmin", data[2])
+                assert serve_counter("serve.shed") == 1
+                await clock.advance(2.0)
+                await asyncio.gather(t1, t2)
+            snap = metrics().snapshot()
+            assert snap["derived"]["serve_shed_rate"] == pytest.approx(1 / 3)
+            assert snap["gauges"]["serve.queue_depth"] == 0
+
+        run(body())
+
+    def test_backpressure_admits_when_slot_frees(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=0.010,
+                               max_pending=2, admission_wait=0.100)
+            async with svc:
+                data = arrays(3, 6)
+                t1 = asyncio.create_task(svc.solve("rowmin", data[0]))
+                t2 = asyncio.create_task(svc.solve("rowmin", data[1]))
+                await clock.advance(0.0)
+                t3 = asyncio.create_task(svc.solve("rowmin", data[2]))
+                await clock.advance(0.0)
+                assert not t3.done()  # waiting for admission, not shed
+                # the first bucket flushes at 10 ms, freeing both slots
+                await clock.advance(0.012)
+                await asyncio.gather(t1, t2)
+                # t3 was admitted and joins a fresh bucket; let it flush
+                await clock.advance(0.050)
+                await t3
+                assert serve_counter("serve.shed") == 0
+                assert serve_counter("serve.completed") == 3
+
+        run(body())
+
+    def test_backpressure_sheds_after_admission_wait(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=1.0, max_window=1.0,
+                               max_pending=1, admission_wait=0.005)
+            async with svc:
+                data = arrays(2, 6)
+                t1 = asyncio.create_task(svc.solve("rowmin", data[0]))
+                await clock.advance(0.0)
+                t2 = asyncio.create_task(svc.solve("rowmin", data[1]))
+                await clock.advance(0.0)
+                assert not t2.done()
+                await clock.advance(0.006)  # admission wait expires
+                with pytest.raises(ServiceOverloadedError):
+                    await t2
+                assert serve_counter("serve.shed") == 1
+                await clock.advance(1.1)
+                await t1
+
+        run(body())
+
+
+# --------------------------------------------------------------------- #
+# deadlines: expiry before and during execution
+# --------------------------------------------------------------------- #
+class _GateExecutor(InlineExecutor):
+    """An executor the test can hold shut: calls wait at an asyncio gate
+    before running inline (used to pin the expiry-during-execution path
+    without wall-clock time)."""
+
+    def __init__(self):
+        self.gate = asyncio.Event()
+
+    async def call(self, fn):
+        await self.gate.wait()
+        return fn()
+
+
+class TestDeadlines:
+    def test_expires_before_execution(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=0.010)
+            async with svc:
+                task = asyncio.create_task(
+                    svc.solve("rowmin", arrays(1, 6)[0], deadline=0.005))
+                # at flush time (10 ms) the deadline (5 ms) has passed
+                await clock.advance(0.010)
+                with pytest.raises(RequestExpiredError, match="deadline"):
+                    await task
+                assert serve_counter("serve.expired") == 1
+                assert serve_counter("serve.completed") == 0
+                assert svc.pending == 0  # the slot was released
+
+        run(body())
+
+    def test_expires_while_earlier_bucket_executes(self):
+        async def body():
+            clock = VirtualClock()
+            gate = _GateExecutor()
+            svc = QueryService(
+                "pram-crcw", clock=clock, executor=gate,
+                policy=ServiceConfig(min_window=0.001, max_window=0.001),
+            )
+            async with svc:
+                a = arrays(1, 6)[0]
+                b = arrays(1, 7, base_seed=5)[0]  # different shape: own bucket
+                first = asyncio.create_task(svc.solve("rowmin", a))
+                await clock.advance(0.001)  # bucket A flushed, held at gate
+                second = asyncio.create_task(
+                    svc.solve("rowmin", b, deadline=0.004))
+                await clock.advance(0.001)  # bucket B flushed, queued on lock
+                assert not first.done() and not second.done()
+                await clock.advance(0.010)  # B's deadline passes in the queue
+                gate.gate.set()  # release the executor
+                await clock.advance(0.0)
+                assert np.array_equal(
+                    (await first).values, Session("pram-crcw").solve("rowmin", a).values
+                )
+                with pytest.raises(RequestExpiredError):
+                    await second
+                assert serve_counter("serve.expired") == 1
+                assert serve_counter("serve.completed") == 1
+
+        run(body())
+
+    def test_default_deadline_from_policy(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.020, max_window=0.020,
+                               default_deadline=0.005)
+            async with svc:
+                task = asyncio.create_task(svc.solve("rowmin", arrays(1, 6)[0]))
+                await clock.advance(0.020)
+                with pytest.raises(RequestExpiredError):
+                    await task
+
+        run(body())
+
+    def test_invalid_deadline_rejected(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock)
+            async with svc:
+                with pytest.raises(ValueError, match="deadline"):
+                    await svc.solve("rowmin", arrays(1, 6)[0], deadline=0.0)
+                assert svc.pending == 0  # the admission slot was returned
+
+        run(body())
+
+    def test_cancelled_client_releases_slot(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.010, max_window=0.010,
+                               max_pending=1)
+            async with svc:
+                task = asyncio.create_task(svc.solve("rowmin", arrays(1, 6)[0]))
+                await clock.advance(0.0)
+                task.cancel()
+                await clock.advance(0.010)  # flush reaps the abandonment
+                assert svc.pending == 0
+                assert serve_counter("serve.cancelled") == 1
+
+        run(body())
+
+
+# --------------------------------------------------------------------- #
+# drain semantics
+# --------------------------------------------------------------------- #
+class TestDrain:
+    def test_drain_flushes_open_buckets_immediately(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=1.0, max_window=1.0)
+            svc.start()
+            tasks = [asyncio.create_task(svc.solve("rowmin", a))
+                     for a in arrays(3, 6)]
+            await clock.advance(0.0)
+            assert not any(t.done() for t in tasks)  # held by the window
+            await svc.drain()  # no clock advance: drain must not wait
+            results = await asyncio.gather(*tasks)
+            assert len(results) == 3
+            assert clock.now() == 0.0
+            assert serve_counter("serve.completed") == 3
+
+        run(body())
+
+    def test_submit_after_drain_is_refused(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock)
+            svc.start()
+            await svc.drain()
+            with pytest.raises(ServiceClosedError):
+                await svc.solve("rowmin", arrays(1, 6)[0])
+            with pytest.raises(ServiceClosedError):
+                await svc.prepare(arrays(1, 6)[0])
+            with pytest.raises(ServiceClosedError):
+                svc.start()
+
+        run(body())
+
+    def test_drain_is_idempotent(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock)
+            async with svc:
+                pass
+            await svc.drain()
+            await svc.close()
+
+        run(body())
+
+    def test_drain_wakes_admission_waiters(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=1.0, max_window=1.0,
+                               max_pending=1, admission_wait=10.0)
+            svc.start()
+            t1 = asyncio.create_task(svc.solve("rowmin", arrays(1, 6)[0]))
+            await clock.advance(0.0)
+            t2 = asyncio.create_task(
+                svc.solve("rowmin", arrays(1, 6, base_seed=4)[0]))
+            await clock.advance(0.0)
+            drain = asyncio.create_task(svc.drain())
+            await clock.advance(0.0)
+            await t1  # the held request is served at drain
+            with pytest.raises(ServiceClosedError):
+                await t2  # the waiter is refused, not stranded
+            await drain
+
+        run(body())
+
+
+# --------------------------------------------------------------------- #
+# served results are bit-identical to direct Session.solve
+# --------------------------------------------------------------------- #
+class TestBitIdentity:
+    def test_fused_buckets_match_serial_twins(self):
+        B = 6
+        data = arrays(B, 8) + arrays(2, 5, base_seed=50)
+        stair = random_staircase_monge(7, 7, np.random.default_rng(8))
+
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.005, max_window=0.005,
+                               max_batch=64)
+            async with svc:
+                tasks = [asyncio.create_task(svc.solve("rowmin", a))
+                         for a in data]
+                tasks.append(asyncio.create_task(
+                    svc.solve("staircase_min", stair)))
+                await clock.advance(0.010)
+                return await asyncio.gather(*tasks)
+
+        results = run(body())
+        ref = Session("pram-crcw")
+        for a, got in zip(data, results[:-1]):
+            want = ref.solve("rowmin", a)
+            assert np.array_equal(want.values, got.values)
+            assert np.array_equal(want.witnesses, got.witnesses)
+            assert want.snapshot == got.snapshot  # ledger bit-identity
+        want = ref.solve("staircase_min", stair)
+        got = results[-1]
+        assert np.array_equal(want.values, got.values)
+        assert np.array_equal(want.witnesses, got.witnesses)
+        assert want.snapshot == got.snapshot
+        # the two shape classes each fused; the staircase ran serially
+        assert serve_counter("serve.fused_requests") == 8
+        assert metrics().histogram("serve.fusion_width").max == 6
+
+    def test_solve_many_convenience_preserves_input_order(self):
+        data = arrays(4, 6, base_seed=70)
+
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.002, max_window=0.002)
+            async with svc:
+                gathered = asyncio.create_task(
+                    svc.solve_many([("rowmin", a) for a in data]))
+                await clock.advance(0.010)
+                return await gathered
+
+        results = run(body())
+        ref = Session("pram-crcw")
+        for a, got in zip(data, results):
+            want = ref.solve("rowmin", a)
+            assert np.array_equal(want.values, got.values)
+            assert np.array_equal(want.witnesses, got.witnesses)
+
+    def test_session_query_log_records_served_requests(self):
+        data = arrays(3, 6, base_seed=90)
+
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.002, max_window=0.002)
+            async with svc:
+                tasks = [asyncio.create_task(svc.solve("rowmin", a))
+                         for a in data]
+                await clock.advance(0.010)
+                await asyncio.gather(*tasks)
+                return svc.session
+
+        session = run(body())
+        assert len(session.queries) == 3
+        assert all(q.problem == "rowmin" for q in session.queries)
+        assert session.ledger.rounds > 0  # sub-accounts merged back
+
+
+# --------------------------------------------------------------------- #
+# the bucketing contract is asserted at flush
+# --------------------------------------------------------------------- #
+class TestStableKeyGuard:
+    def test_drifted_key_fails_the_bucket_loudly(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.005, max_window=0.005)
+            async with svc:
+                tasks = [asyncio.create_task(svc.solve("rowmin", a))
+                         for a in arrays(2, 6)]
+                await clock.advance(0.0)
+                # sabotage one admitted plan: simulate a planner whose
+                # fused key is not stable across lowerings
+                (bucket,) = svc._buckets.values()
+                bucket.requests[1].plan.fused_key = ("drifted",)
+                await clock.advance(0.005)
+                with pytest.raises(AssertionError, match="fused key"):
+                    await asyncio.gather(*tasks)
+
+        run(body())
+
+    def test_prepare_and_query_through_the_service(self):
+        a = random_monge(8, 8, np.random.default_rng(21))
+
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock)
+            async with svc:
+                handle = await svc.prepare(a)
+                return await svc.query(handle, (1, 7), (2, 8))
+
+        got = run(body())
+        want = Session("pram-crcw").prepare(a).query((1, 7), (2, 8))
+        assert got.values == want.values
+        assert np.array_equal(got.witnesses, want.witnesses)
+        assert serve_counter("serve.prepares") == 1
+        assert serve_counter("serve.index_queries") == 1
+
+
+# --------------------------------------------------------------------- #
+# service configuration validation
+# --------------------------------------------------------------------- #
+class TestServiceConfig:
+    @pytest.mark.parametrize("kw", [
+        dict(max_batch=0),
+        dict(max_pending=0),
+        dict(admission_wait=-1.0),
+        dict(default_deadline=0.0),
+        dict(min_window=0.2, max_window=0.1),
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kw)
+
+    def test_window_disabled_mode_flushes_immediately(self):
+        async def body():
+            clock = VirtualClock()
+            svc = make_service(clock, min_window=0.0, max_window=0.0)
+            async with svc:
+                task = asyncio.create_task(svc.solve("rowmin", arrays(1, 6)[0]))
+                await clock.advance(0.0)
+                assert task.done()  # serial-per-request: no hold at all
+                await task
+            assert metrics().histogram("serve.fusion_width").max == 1
+
+        run(body())
+
+
+# --------------------------------------------------------------------- #
+# the virtual clock itself
+# --------------------------------------------------------------------- #
+class TestVirtualClock:
+    def test_sleepers_fire_in_deadline_order(self):
+        async def body():
+            clock = VirtualClock()
+            order = []
+
+            async def sleeper(tag, delay):
+                await clock.sleep(delay)
+                order.append((tag, clock.now()))
+
+            tasks = [asyncio.create_task(sleeper("b", 0.02)),
+                     asyncio.create_task(sleeper("a", 0.01)),
+                     asyncio.create_task(sleeper("c", 0.03))]
+            await clock.advance(0.05)
+            await asyncio.gather(*tasks)
+            assert order == [("a", 0.01), ("b", 0.02), ("c", 0.03)]
+            assert clock.now() == 0.05
+
+        run(body())
+
+    def test_nested_sleep_fires_within_one_advance(self):
+        async def body():
+            clock = VirtualClock()
+            hits = []
+
+            async def chain():
+                await clock.sleep(0.01)
+                hits.append(clock.now())
+                await clock.sleep(0.01)  # scheduled *during* the advance
+                hits.append(clock.now())
+
+            task = asyncio.create_task(chain())
+            await clock.advance(0.05)
+            await task
+            assert hits == [0.01, pytest.approx(0.02)]
+
+        run(body())
+
+    def test_zero_or_negative_sleep_just_yields(self):
+        async def body():
+            clock = VirtualClock()
+            await clock.sleep(0)
+            await clock.sleep(-1)
+            assert clock.now() == 0.0
+            with pytest.raises(ValueError):
+                await clock.advance(-0.1)
+
+        run(body())
+
+    def test_cancelled_sleeper_is_discarded(self):
+        async def body():
+            clock = VirtualClock()
+            task = asyncio.create_task(clock.sleep(1.0))
+            await asyncio.sleep(0)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            assert clock.pending_sleepers == 0
+            await clock.advance(2.0)  # must not trip on the corpse
+
+        run(body())
